@@ -1,0 +1,136 @@
+//! Customer cones and hierarchy statistics.
+//!
+//! The customer cone of an AS — every network reachable by walking only
+//! provider→customer edges — is the standard measure of how much of the
+//! Internet an AS transits (CAIDA AS Rank uses it). The trace generator's
+//! synthetic Internet should show the real hierarchy's shape: tier-1 cones
+//! covering most of the graph, stub cones of size 1. These helpers both
+//! validate that shape in tests and let examples reason about provider
+//! importance (e.g. where filtering rules are most effective).
+
+use crate::graph::{AsGraph, Asn, Relationship, Tier};
+use std::collections::BTreeSet;
+
+/// The customer cone of `asn`: itself plus every AS reachable through
+/// provider→customer edges. Empty set for an unknown AS.
+pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
+    let mut cone = BTreeSet::new();
+    if !graph.contains(asn) {
+        return cone;
+    }
+    let mut stack = vec![asn];
+    while let Some(u) = stack.pop() {
+        if !cone.insert(u) {
+            continue;
+        }
+        for (v, rel) in graph.neighbors(u) {
+            if rel == Relationship::Customer {
+                stack.push(v);
+            }
+        }
+    }
+    cone
+}
+
+/// Cone sizes for every AS, ascending by ASN.
+pub fn cone_sizes(graph: &AsGraph) -> Vec<(Asn, usize)> {
+    graph.asns().map(|a| (a, customer_cone(graph, a).len())).collect()
+}
+
+/// Summary of the hierarchy's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchyStats {
+    /// Mean cone size per tier: (tier-1, tier-2, stub).
+    pub mean_cone_by_tier: (f64, f64, f64),
+    /// Largest cone observed.
+    pub max_cone: usize,
+    /// Fraction of the graph inside the union of tier-1 cones.
+    pub tier1_coverage: f64,
+}
+
+/// Computes [`HierarchyStats`].
+pub fn hierarchy_stats(graph: &AsGraph) -> HierarchyStats {
+    let mean_for = |tier: Tier| -> f64 {
+        let members = graph.tier_members(tier);
+        if members.is_empty() {
+            return 0.0;
+        }
+        members.iter().map(|a| customer_cone(graph, *a).len()).sum::<usize>() as f64
+            / members.len() as f64
+    };
+    let mut union: BTreeSet<Asn> = BTreeSet::new();
+    for t1 in graph.tier_members(Tier::Tier1) {
+        union.extend(customer_cone(graph, t1));
+    }
+    HierarchyStats {
+        mean_cone_by_tier: (mean_for(Tier::Tier1), mean_for(Tier::Tier2), mean_for(Tier::Stub)),
+        max_cone: graph.asns().map(|a| customer_cone(graph, a).len()).max().unwrap_or(0),
+        tier1_coverage: if graph.is_empty() {
+            0.0
+        } else {
+            union.len() as f64 / graph.len() as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyConfig, TopologyGenerator};
+
+    fn topo() -> AsGraph {
+        TopologyGenerator::new(TopologyConfig::small(), 71).generate().unwrap()
+    }
+
+    #[test]
+    fn stub_cones_are_singletons() {
+        let g = topo();
+        for stub in g.tier_members(Tier::Stub) {
+            let cone = customer_cone(&g, stub);
+            assert_eq!(cone.len(), 1);
+            assert!(cone.contains(&stub));
+        }
+    }
+
+    #[test]
+    fn tier2_cones_contain_their_stubs() {
+        let g = topo();
+        for t2 in g.tier_members(Tier::Tier2) {
+            let cone = customer_cone(&g, t2);
+            assert!(cone.contains(&t2));
+            for customer in g.customers(t2) {
+                assert!(cone.contains(&customer), "{t2} cone misses customer {customer}");
+            }
+        }
+    }
+
+    #[test]
+    fn tier1_union_covers_everything_below() {
+        let g = topo();
+        let stats = hierarchy_stats(&g);
+        // Tier-1s transit (almost) the whole graph; peers are not in the
+        // cone but every tier-2/stub is a (transitive) customer of some
+        // tier-1.
+        assert!(stats.tier1_coverage > 0.9, "coverage {}", stats.tier1_coverage);
+        // The hierarchy ordering holds.
+        let (t1, t2, stub) = stats.mean_cone_by_tier;
+        assert!(t1 > t2, "tier-1 mean cone {t1} <= tier-2 {t2}");
+        assert!(t2 > stub, "tier-2 mean cone {t2} <= stub {stub}");
+        assert_eq!(stub, 1.0);
+        assert!(stats.max_cone >= (g.len() / 3));
+    }
+
+    #[test]
+    fn unknown_as_has_empty_cone() {
+        let g = topo();
+        assert!(customer_cone(&g, Asn(999_999)).is_empty());
+    }
+
+    #[test]
+    fn cone_sizes_cover_all_ases() {
+        let g = topo();
+        let sizes = cone_sizes(&g);
+        assert_eq!(sizes.len(), g.len());
+        assert!(sizes.iter().all(|(_, s)| *s >= 1));
+    }
+}

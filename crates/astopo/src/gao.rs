@@ -1,0 +1,318 @@
+//! Gao-style AS-relationship inference from routing-table dumps.
+//!
+//! Implements the degree-based heuristic of Gao (and the refinement used by
+//! Gao & Wang \[44\], which the paper cites as the basis of its distance
+//! tool): every observed AS path is assumed valley-free, so walking a path
+//! from its highest-degree AS outward tells us which neighbor provided
+//! transit to which. Votes are accumulated over all paths; edges with
+//! one-sided transit votes become customer–provider, edges with balanced
+//! votes become siblings (mapped to peers here), and top-of-path edges
+//! between ASes of comparable degree that never provide transit are
+//! classified as peering.
+
+use crate::graph::{AsGraph, Asn, Relationship};
+use crate::routing::AsPath;
+use crate::{Result, TopoError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration knobs for [`infer`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaoConfig {
+    /// Vote ratio above which a two-sided edge is still classified
+    /// customer→provider rather than sibling (Gao's parameter L).
+    pub sibling_ratio: f64,
+    /// Maximum degree ratio for two top-of-path ASes to count as peers
+    /// (Gao's parameter R).
+    pub peer_degree_ratio: f64,
+}
+
+impl Default for GaoConfig {
+    fn default() -> Self {
+        GaoConfig { sibling_ratio: 2.0, peer_degree_ratio: 6.0 }
+    }
+}
+
+/// The inferred relationship map: for each undirected edge (stored with the
+/// smaller ASN first) the inferred relationship *of the second endpoint as
+/// seen from the first*.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct InferredRelationships {
+    edges: BTreeMap<(Asn, Asn), Relationship>,
+}
+
+impl InferredRelationships {
+    /// The inferred relationship of `b` as seen from `a`, if the edge was
+    /// observed in any path.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        if a <= b {
+            self.edges.get(&(a, b)).copied()
+        } else {
+            self.edges.get(&(b, a)).map(|r| r.reverse())
+        }
+    }
+
+    /// Number of classified edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether nothing was classified.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterator over `((a, b), relationship-of-b-seen-from-a)` with `a < b`.
+    pub fn iter(&self) -> impl Iterator<Item = ((Asn, Asn), Relationship)> + '_ {
+        self.edges.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Fraction of edges whose inferred relationship matches the ground
+    /// truth in `graph`; edges absent from the graph are counted as wrong.
+    pub fn accuracy_against(&self, graph: &AsGraph) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let correct = self
+            .edges
+            .iter()
+            .filter(|((a, b), rel)| graph.relationship(*a, *b) == Some(**rel))
+            .count();
+        correct as f64 / self.edges.len() as f64
+    }
+}
+
+/// Infers AS relationships from a bag of observed AS paths.
+///
+/// # Errors
+///
+/// Returns [`TopoError::MalformedPath`] when a path is shorter than two
+/// hops or repeats an AS (loops are never valley-free).
+///
+/// # Example
+///
+/// ```
+/// use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+/// use ddos_astopo::routing::{all_paths, dump_tables};
+/// use ddos_astopo::gao::{infer, GaoConfig};
+/// use ddos_astopo::Tier;
+///
+/// # fn main() -> Result<(), ddos_astopo::TopoError> {
+/// let topo = TopologyGenerator::new(TopologyConfig::small(), 5).generate()?;
+/// let vantages = topo.tier_members(Tier::Stub);
+/// let tables = dump_tables(&topo, &vantages[..6])?;
+/// let inferred = infer(&all_paths(&tables), GaoConfig::default())?;
+/// assert!(inferred.accuracy_against(&topo) > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+pub fn infer(paths: &[AsPath], config: GaoConfig) -> Result<InferredRelationships> {
+    // Degree of each AS as observed in the paths (Gao uses the routing
+    // tables themselves to estimate degree, not ground truth).
+    let mut degree: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    for path in paths {
+        validate_path(path)?;
+        for w in path.windows(2) {
+            degree.entry(w[0]).or_default().insert(w[1]);
+            degree.entry(w[1]).or_default().insert(w[0]);
+        }
+    }
+    let deg = |a: Asn| degree.get(&a).map_or(0, |s| s.len());
+
+    // Phase 1: transit votes. provider_votes[(p, c)] counts paths that
+    // imply p transited for c.
+    let mut provider_votes: BTreeMap<(Asn, Asn), u32> = BTreeMap::new();
+    for path in paths {
+        let top = top_index(path, deg);
+        for i in 0..path.len() - 1 {
+            let (a, b) = (path[i], path[i + 1]);
+            if i < top {
+                // Climbing: b provides transit to a.
+                *provider_votes.entry((b, a)).or_insert(0) += 1;
+            } else {
+                // Descending: a provides transit to b.
+                *provider_votes.entry((a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    // Phase 2: peering candidates at the top of each path. The edge
+    // crossing the top between comparably-sized ASes is a peering
+    // candidate; transit votes from other paths can veto it.
+    let mut peer_candidates: BTreeSet<(Asn, Asn)> = BTreeSet::new();
+    for path in paths {
+        let top = top_index(path, deg);
+        for (i, j) in [(top.wrapping_sub(1), top), (top, top + 1)] {
+            if i >= path.len() || j >= path.len() {
+                continue;
+            }
+            let (a, b) = (path[i], path[j]);
+            let (da, db) = (deg(a) as f64, deg(b) as f64);
+            let ratio = if da > db { da / db.max(1.0) } else { db / da.max(1.0) };
+            if ratio <= config.peer_degree_ratio {
+                peer_candidates.insert(ordered(a, b));
+            }
+        }
+    }
+
+    // Phase 3: classify every observed edge.
+    let mut edges = BTreeMap::new();
+    let observed: BTreeSet<(Asn, Asn)> = provider_votes.keys().map(|(a, b)| ordered(*a, *b)).collect();
+    for (a, b) in observed {
+        let ab = *provider_votes.get(&(a, b)).unwrap_or(&0); // a provides for b
+        let ba = *provider_votes.get(&(b, a)).unwrap_or(&0); // b provides for a
+        let rel = if ab > 0 && ba > 0 {
+            let (hi, lo) = if ab > ba { (ab, ba) } else { (ba, ab) };
+            if (hi as f64) / (lo as f64) <= config.sibling_ratio {
+                // Balanced transit both ways: sibling; mapped to Peer.
+                Relationship::Peer
+            } else if ab > ba {
+                Relationship::Customer // b is a's customer
+            } else {
+                Relationship::Provider
+            }
+        } else if ab > 0 {
+            Relationship::Customer
+        } else if ba > 0 {
+            Relationship::Provider
+        } else {
+            Relationship::Peer
+        };
+        // A strong peering candidate with weak transit evidence becomes a peer.
+        let rel = if peer_candidates.contains(&(a, b)) && ab.max(ba) <= 1 {
+            Relationship::Peer
+        } else {
+            rel
+        };
+        edges.insert((a, b), rel);
+    }
+
+    // Pure-peer top edges that carried no transit at all (both directions
+    // zero votes never enter provider_votes); pick them up from candidates.
+    for (a, b) in peer_candidates {
+        edges.entry((a, b)).or_insert(Relationship::Peer);
+    }
+
+    Ok(InferredRelationships { edges })
+}
+
+fn validate_path(path: &AsPath) -> Result<()> {
+    if path.len() < 2 {
+        return Err(TopoError::MalformedPath);
+    }
+    let unique: BTreeSet<&Asn> = path.iter().collect();
+    if unique.len() != path.len() {
+        return Err(TopoError::MalformedPath);
+    }
+    Ok(())
+}
+
+/// Index of the highest-degree AS in the path (ties → earliest).
+fn top_index(path: &AsPath, deg: impl Fn(Asn) -> usize) -> usize {
+    let mut best = 0;
+    let mut best_deg = 0;
+    for (i, asn) in path.iter().enumerate() {
+        let d = deg(*asn);
+        if d > best_deg {
+            best_deg = d;
+            best = i;
+        }
+    }
+    best
+}
+
+fn ordered(a: Asn, b: Asn) -> (Asn, Asn) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyConfig, TopologyGenerator};
+    use crate::graph::Tier;
+    use crate::routing::{all_paths, dump_tables};
+
+    #[test]
+    fn rejects_malformed_paths() {
+        assert!(infer(&[vec![Asn(1)]], GaoConfig::default()).is_err());
+        assert!(infer(&[vec![Asn(1), Asn(2), Asn(1)]], GaoConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_updown_path_classified() {
+        // 5 → 3 → 1 → 4 → 6 with AS1 the top (highest degree since it
+        // appears in the middle of every path we feed).
+        let paths = vec![
+            vec![Asn(5), Asn(3), Asn(1), Asn(4), Asn(6)],
+            vec![Asn(3), Asn(1), Asn(4)],
+            vec![Asn(7), Asn(1), Asn(4)],
+        ];
+        let inf = infer(&paths, GaoConfig::default()).unwrap();
+        // AS3 provides transit for AS5.
+        assert_eq!(inf.relationship(Asn(3), Asn(5)), Some(Relationship::Customer));
+        assert_eq!(inf.relationship(Asn(5), Asn(3)), Some(Relationship::Provider));
+        // AS1 provides for AS4 (descending side).
+        assert_eq!(inf.relationship(Asn(1), Asn(4)), Some(Relationship::Customer));
+    }
+
+    #[test]
+    fn inference_accuracy_on_synthetic_internet() {
+        let topo = TopologyGenerator::new(TopologyConfig::small(), 31).generate().unwrap();
+        let stubs = topo.tier_members(Tier::Stub);
+        let vantages: Vec<Asn> = stubs.iter().step_by(4).copied().collect();
+        let tables = dump_tables(&topo, &vantages).unwrap();
+        let inferred = infer(&all_paths(&tables), GaoConfig::default()).unwrap();
+        let acc = inferred.accuracy_against(&topo);
+        assert!(acc > 0.85, "inference accuracy {acc} too low");
+        assert!(!inferred.is_empty());
+    }
+
+    #[test]
+    fn more_vantages_do_not_hurt_much() {
+        let topo = TopologyGenerator::new(TopologyConfig::small(), 32).generate().unwrap();
+        let stubs = topo.tier_members(Tier::Stub);
+        let few = dump_tables(&topo, &stubs[..2]).unwrap();
+        let many = dump_tables(&topo, &stubs[..10]).unwrap();
+        let acc_few = infer(&all_paths(&few), GaoConfig::default())
+            .unwrap()
+            .accuracy_against(&topo);
+        let acc_many = infer(&all_paths(&many), GaoConfig::default())
+            .unwrap()
+            .accuracy_against(&topo);
+        assert!(acc_many + 0.1 >= acc_few, "few {acc_few} vs many {acc_many}");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_map() {
+        let inf = infer(&[], GaoConfig::default()).unwrap();
+        assert!(inf.is_empty());
+        assert_eq!(inf.len(), 0);
+        let topo = TopologyGenerator::new(TopologyConfig::small(), 1).generate().unwrap();
+        assert_eq!(inf.accuracy_against(&topo), 0.0);
+    }
+
+    #[test]
+    fn relationship_is_direction_aware() {
+        let paths = vec![
+            vec![Asn(10), Asn(2), Asn(20)],
+            vec![Asn(11), Asn(2), Asn(21)],
+        ];
+        let inf = infer(&paths, GaoConfig::default()).unwrap();
+        let fwd = inf.relationship(Asn(2), Asn(10));
+        let rev = inf.relationship(Asn(10), Asn(2));
+        assert_eq!(fwd.map(|r| r.reverse()), rev);
+    }
+
+    #[test]
+    fn iter_yields_ordered_pairs() {
+        let paths = vec![vec![Asn(9), Asn(1), Asn(5)]];
+        let inf = infer(&paths, GaoConfig::default()).unwrap();
+        for ((a, b), _) in inf.iter() {
+            assert!(a < b);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! BGP-style routing-table dumps.
+//!
+//! The paper's distance tool consumes "one or more routing tables provided
+//! by Route Views". This module plays the Route Views role for the
+//! synthetic Internet: a [`RouteTable`] is the set of best AS paths one
+//! vantage AS holds toward every destination, and [`dump_tables`] collects
+//! tables from several vantages. The [`crate::gao`] module then re-infers
+//! the business relationships from nothing but these dumps — the same
+//! pipeline the authors ran on real tables.
+
+use crate::graph::{AsGraph, Asn};
+use crate::paths::PathOracle;
+use crate::{Result, TopoError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An AS path as it would appear in a routing-table entry: vantage first,
+/// destination (origin AS) last.
+pub type AsPath = Vec<Asn>;
+
+/// The routing table of one vantage AS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteTable {
+    vantage: Asn,
+    routes: BTreeMap<Asn, AsPath>,
+}
+
+impl RouteTable {
+    /// Builds the table of best (shortest valley-free) paths from `vantage`
+    /// to every other AS in the graph. Unreachable destinations are simply
+    /// absent, as they would be in a real table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopoError::UnknownAs`] when the vantage is not in the
+    /// graph.
+    pub fn collect(graph: &AsGraph, vantage: Asn) -> Result<Self> {
+        if !graph.contains(vantage) {
+            return Err(TopoError::UnknownAs(vantage));
+        }
+        let oracle = PathOracle::new(graph);
+        let mut routes = BTreeMap::new();
+        for dest in graph.asns() {
+            if dest == vantage {
+                continue;
+            }
+            if let Some(path) = oracle.path(vantage, dest) {
+                routes.insert(dest, path);
+            }
+        }
+        Ok(RouteTable { vantage, routes })
+    }
+
+    /// The vantage AS this table belongs to.
+    pub fn vantage(&self) -> Asn {
+        self.vantage
+    }
+
+    /// The best path toward `dest`, if known.
+    pub fn route(&self, dest: Asn) -> Option<&AsPath> {
+        self.routes.get(&dest)
+    }
+
+    /// Iterator over all `(destination, path)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Asn, &AsPath)> + '_ {
+        self.routes.iter().map(|(d, p)| (*d, p))
+    }
+
+    /// Number of routed destinations.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// Whether the table holds no routes.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Collects route tables from the given vantage ASes.
+///
+/// # Errors
+///
+/// Returns [`TopoError::UnknownAs`] for an unknown vantage.
+pub fn dump_tables(graph: &AsGraph, vantages: &[Asn]) -> Result<Vec<RouteTable>> {
+    vantages.iter().map(|v| RouteTable::collect(graph, *v)).collect()
+}
+
+/// Flattens a set of tables into the bag of AS paths Gao inference
+/// consumes. Paths shorter than two hops carry no relationship signal and
+/// are dropped.
+pub fn all_paths(tables: &[RouteTable]) -> Vec<AsPath> {
+    tables
+        .iter()
+        .flat_map(|t| t.iter().map(|(_, p)| p.clone()))
+        .filter(|p| p.len() >= 2)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{TopologyConfig, TopologyGenerator};
+    use crate::graph::Tier;
+
+    fn topo() -> AsGraph {
+        TopologyGenerator::new(TopologyConfig::small(), 21).generate().unwrap()
+    }
+
+    #[test]
+    fn table_covers_reachable_universe() {
+        let g = topo();
+        let stub = g.tier_members(Tier::Stub)[0];
+        let t = RouteTable::collect(&g, stub).unwrap();
+        // Clique at the top makes everything reachable.
+        assert_eq!(t.len(), g.len() - 1);
+        assert_eq!(t.vantage(), stub);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn paths_start_at_vantage_and_end_at_dest() {
+        let g = topo();
+        let stub = g.tier_members(Tier::Stub)[3];
+        let t = RouteTable::collect(&g, stub).unwrap();
+        for (dest, path) in t.iter() {
+            assert_eq!(path.first(), Some(&stub));
+            assert_eq!(path.last(), Some(&dest));
+            assert!(path.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn unknown_vantage_rejected() {
+        let g = topo();
+        assert!(matches!(
+            RouteTable::collect(&g, Asn(999_999)),
+            Err(TopoError::UnknownAs(_))
+        ));
+    }
+
+    #[test]
+    fn route_lookup() {
+        let g = topo();
+        let stubs = g.tier_members(Tier::Stub);
+        let t = RouteTable::collect(&g, stubs[0]).unwrap();
+        assert!(t.route(stubs[1]).is_some());
+        assert!(t.route(stubs[0]).is_none()); // no route to self
+    }
+
+    #[test]
+    fn dump_and_flatten() {
+        let g = topo();
+        let stubs = g.tier_members(Tier::Stub);
+        let tables = dump_tables(&g, &stubs[..4]).unwrap();
+        assert_eq!(tables.len(), 4);
+        let paths = all_paths(&tables);
+        assert_eq!(paths.len(), 4 * (g.len() - 1));
+        assert!(paths.iter().all(|p| p.len() >= 2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the AS-topology substrate: valley-free
+//! legality, reachability and LPM correctness over randomized topologies.
+
+use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+use ddos_astopo::graph::{Relationship, Tier};
+use ddos_astopo::ipmap::{IpAsnMap, Prefix, PrefixAllocator};
+use ddos_astopo::paths::PathOracle;
+use ddos_astopo::Asn;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TopologyConfig> {
+    (2usize..5, 4usize..12, 12usize..40, 2u8..5).prop_map(|(t1, t2, stubs, regions)| {
+        TopologyConfig {
+            n_tier1: t1,
+            n_tier2: t2,
+            n_stubs: stubs,
+            n_regions: regions,
+            t2_peering_prob: 0.3,
+            max_stub_providers: 2,
+            out_of_region_prob: 0.1,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every stub pair is reachable (the tier-1 clique guarantees it) and
+    /// every returned path is valley-free.
+    #[test]
+    fn all_paths_valley_free(config in arb_config(), seed in 0u64..500) {
+        let topo = TopologyGenerator::new(config, seed).generate().unwrap();
+        let oracle = PathOracle::new(&topo);
+        let stubs = topo.tier_members(Tier::Stub);
+        // Check a sample of pairs.
+        for (i, a) in stubs.iter().enumerate().take(6) {
+            for b in stubs.iter().skip(i + 1).take(6) {
+                let path = oracle.path(*a, *b);
+                prop_assert!(path.is_some(), "{a} -> {b} unreachable");
+                let path = path.unwrap();
+                // Valley-free legality.
+                let mut phase = 0u8; // 0 climbing, 1 peered, 2 descending
+                for w in path.windows(2) {
+                    match topo.relationship(w[0], w[1]).unwrap() {
+                        Relationship::Provider => prop_assert_eq!(phase, 0),
+                        Relationship::Peer => {
+                            prop_assert_eq!(phase, 0);
+                            phase = 1;
+                        }
+                        Relationship::Customer => phase = 2,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hop distance is symmetric and satisfies the identity axiom.
+    #[test]
+    fn hop_distance_metric_axioms(config in arb_config(), seed in 0u64..500) {
+        let topo = TopologyGenerator::new(config, seed).generate().unwrap();
+        let oracle = PathOracle::new(&topo);
+        let asns: Vec<Asn> = topo.asns().take(8).collect();
+        for a in &asns {
+            prop_assert_eq!(oracle.hop_distance(*a, *a), Some(0));
+            for b in &asns {
+                prop_assert_eq!(oracle.hop_distance(*a, *b), oracle.hop_distance(*b, *a));
+            }
+        }
+    }
+
+    /// Prefix allocation is collision-free and LPM maps every allocated
+    /// address back to its owner.
+    #[test]
+    fn allocation_lpm_round_trip(config in arb_config(), seed in 0u64..500, probe in 0u64..4096) {
+        let topo = TopologyGenerator::new(config, seed).generate().unwrap();
+        let (map, allocs) = PrefixAllocator::new().allocate_for(&topo).unwrap();
+        for (asn, prefixes) in allocs.iter().take(12) {
+            for p in prefixes {
+                let addr = p.address(probe);
+                prop_assert_eq!(map.lookup(addr), Some(*asn));
+            }
+        }
+    }
+
+    /// LPM ignores addresses outside every allocation.
+    #[test]
+    fn lpm_unallocated_space_is_none(host in 0u32..0xffff) {
+        let mut map = IpAsnMap::new();
+        map.insert(Prefix::new(0x0a00_0000, 8).unwrap(), Asn(1)).unwrap();
+        // 192.0.0.0/8 space was never allocated.
+        prop_assert_eq!(map.lookup(0xc000_0000 | host), None);
+    }
+}

@@ -1,0 +1,345 @@
+//! Criterion benches: one per paper table/figure, plus the ablation
+//! benches DESIGN.md calls out. Accuracy headlines are printed once per
+//! group setup (criterion measures runtime; the `experiments` binary is
+//! the accuracy harness).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ddos_bench::{corpus, pipeline, Scale};
+use ddos_core::features::FeatureExtractor;
+use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
+use ddos_neural::grid::{grid_search, GridSpec};
+use ddos_neural::nar::{NarConfig, NarModel};
+use ddos_neural::train::TrainConfig;
+use ddos_stats::arima::{Arima, ArimaOrder};
+use ddos_stats::select::{search, SearchConfig};
+use ddos_trace::stats::ActivityTable;
+use ddos_trace::Corpus;
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn small_corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| corpus(Scale::Small, 42))
+}
+
+fn magnitude_series() -> Vec<f64> {
+    let c = small_corpus();
+    let fam = c.catalog().most_active(1)[0];
+    FeatureExtractor::magnitude_series(&c.family_attacks(fam))
+}
+
+fn duration_series() -> Vec<f64> {
+    let c = small_corpus();
+    let fam = c.catalog().most_active(1)[0];
+    c.family_attacks(fam).iter().map(|a| a.duration_secs as f64).collect()
+}
+
+/// E1 — Table I regeneration.
+fn bench_table1(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("table1_activity_levels", |b| {
+        b.iter(|| ActivityTable::compute(black_box(corpus)).unwrap())
+    });
+}
+
+/// E2 — Fig. 1 temporal experiment (fit + rolling predict, all families).
+fn bench_fig1_temporal(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut g = c.benchmark_group("fig1_temporal");
+    g.sample_size(10);
+    g.bench_function("run_temporal", |b| {
+        b.iter(|| pipeline(42).run_temporal(black_box(corpus)).unwrap())
+    });
+    g.finish();
+}
+
+/// E3 — Fig. 2 spatial source-distribution experiment.
+fn bench_fig2_spatial(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut g = c.benchmark_group("fig2_spatial");
+    g.sample_size(10);
+    g.bench_function("run_spatial_distribution", |b| {
+        b.iter(|| pipeline(42).run_spatial_distribution(black_box(corpus)).unwrap())
+    });
+    g.finish();
+}
+
+/// E4 — Fig. 3 spatiotemporal experiment (fit + predict).
+fn bench_fig3_spatiotemporal(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut g = c.benchmark_group("fig3_spatiotemporal");
+    g.sample_size(10);
+    g.bench_function("run_spatiotemporal", |b| {
+        b.iter(|| pipeline(42).run_spatiotemporal(black_box(corpus)).unwrap())
+    });
+    g.finish();
+}
+
+/// E5 — Fig. 4 error-distribution construction from a fitted report.
+fn bench_fig4_errors(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let report = pipeline(42).run_spatiotemporal(corpus).unwrap();
+    eprintln!(
+        "[fig4 headline] hour RMSE: spatial {:.2} / temporal {:.2} / ST {:.2}",
+        report.spatial_hour_rmse, report.temporal_hour_rmse, report.st_hour_rmse
+    );
+    c.bench_function("fig4_error_distributions", |b| {
+        b.iter(|| {
+            let errs: Vec<f64> = report
+                .predictions
+                .iter()
+                .map(|p| p.st_hour - p.truth_hour)
+                .collect();
+            ddos_stats::metrics::histogram(black_box(&errs), 16).unwrap()
+        })
+    });
+}
+
+/// E6 — §VII-A baseline comparison.
+fn bench_comparison_baselines(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let mut g = c.benchmark_group("comparison_baselines");
+    g.sample_size(10);
+    g.bench_function("run_baseline_comparison", |b| {
+        b.iter(|| pipeline(42).run_baseline_comparison(black_box(corpus)).unwrap())
+    });
+    g.finish();
+}
+
+/// E7 — Fig. 5 use-case simulators.
+fn bench_usecases(c: &mut Criterion) {
+    let corpus = small_corpus();
+    c.bench_function("usecase_as_filtering_replay", |b| {
+        let sim = ddos_core::usecases::AsFilteringSimulator::new();
+        let attack = &corpus.attacks()[0];
+        let rules = attack.source_asns();
+        b.iter(|| sim.replay(black_box(&rules), black_box(attack)))
+    });
+    c.bench_function("usecase_middlebox_compare", |b| {
+        let sim = ddos_core::usecases::MiddleboxSimulator::default();
+        b.iter(|| sim.compare(black_box(36_000.0), 39_600.0, 1_800.0).unwrap())
+    });
+}
+
+/// Ablation: fixed ARIMA order vs AIC-searched.
+fn bench_ablation_arima_order(c: &mut Criterion) {
+    let series = magnitude_series();
+    let fixed_rmse = {
+        let cut = series.len() * 8 / 10;
+        let m = Arima::fit(&series[..cut], ArimaOrder::new(2, 0, 1)).unwrap();
+        let p = m.predict_rolling(&series[cut..]).unwrap();
+        ddos_stats::metrics::rmse(&p, &series[cut..]).unwrap()
+    };
+    let searched_rmse = {
+        let cut = series.len() * 8 / 10;
+        let m = search(&series[..cut], SearchConfig::default()).unwrap().model;
+        let p = m.predict_rolling(&series[cut..]).unwrap();
+        ddos_stats::metrics::rmse(&p, &series[cut..]).unwrap()
+    };
+    eprintln!("[ablation arima] fixed(2,0,1) RMSE {fixed_rmse:.2} vs searched {searched_rmse:.2}");
+    let mut g = c.benchmark_group("ablation_arima_order");
+    g.bench_function("fixed_2_0_1", |b| {
+        b.iter(|| Arima::fit(black_box(&series), ArimaOrder::new(2, 0, 1)).unwrap())
+    });
+    g.bench_function("aic_search", |b| {
+        b.iter(|| search(black_box(&series), SearchConfig::default()).unwrap())
+    });
+    g.finish();
+}
+
+/// Ablation: fixed NAR architecture vs grid search.
+fn bench_ablation_nar_grid(c: &mut Criterion) {
+    let series = duration_series();
+    let quick_train = TrainConfig { max_epochs: 100, patience: 15, ..Default::default() };
+    let mut g = c.benchmark_group("ablation_nar_grid");
+    g.sample_size(10);
+    g.bench_function("fixed_architecture", |b| {
+        b.iter(|| {
+            NarModel::fit(
+                black_box(&series),
+                NarConfig { delays: 3, hidden: 5, train: quick_train, ..Default::default() },
+                7,
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("grid_search", |b| {
+        b.iter(|| {
+            grid_search(
+                black_box(&series),
+                &GridSpec { delays: vec![2, 3, 4], hidden: vec![4, 8], train: quick_train },
+                7,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: MLR vs constant model-tree leaves on the ST trees.
+fn bench_ablation_tree_leaves(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let mut g = c.benchmark_group("ablation_tree_leaves");
+    g.sample_size(10);
+    for (name, kind) in [
+        ("mlr_leaves", ddos_cart::leaf::LeafKind::Linear),
+        ("constant_leaves", ddos_cart::leaf::LeafKind::Constant),
+    ] {
+        let cfg = SpatioTemporalConfig {
+            tree: ddos_cart::tree::TreeConfig { leaf_kind: kind, ..Default::default() },
+            ..SpatioTemporalConfig::fast()
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| SpatioTemporalModel::fit(corpus, black_box(train), &cfg, 5).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the paper's 0.88 pruning vs none.
+fn bench_ablation_pruning(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let (train, test) = corpus.split(0.8).unwrap();
+    for (name, retention) in [("pruned_088", Some(0.88)), ("unpruned", None)] {
+        let cfg = SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
+        let model = SpatioTemporalModel::fit(corpus, train, &cfg, 5).unwrap();
+        let preds = model.predict(train, test).unwrap();
+        let truth: Vec<f64> = preds.iter().map(|p| p.truth_hour).collect();
+        let st: Vec<f64> = preds.iter().map(|p| p.st_hour).collect();
+        let rmse = ddos_stats::metrics::rmse(&st, &truth).unwrap();
+        eprintln!(
+            "[ablation pruning] {name}: hour tree {} leaves, hour RMSE {rmse:.2}",
+            model.hour_tree().n_leaves()
+        );
+    }
+    let mut g = c.benchmark_group("ablation_pruning");
+    g.sample_size(10);
+    for (name, retention) in [("pruned_088", Some(0.88)), ("unpruned", None)] {
+        let cfg = SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
+        g.bench_function(name, |b| {
+            b.iter(|| SpatioTemporalModel::fit(corpus, black_box(train), &cfg, 5).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: the Eq. 3–4 silhouette-style `A^s` vs a naive AS-count
+/// feature.
+fn bench_ablation_source_feature(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let fx = FeatureExtractor::new(corpus);
+    let fam = corpus.catalog().most_active(1)[0];
+    let attacks: Vec<&ddos_trace::AttackRecord> =
+        corpus.family_attacks(fam).into_iter().take(100).collect();
+    let mut g = c.benchmark_group("ablation_source_feature");
+    g.bench_function("silhouette_a_s", |b| {
+        b.iter(|| fx.source_distribution_series(black_box(&attacks)).unwrap())
+    });
+    g.bench_function("naive_as_count", |b| {
+        b.iter(|| {
+            attacks
+                .iter()
+                .map(|a| a.source_asns().len() as f64)
+                .collect::<Vec<f64>>()
+        })
+    });
+    g.finish();
+}
+
+/// Extension: family attribution from source-AS distributions (§VII-B).
+fn bench_attribution(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let (train, test) = corpus.split(0.8).unwrap();
+    let attributor = ddos_core::attribution::FamilyAttributor::fit(train).unwrap();
+    let acc = attributor.accuracy(test).unwrap();
+    eprintln!("[attribution headline] accuracy {:.1}%", acc * 100.0);
+    let mut g = c.benchmark_group("attribution");
+    g.bench_function("fit_profiles", |b| {
+        b.iter(|| ddos_core::attribution::FamilyAttributor::fit(black_box(train)).unwrap())
+    });
+    g.bench_function("attribute_one", |b| {
+        b.iter(|| attributor.attribute(black_box(&test[0])).unwrap())
+    });
+    g.finish();
+}
+
+/// Extension: sliding-window AS-entropy early detection (§V-B).
+fn bench_entropy_detection(c: &mut Criterion) {
+    use ddos_core::detection::{DetectorConfig, EntropyDetector};
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let benign: Vec<ddos_astopo::Asn> =
+        (0..6_000).map(|_| ddos_astopo::Asn(rng.gen_range(0..60))).collect();
+    let detector = EntropyDetector::calibrate(&benign, DetectorConfig::default()).unwrap();
+    let stream: Vec<ddos_astopo::Asn> =
+        (0..2_000).map(|_| ddos_astopo::Asn(rng.gen_range(0..60))).collect();
+    let mut g = c.benchmark_group("entropy_detection");
+    g.bench_function("calibrate", |b| {
+        b.iter(|| EntropyDetector::calibrate(black_box(&benign), DetectorConfig::default()))
+    });
+    g.bench_function("scan_2000_connections", |b| {
+        b.iter(|| {
+            let mut d = detector.clone();
+            d.scan(black_box(&stream))
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: exponential smoothing as the middle comparator between the
+/// naive baselines and ARIMA on the magnitude series.
+fn bench_ablation_smoothing(c: &mut Criterion) {
+    use ddos_stats::smoothing::{HoltModel, SesModel};
+    let series = magnitude_series();
+    let cut = series.len() * 8 / 10;
+    let (train, test) = series.split_at(cut);
+    // Accuracy headline across the comparator ladder.
+    let arima_rmse = {
+        let m = Arima::fit(train, ArimaOrder::new(2, 0, 1)).unwrap();
+        let p = m.predict_rolling(test).unwrap();
+        ddos_stats::metrics::rmse(&p, test).unwrap()
+    };
+    let holt_rmse = {
+        let mut m = HoltModel::fit_auto(train).unwrap();
+        let p = m.predict_rolling(test);
+        ddos_stats::metrics::rmse(&p, test).unwrap()
+    };
+    let ses_rmse = {
+        let mut m = SesModel::fit(train, 0.3).unwrap();
+        let p = m.predict_rolling(test);
+        ddos_stats::metrics::rmse(&p, test).unwrap()
+    };
+    eprintln!(
+        "[ablation smoothing] magnitude RMSE: ARIMA {arima_rmse:.2} | Holt {holt_rmse:.2} | SES {ses_rmse:.2}"
+    );
+    let mut g = c.benchmark_group("ablation_smoothing");
+    g.bench_function("ses_fit", |b| b.iter(|| SesModel::fit(black_box(train), 0.3).unwrap()));
+    g.bench_function("holt_fit_auto", |b| {
+        b.iter(|| HoltModel::fit_auto(black_box(train)).unwrap())
+    });
+    g.bench_function("arima_fit_201", |b| {
+        b.iter(|| Arima::fit(black_box(train), ArimaOrder::new(2, 0, 1)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_fig1_temporal,
+    bench_fig2_spatial,
+    bench_fig3_spatiotemporal,
+    bench_fig4_errors,
+    bench_comparison_baselines,
+    bench_usecases,
+    bench_ablation_arima_order,
+    bench_ablation_nar_grid,
+    bench_ablation_tree_leaves,
+    bench_ablation_pruning,
+    bench_ablation_source_feature,
+    bench_attribution,
+    bench_entropy_detection,
+    bench_ablation_smoothing,
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for regression-tree construction and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CartError {
+    /// The training set was empty.
+    EmptyTrainingSet,
+    /// Features and targets had different lengths, or rows had unequal
+    /// widths.
+    ShapeMismatch {
+        /// Description of the offending shapes.
+        detail: String,
+    },
+    /// A prediction row had the wrong number of features.
+    FeatureWidthMismatch {
+        /// Width the tree was trained with.
+        expected: usize,
+        /// Width supplied.
+        actual: usize,
+    },
+    /// A configuration value was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Input contained NaN or infinite values.
+    NonFiniteInput,
+}
+
+impl fmt::Display for CartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CartError::EmptyTrainingSet => write!(f, "training set is empty"),
+            CartError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            CartError::FeatureWidthMismatch { expected, actual } => {
+                write!(f, "feature width {actual} does not match training width {expected}")
+            }
+            CartError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            CartError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl Error for CartError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CartError::EmptyTrainingSet.to_string().contains("empty"));
+        let e = CartError::FeatureWidthMismatch { expected: 3, actual: 1 };
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CartError>();
+    }
+}

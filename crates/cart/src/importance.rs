@@ -1,0 +1,79 @@
+//! Feature importances: per-feature accumulated SSE reduction.
+//!
+//! The paper reads its unpruned spatiotemporal tree to learn which inputs
+//! drive timestamp predictions ("in the unpruned tree, the time is
+//! determined by the average magnitude of bots as well", §VI-B);
+//! importances make that inspection programmatic.
+
+use crate::tree::{Node, RegressionTree};
+
+/// Per-feature importance: total SSE reduction contributed by splits on
+/// each feature, normalized to sum to 1 (all zeros for a single-leaf tree).
+pub fn feature_importances(tree: &RegressionTree) -> Vec<f64> {
+    let mut raw = vec![0.0; tree.n_features()];
+    accumulate(&tree.root, &mut raw);
+    let total: f64 = raw.iter().sum();
+    if total > 0.0 {
+        for v in &mut raw {
+            *v /= total;
+        }
+    }
+    raw
+}
+
+fn accumulate(node: &Node, out: &mut [f64]) {
+    if let Node::Internal { feature, impurity_decrease, left, right, .. } = node {
+        out[*feature] += impurity_decrease.max(0.0);
+        accumulate(left, out);
+        accumulate(right, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf::LeafKind;
+    use crate::tree::TreeConfig;
+
+    #[test]
+    fn informative_feature_dominates() {
+        // Feature 0 fully determines y; feature 1 is a constant decoy.
+        let xs: Vec<Vec<f64>> = (-20..20).map(|i| vec![i as f64, 1.0]).collect();
+        let ys: Vec<f64> = (-20..20).map(|i| if i < 0 { 0.0 } else { 9.0 }).collect();
+        let t = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap();
+        let imp = feature_importances(&t);
+        assert!((imp[0] - 1.0).abs() < 1e-9);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    fn importances_sum_to_one_when_splits_exist() {
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0 + r[1] * 5.0).collect();
+        let t = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap();
+        let imp = feature_importances(&t);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The steeper feature (1) should matter more.
+        assert!(imp[1] > imp[0]);
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_importances() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![4.0; 20];
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(feature_importances(&t), vec![0.0]);
+    }
+}

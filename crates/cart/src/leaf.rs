@@ -1,0 +1,142 @@
+//! Leaf models: what a terminal cell predicts.
+//!
+//! The paper's spatiotemporal model attaches "a simple model, in this case
+//! a multivariate linear model (MLR)" to each leaf (Eq. 8–10). A constant
+//! (mean) leaf is also provided — both as the classic CART behavior and as
+//! the ablation baseline — and as the fallback when a leaf's design matrix
+//! is too small or collinear for a regression fit.
+
+use crate::{CartError, Result};
+use ddos_stats::ols::LinearModel;
+use serde::{Deserialize, Serialize};
+
+/// Which model leaves carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum LeafKind {
+    /// Predict the mean of the leaf's training targets (classic CART).
+    Constant,
+    /// Fit a multivariate linear regression over the leaf's samples
+    /// (model tree / M5 style — the paper's choice), falling back to the
+    /// mean when the local fit is impossible.
+    #[default]
+    Linear,
+}
+
+/// A fitted leaf.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LeafModel {
+    /// Mean predictor.
+    Constant {
+        /// The mean of the leaf's training targets.
+        mean: f64,
+    },
+    /// Local multivariate linear regression.
+    Linear {
+        /// The fitted model.
+        model: LinearModel,
+    },
+}
+
+impl LeafModel {
+    /// Fits a leaf of the requested kind on the cell's samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::EmptyTrainingSet`] for an empty cell.
+    pub fn fit(kind: LeafKind, xs: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
+        if ys.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        match kind {
+            LeafKind::Constant => Ok(LeafModel::Constant { mean }),
+            LeafKind::Linear => {
+                // An MLR needs more rows than columns (plus intercept) and a
+                // non-collinear design; otherwise fall back to the mean.
+                match LinearModel::fit(xs, ys) {
+                    Ok(model) => Ok(LeafModel::Linear { model }),
+                    Err(_) => Ok(LeafModel::Constant { mean }),
+                }
+            }
+        }
+    }
+
+    /// Predicts for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates width mismatches from the linear model.
+    pub fn predict(&self, x: &[f64]) -> Result<f64> {
+        match self {
+            LeafModel::Constant { mean } => Ok(*mean),
+            LeafModel::Linear { model } => {
+                model.predict(x).map_err(|_| CartError::FeatureWidthMismatch {
+                    expected: model.n_regressors(),
+                    actual: x.len(),
+                })
+            }
+        }
+    }
+
+    /// Whether this leaf fell back to (or was asked for) a constant.
+    pub fn is_constant(&self) -> bool {
+        matches!(self, LeafModel::Constant { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_leaf_predicts_mean() {
+        let xs = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let ys = vec![2.0, 4.0, 6.0];
+        let leaf = LeafModel::fit(LeafKind::Constant, &xs, &ys).unwrap();
+        assert!(leaf.is_constant());
+        assert_eq!(leaf.predict(&[10.0]).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn linear_leaf_fits_line() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let leaf = LeafModel::fit(LeafKind::Linear, &xs, &ys).unwrap();
+        assert!(!leaf.is_constant());
+        assert!((leaf.predict(&[20.0]).unwrap() - 43.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn linear_falls_back_on_tiny_cells() {
+        let xs = vec![vec![1.0, 2.0]];
+        let ys = vec![5.0];
+        let leaf = LeafModel::fit(LeafKind::Linear, &xs, &ys).unwrap();
+        assert!(leaf.is_constant());
+        assert_eq!(leaf.predict(&[0.0, 0.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn linear_falls_back_on_collinear_cells() {
+        let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let leaf = LeafModel::fit(LeafKind::Linear, &xs, &ys).unwrap();
+        assert!(leaf.is_constant());
+    }
+
+    #[test]
+    fn empty_cell_rejected() {
+        assert!(matches!(
+            LeafModel::fit(LeafKind::Constant, &[], &[]),
+            Err(CartError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn linear_leaf_rejects_wrong_width() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, ((i * i) % 7) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] + 0.5 * r[1]).collect();
+        let leaf = LeafModel::fit(LeafKind::Linear, &xs, &ys).unwrap();
+        assert!(!leaf.is_constant());
+        assert!(leaf.predict(&[1.0]).is_err());
+    }
+}

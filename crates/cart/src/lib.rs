@@ -1,0 +1,44 @@
+//! CART regression-tree substrate for the spatiotemporal model.
+//!
+//! §VI of the paper partitions the feature space recursively and attaches
+//! "simpler learning models, like the linear regression" to each cell —
+//! i.e. a **model tree**: CART (Breiman et al. \[49\]) growth with
+//! variance-reduction splits, standard-deviation pruning ("we prune the
+//! tree to keep only 88% of the original standard deviations"), and
+//! multivariate-linear-regression leaves (Eq. 8–10).
+//!
+//! * [`leaf`] — leaf models: constant mean or MLR with constant fallback;
+//! * [`tree`] — tree growth and prediction;
+//! * [`prune`] — bottom-up standard-deviation-retention pruning;
+//! * [`importance`] — per-feature variance-reduction importances.
+//!
+//! # Example
+//!
+//! ```
+//! use ddos_cart::tree::{RegressionTree, TreeConfig};
+//!
+//! # fn main() -> Result<(), ddos_cart::CartError> {
+//! // y = 1 for x < 0, y = 5 for x ≥ 0: one split suffices.
+//! let xs: Vec<Vec<f64>> = (-20..20).map(|i| vec![i as f64]).collect();
+//! let ys: Vec<f64> = (-20..20).map(|i| if i < 0 { 1.0 } else { 5.0 }).collect();
+//! let tree = RegressionTree::fit(&xs, &ys, &TreeConfig::default())?;
+//! assert!((tree.predict(&[-3.0])? - 1.0).abs() < 1e-9);
+//! assert!((tree.predict(&[3.0])? - 5.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod importance;
+pub mod leaf;
+pub mod prune;
+pub mod tree;
+
+mod error;
+
+pub use error::CartError;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, CartError>;

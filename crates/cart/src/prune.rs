@@ -1,0 +1,317 @@
+//! Standard-deviation-retention pruning.
+//!
+//! "To avoid overfitting, we prune the tree to keep only 88% of the
+//! original standard deviations." (§VI-B). Interpreted as the classic
+//! std-dev pruning rule, adapted to model trees: a subtree is kept only
+//! when its leaves' pooled *residual* standard deviation beats
+//! `retention ×` the residual std of the single leaf model the node would
+//! collapse into; splits that fail the bar are collapsed. Collapsing
+//! proceeds bottom-up.
+
+use crate::tree::{Node, RegressionTree};
+use crate::{CartError, Result};
+
+/// Prunes `tree` in place with the given retention factor (the paper uses
+/// 0.88) and returns the number of collapsed internal nodes.
+///
+/// # Errors
+///
+/// Returns [`CartError::InvalidParameter`] unless `0 < retention <= 1`.
+pub fn prune(tree: &mut RegressionTree, retention: f64) -> Result<usize> {
+    if !(retention > 0.0 && retention <= 1.0) {
+        return Err(CartError::InvalidParameter {
+            name: "retention",
+            detail: format!("must lie in (0, 1], got {retention}"),
+        });
+    }
+    let mut collapsed = 0usize;
+    prune_node(&mut tree.root, retention, &mut collapsed);
+    Ok(collapsed)
+}
+
+/// Sample-weighted mean *residual* standard deviation of a subtree's leaves.
+fn subtree_leaf_std(node: &Node) -> (f64, usize) {
+    match node {
+        Node::Leaf { resid_std, n, .. } => (*resid_std * *n as f64, *n),
+        Node::Internal { left, right, .. } => {
+            let (sl, nl) = subtree_leaf_std(left);
+            let (sr, nr) = subtree_leaf_std(right);
+            (sl + sr, nl + nr)
+        }
+    }
+}
+
+/// Reduced-error pruning against a holdout set: a subtree survives only
+/// when its holdout RMSE is at least `(1 − retention)` relatively better
+/// than the RMSE of the leaf model the node would collapse into (i.e. the
+/// subtree must satisfy `subtree_rmse < retention × collapsed_rmse`).
+/// Nodes that receive no holdout samples are kept (no evidence against
+/// the training fit). Returns the number of collapsed internal nodes.
+///
+/// This is the pruning the spatiotemporal model uses: the paper's 0.88
+/// retention factor demands a 12% generalization improvement per kept
+/// subtree.
+///
+/// # Errors
+///
+/// * [`CartError::InvalidParameter`] unless `0 < retention <= 1`.
+/// * [`CartError::FeatureWidthMismatch`] when holdout rows have the wrong
+///   width.
+/// * [`CartError::ShapeMismatch`] when `xs` and `ys` lengths differ.
+pub fn prune_holdout(
+    tree: &mut RegressionTree,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    retention: f64,
+) -> Result<usize> {
+    if !(retention > 0.0 && retention <= 1.0) {
+        return Err(CartError::InvalidParameter {
+            name: "retention",
+            detail: format!("must lie in (0, 1], got {retention}"),
+        });
+    }
+    if xs.len() != ys.len() {
+        return Err(CartError::ShapeMismatch {
+            detail: format!("{} holdout rows vs {} targets", xs.len(), ys.len()),
+        });
+    }
+    for row in xs {
+        if row.len() != tree.n_features() {
+            return Err(CartError::FeatureWidthMismatch {
+                expected: tree.n_features(),
+                actual: row.len(),
+            });
+        }
+    }
+    let indices: Vec<usize> = (0..xs.len()).collect();
+    let mut collapsed = 0usize;
+    prune_node_holdout(&mut tree.root, xs, ys, &indices, retention, &mut collapsed)?;
+    Ok(collapsed)
+}
+
+/// Returns the subtree's holdout SSE after pruning below `node`.
+fn prune_node_holdout(
+    node: &mut Node,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    retention: f64,
+    collapsed: &mut usize,
+) -> Result<f64> {
+    let sse_of = |model: &crate::leaf::LeafModel| -> Result<f64> {
+        let mut sse = 0.0;
+        for &i in indices {
+            let e = model.predict(&xs[i])? - ys[i];
+            sse += e * e;
+        }
+        Ok(sse)
+    };
+    let replace = match node {
+        Node::Leaf { model, .. } => return sse_of(model),
+        Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+            n,
+            std_dev,
+            collapsed_resid_std,
+            collapsed: fallback,
+            ..
+        } => {
+            let (li, ri): (Vec<usize>, Vec<usize>) =
+                indices.iter().partition(|&&i| xs[i][*feature] <= *threshold);
+            let subtree_sse = prune_node_holdout(left, xs, ys, &li, retention, collapsed)?
+                + prune_node_holdout(right, xs, ys, &ri, retention, collapsed)?;
+            let collapsed_sse = sse_of(fallback)?;
+            // With no holdout evidence the split is kept (the training fit
+            // is all we know); otherwise the subtree must beat the
+            // collapsed leaf by the retention margin.
+            let keep = indices.is_empty()
+                || subtree_sse.sqrt() < retention * collapsed_sse.sqrt();
+            if keep {
+                return Ok(subtree_sse);
+            }
+            (
+                Node::Leaf {
+                    model: fallback.clone(),
+                    n: *n,
+                    std_dev: *std_dev,
+                    resid_std: *collapsed_resid_std,
+                },
+                collapsed_sse,
+            )
+        }
+    };
+    let (leaf, sse) = replace;
+    *node = leaf;
+    *collapsed += 1;
+    Ok(sse)
+}
+
+fn prune_node(node: &mut Node, retention: f64, collapsed: &mut usize) {
+    if let Node::Internal { left, right, .. } = node {
+        prune_node(left, retention, collapsed);
+        prune_node(right, retention, collapsed);
+    }
+    let (weighted, total) = subtree_leaf_std(node);
+    let replace = match node {
+        Node::Leaf { .. } => None,
+        Node::Internal { n, std_dev, collapsed_resid_std, collapsed: fallback, .. } => {
+            let leaf_std = if total == 0 { 0.0 } else { weighted / total as f64 };
+            // Keep the split only when the subtree's pooled residual std
+            // meaningfully beats what the collapsed leaf model achieves.
+            if leaf_std >= retention * *collapsed_resid_std {
+                Some(Node::Leaf {
+                    model: fallback.clone(),
+                    n: *n,
+                    std_dev: *std_dev,
+                    resid_std: *collapsed_resid_std,
+                })
+            } else {
+                None
+            }
+        }
+    };
+    if let Some(leaf) = replace {
+        *node = leaf;
+        *collapsed += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::leaf::LeafKind;
+    use crate::tree::TreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noise_tree(seed: u64, max_depth: usize) -> RegressionTree {
+        // Pure noise: every split is spurious.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
+        RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig {
+                max_depth,
+                min_impurity_decrease: 0.0,
+                leaf_kind: LeafKind::Constant,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn signal_tree() -> RegressionTree {
+        let xs: Vec<Vec<f64>> = (-50..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (-50..50).map(|i| if i < 0 { 0.0 } else { 100.0 }).collect();
+        RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        let mut t = noise_tree(3, 8);
+        let before = t.n_leaves();
+        let collapsed = prune(&mut t, 0.88).unwrap();
+        assert!(collapsed > 0, "nothing pruned from a noise tree");
+        assert!(t.n_leaves() < before);
+    }
+
+    #[test]
+    fn pruning_keeps_real_signal() {
+        let mut t = signal_tree();
+        let collapsed = prune(&mut t, 0.88).unwrap();
+        assert_eq!(collapsed, 0, "the real split was pruned");
+        assert_eq!(t.predict(&[-10.0]).unwrap(), 0.0);
+        assert_eq!(t.predict(&[10.0]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn lower_retention_prunes_more() {
+        // A split survives only if it pushes the pooled leaf std below
+        // retention × node std, so a lower retention is a stricter bar.
+        let mut strict = noise_tree(5, 8);
+        let mut loose = strict.clone();
+        prune(&mut strict, 0.5).unwrap();
+        prune(&mut loose, 1.0).unwrap();
+        assert!(strict.n_leaves() <= loose.n_leaves());
+    }
+
+    #[test]
+    fn pruned_tree_still_predicts() {
+        let mut t = noise_tree(7, 6);
+        prune(&mut t, 0.88).unwrap();
+        let y = t.predict(&[0.5, 0.5]).unwrap();
+        assert!(y.is_finite());
+        // Noise targets live in [0, 1]; a collapsed mean must too.
+        assert!((0.0..=1.0).contains(&y));
+    }
+
+    #[test]
+    fn holdout_pruning_collapses_noise_keeps_signal() {
+        // Noise: holdout errors cannot improve → everything collapses.
+        let mut rng = StdRng::seed_from_u64(41);
+        let xs: Vec<Vec<f64>> = (0..400).map(|_| vec![rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = (0..400).map(|_| rng.gen::<f64>()).collect();
+        let (train_x, val_x) = xs.split_at(300);
+        let (train_y, val_y) = ys.split_at(300);
+        let mut noise = RegressionTree::fit(
+            train_x,
+            train_y,
+            &TreeConfig {
+                min_impurity_decrease: 0.0,
+                leaf_kind: LeafKind::Constant,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        prune_holdout(&mut noise, val_x, val_y, 0.88).unwrap();
+        assert_eq!(noise.n_leaves(), 1, "noise tree should collapse to the root");
+
+        // Signal: the step split survives.
+        let xs: Vec<Vec<f64>> = (-60..60).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (-60..60).map(|i| if i < 0 { 0.0 } else { 100.0 }).collect();
+        let mut signal = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap();
+        let collapsed = prune_holdout(&mut signal, &xs, &ys, 0.88).unwrap();
+        assert_eq!(collapsed, 0);
+        assert_eq!(signal.predict(&[10.0]).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn holdout_pruning_validates_inputs() {
+        let mut t = signal_tree();
+        assert!(prune_holdout(&mut t, &[vec![1.0]], &[1.0, 2.0], 0.88).is_err());
+        assert!(prune_holdout(&mut t, &[vec![1.0, 2.0]], &[1.0], 0.88).is_err());
+        assert!(prune_holdout(&mut t, &[vec![1.0]], &[1.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn holdout_pruning_with_empty_holdout_keeps_tree() {
+        // No evidence either way: trust the training fit.
+        let mut t = signal_tree();
+        let before = t.n_leaves();
+        prune_holdout(&mut t, &[], &[], 0.88).unwrap();
+        assert_eq!(t.n_leaves(), before);
+    }
+
+    #[test]
+    fn invalid_retention_rejected() {
+        let mut t = signal_tree();
+        assert!(prune(&mut t, 0.0).is_err());
+        assert!(prune(&mut t, 1.5).is_err());
+        assert!(prune(&mut t, -0.1).is_err());
+    }
+}

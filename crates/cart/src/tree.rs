@@ -1,0 +1,456 @@
+//! CART growth and prediction.
+//!
+//! Splits minimize the total sum of squared errors of the two children
+//! (equivalently, maximize variance reduction), scanning every feature and
+//! every midpoint between consecutive sorted values — the exact CART
+//! procedure, feasible because the spatiotemporal model's designs are
+//! small (tens of features, thousands of rows at most).
+
+use crate::leaf::{LeafKind, LeafModel};
+use crate::{CartError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Growth configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a node must hold to be considered for splitting.
+    pub min_samples_split: usize,
+    /// Minimum samples either child of a split must receive.
+    pub min_samples_leaf: usize,
+    /// Minimum fractional SSE reduction a split must achieve.
+    pub min_impurity_decrease: f64,
+    /// Leaf model kind (the paper uses MLR leaves).
+    pub leaf_kind: LeafKind,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_split: 8,
+            min_samples_leaf: 3,
+            min_impurity_decrease: 1e-4,
+            leaf_kind: LeafKind::Linear,
+        }
+    }
+}
+
+/// A node of the fitted tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+        /// Number of training samples that reached this node.
+        n: usize,
+        /// Standard deviation of targets at this node.
+        std_dev: f64,
+        /// Residual standard deviation of the fallback leaf on this node's
+        /// samples (pruning statistic for model trees).
+        collapsed_resid_std: f64,
+        /// SSE reduction achieved by this split (importance statistic).
+        impurity_decrease: f64,
+        /// Fallback leaf fit on this node's own samples (used if pruned).
+        collapsed: LeafModel,
+    },
+    Leaf {
+        model: LeafModel,
+        n: usize,
+        std_dev: f64,
+        /// Residual standard deviation of `model` on the leaf's samples.
+        resid_std: f64,
+    },
+}
+
+impl Node {
+    pub(crate) fn std_dev(&self) -> f64 {
+        match self {
+            Node::Internal { std_dev, .. } | Node::Leaf { std_dev, .. } => *std_dev,
+        }
+    }
+}
+
+/// A fitted CART regression tree (optionally a model tree, depending on
+/// [`TreeConfig::leaf_kind`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    pub(crate) root: Node,
+    pub(crate) n_features: usize,
+    pub(crate) config: TreeConfig,
+}
+
+impl RegressionTree {
+    /// Grows a tree on `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CartError::EmptyTrainingSet`] for empty input.
+    /// * [`CartError::ShapeMismatch`] for ragged rows or length mismatch.
+    /// * [`CartError::NonFiniteInput`] for NaN/∞ values.
+    /// * [`CartError::InvalidParameter`] for degenerate configuration.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<Self> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        if xs.len() != ys.len() {
+            return Err(CartError::ShapeMismatch {
+                detail: format!("{} rows vs {} targets", xs.len(), ys.len()),
+            });
+        }
+        let width = xs[0].len();
+        if width == 0 {
+            return Err(CartError::ShapeMismatch { detail: "zero-width features".to_string() });
+        }
+        for (i, row) in xs.iter().enumerate() {
+            if row.len() != width {
+                return Err(CartError::ShapeMismatch {
+                    detail: format!("row {i} has width {}, expected {width}", row.len()),
+                });
+            }
+        }
+        if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+            return Err(CartError::NonFiniteInput);
+        }
+        if config.min_samples_leaf == 0 {
+            return Err(CartError::InvalidParameter {
+                name: "min_samples_leaf",
+                detail: "must be at least 1".to_string(),
+            });
+        }
+
+        let indices: Vec<usize> = (0..xs.len()).collect();
+        let root = grow(xs, ys, &indices, config, 0)?;
+        Ok(RegressionTree { root, n_features: width, config: *config })
+    }
+
+    /// Predicts for one feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::FeatureWidthMismatch`] for wrong-width input.
+    pub fn predict(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.n_features {
+            return Err(CartError::FeatureWidthMismatch {
+                expected: self.n_features,
+                actual: x.len(),
+            });
+        }
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { model, .. } => return model.predict(x),
+                Node::Internal { feature, threshold, left, right, .. } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Predicts for many rows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegressionTree::predict`].
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Internal { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Maximum depth of any leaf (root = 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Internal { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+
+    /// Number of features the tree was trained with.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Standard deviation of the training targets at the root — the
+    /// "original standard deviation" of the paper's pruning rule.
+    pub fn root_std_dev(&self) -> f64 {
+        self.root.std_dev()
+    }
+}
+
+fn stats(ys: &[f64], indices: &[usize]) -> (f64, f64, f64) {
+    let n = indices.len() as f64;
+    let sum: f64 = indices.iter().map(|&i| ys[i]).sum();
+    let mean = sum / n;
+    let sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+    (mean, sse, (sse / n).sqrt())
+}
+
+fn gather(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    (
+        indices.iter().map(|&i| xs[i].clone()).collect(),
+        indices.iter().map(|&i| ys[i]).collect(),
+    )
+}
+
+fn grow(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+) -> Result<Node> {
+    let (_, node_sse, node_std) = stats(ys, indices);
+    let (cell_x, cell_y) = gather(xs, ys, indices);
+    let leaf_here = || -> Result<Node> {
+        let model = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
+        let resid_std = residual_std(&model, &cell_x, &cell_y)?;
+        Ok(Node::Leaf { model, n: indices.len(), std_dev: node_std, resid_std })
+    };
+
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || node_sse <= f64::EPSILON
+    {
+        return leaf_here();
+    }
+
+    // Exhaustive best-split scan.
+    let width = xs[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, child_sse)
+    #[allow(clippy::needless_range_loop)] // `feature` indexes rows of `xs`, not one slice
+    for feature in 0..width {
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features")
+        });
+        // Prefix sums over the sorted order for O(n) threshold scan.
+        let vals: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+        let mut prefix_sum = vec![0.0; vals.len() + 1];
+        let mut prefix_sq = vec![0.0; vals.len() + 1];
+        for (i, v) in vals.iter().enumerate() {
+            prefix_sum[i + 1] = prefix_sum[i] + v;
+            prefix_sq[i + 1] = prefix_sq[i] + v * v;
+        }
+        let total_n = vals.len();
+        for cut in config.min_samples_leaf..=(total_n - config.min_samples_leaf) {
+            if cut == 0 || cut == total_n {
+                continue;
+            }
+            let fv_left = xs[order[cut - 1]][feature];
+            let fv_right = xs[order[cut]][feature];
+            if fv_left == fv_right {
+                continue; // cannot split between equal values
+            }
+            let nl = cut as f64;
+            let nr = (total_n - cut) as f64;
+            let sse_left = prefix_sq[cut] - prefix_sum[cut].powi(2) / nl;
+            let sum_r = prefix_sum[total_n] - prefix_sum[cut];
+            let sq_r = prefix_sq[total_n] - prefix_sq[cut];
+            let sse_right = sq_r - sum_r.powi(2) / nr;
+            let child_sse = sse_left + sse_right;
+            if best.as_ref().is_none_or(|(_, _, s)| child_sse < *s) {
+                best = Some((feature, (fv_left + fv_right) / 2.0, child_sse));
+            }
+        }
+    }
+
+    let Some((feature, threshold, child_sse)) = best else {
+        return leaf_here();
+    };
+    let decrease = node_sse - child_sse;
+    if decrease < config.min_impurity_decrease * node_sse.max(f64::EPSILON) {
+        return leaf_here();
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+    let left = grow(xs, ys, &left_idx, config, depth + 1)?;
+    let right = grow(xs, ys, &right_idx, config, depth + 1)?;
+    let collapsed = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
+    let collapsed_resid_std = residual_std(&collapsed, &cell_x, &cell_y)?;
+    Ok(Node::Internal {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+        n: indices.len(),
+        std_dev: node_std,
+        collapsed_resid_std,
+        impurity_decrease: decrease,
+        collapsed,
+    })
+}
+
+/// Residual standard deviation of a fitted leaf model on its cell.
+fn residual_std(model: &LeafModel, xs: &[Vec<f64>], ys: &[f64]) -> Result<f64> {
+    let mut sse = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let e = model.predict(x)? - y;
+        sse += e * e;
+    }
+    Ok((sse / ys.len() as f64).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn step_function_needs_one_split() {
+        let xs: Vec<Vec<f64>> = (-20..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (-20..20).map(|i| if i < 0 { 1.0 } else { 5.0 }).collect();
+        let cfg = TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() };
+        let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert_eq!(t.n_leaves(), 2);
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.predict(&[-10.0]).unwrap(), 1.0);
+        assert_eq!(t.predict(&[10.0]).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn piecewise_linear_fits_with_mlr_leaves() {
+        // y = 2x for x < 0; y = -3x + 10 for x ≥ 0. Two MLR leaves suffice.
+        let xs: Vec<Vec<f64>> = (-30..30).map(|i| vec![i as f64 * 0.5]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|r| if r[0] < 0.0 { 2.0 * r[0] } else { -3.0 * r[0] + 10.0 })
+            .collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!((t.predict(&[-5.0]).unwrap() + 10.0).abs() < 0.5);
+        assert!((t.predict(&[5.0]).unwrap() + 5.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn interaction_of_two_features() {
+        // Mean differs per quadrant: needs splits on both features.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in -10..10 {
+            for j in -10..10 {
+                xs.push(vec![i as f64, j as f64]);
+                ys.push(match (i < 0, j < 0) {
+                    (true, true) => 0.0,
+                    (true, false) => 10.0,
+                    (false, true) => 20.0,
+                    (false, false) => 30.0,
+                });
+            }
+        }
+        let cfg = TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() };
+        let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert_eq!(t.predict(&[-5.0, -5.0]).unwrap(), 0.0);
+        assert_eq!(t.predict(&[5.0, 5.0]).unwrap(), 30.0);
+        assert!(t.n_leaves() >= 4);
+    }
+
+    #[test]
+    fn respects_max_depth_and_min_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let xs: Vec<Vec<f64>> = (0..200).map(|_| vec![rng.gen::<f64>()]).collect();
+        let ys: Vec<f64> = (0..200).map(|_| rng.gen::<f64>()).collect();
+        let cfg = TreeConfig {
+            max_depth: 3,
+            min_samples_leaf: 10,
+            min_impurity_decrease: 0.0,
+            leaf_kind: LeafKind::Constant,
+            ..Default::default()
+        };
+        let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert!(t.depth() <= 3);
+        fn check_leaf_sizes(node: &Node, min: usize) {
+            match node {
+                Node::Leaf { n, .. } => assert!(*n >= min),
+                Node::Internal { left, right, .. } => {
+                    check_leaf_sizes(left, min);
+                    check_leaf_sizes(right, min);
+                }
+            }
+        }
+        check_leaf_sizes(&t.root, 10);
+    }
+
+    #[test]
+    fn constant_target_gives_single_leaf() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 50];
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert!((t.predict(&[25.0]).unwrap() - 7.0).abs() < 1e-9);
+        assert_eq!(t.root_std_dev(), 0.0);
+    }
+
+    #[test]
+    fn validates_input() {
+        let cfg = TreeConfig::default();
+        assert!(RegressionTree::fit(&[], &[], &cfg).is_err());
+        assert!(RegressionTree::fit(&[vec![1.0]], &[1.0, 2.0], &cfg).is_err());
+        assert!(RegressionTree::fit(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0], &cfg).is_err());
+        assert!(RegressionTree::fit(&[vec![f64::NAN]], &[1.0], &cfg).is_err());
+        let bad = TreeConfig { min_samples_leaf: 0, ..Default::default() };
+        assert!(RegressionTree::fit(&[vec![1.0]], &[1.0], &bad).is_err());
+    }
+
+    #[test]
+    fn prediction_validates_width() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(matches!(
+            t.predict(&[1.0]),
+            Err(CartError::FeatureWidthMismatch { expected: 2, actual: 1 })
+        ));
+        assert_eq!(t.n_features(), 2);
+    }
+
+    #[test]
+    fn predict_many_matches_scalar() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![(i % 7) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0]).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let batch = t.predict_many(&xs).unwrap();
+        for (x, b) in xs.iter().zip(batch) {
+            assert_eq!(t.predict(x).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn deeper_trees_fit_better() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>() * 6.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0].sin() * 3.0).collect();
+        let shallow = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { max_depth: 1, leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap();
+        let deep = RegressionTree::fit(
+            &xs,
+            &ys,
+            &TreeConfig { max_depth: 6, leaf_kind: LeafKind::Constant, ..Default::default() },
+        )
+        .unwrap();
+        let sse = |t: &RegressionTree| -> f64 {
+            xs.iter().zip(&ys).map(|(x, y)| (t.predict(x).unwrap() - y).powi(2)).sum()
+        };
+        assert!(sse(&deep) < sse(&shallow) * 0.5);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for the regression-tree substrate.
+
+use ddos_cart::leaf::LeafKind;
+use ddos_cart::prune::{prune, prune_holdout};
+use ddos_cart::tree::{RegressionTree, TreeConfig};
+use proptest::prelude::*;
+
+fn dataset(xs: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = xs.iter().map(|x| vec![*x, x * 0.5]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| if *x < 0.0 { x * 2.0 } else { 10.0 - x }).collect();
+    (rows, ys)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Training predictions at the training points never have larger SSE
+    /// than the single-leaf (root) model: splits only help in-sample.
+    #[test]
+    fn tree_fits_at_least_as_well_as_root(
+        xs in proptest::collection::vec(-20.0f64..20.0, 16..80),
+    ) {
+        let (rows, ys) = dataset(&xs);
+        let deep = RegressionTree::fit(&rows, &ys, &TreeConfig {
+            leaf_kind: LeafKind::Constant,
+            ..Default::default()
+        }).unwrap();
+        let stump = RegressionTree::fit(&rows, &ys, &TreeConfig {
+            leaf_kind: LeafKind::Constant,
+            max_depth: 0,
+            ..Default::default()
+        }).unwrap();
+        let sse = |t: &RegressionTree| -> f64 {
+            rows.iter().zip(&ys).map(|(x, y)| (t.predict(x).unwrap() - y).powi(2)).sum()
+        };
+        prop_assert!(sse(&deep) <= sse(&stump) + 1e-9);
+        prop_assert_eq!(stump.n_leaves(), 1);
+    }
+
+    /// Pruning never leaves the tree in an unpredictable state and never
+    /// increases the leaf count.
+    #[test]
+    fn pruning_invariants(
+        xs in proptest::collection::vec(-20.0f64..20.0, 16..80),
+        retention in 0.5f64..1.0,
+    ) {
+        let (rows, ys) = dataset(&xs);
+        let mut t = RegressionTree::fit(&rows, &ys, &TreeConfig::default()).unwrap();
+        let before = t.n_leaves();
+        prune(&mut t, retention).unwrap();
+        prop_assert!(t.n_leaves() <= before);
+        for x in rows.iter().take(8) {
+            prop_assert!(t.predict(x).unwrap().is_finite());
+        }
+
+        let mut t2 = RegressionTree::fit(&rows, &ys, &TreeConfig::default()).unwrap();
+        let before2 = t2.n_leaves();
+        prune_holdout(&mut t2, &rows, &ys, retention).unwrap();
+        prop_assert!(t2.n_leaves() <= before2);
+        for x in rows.iter().take(8) {
+            prop_assert!(t2.predict(x).unwrap().is_finite());
+        }
+    }
+
+    /// Every training point routes to exactly one leaf — predictions are
+    /// total over the training domain (the partition tiles the space).
+    #[test]
+    fn partition_is_total(
+        xs in proptest::collection::vec(-50.0f64..50.0, 12..60),
+        probe in -100.0f64..100.0,
+    ) {
+        let (rows, ys) = dataset(&xs);
+        let t = RegressionTree::fit(&rows, &ys, &TreeConfig::default()).unwrap();
+        // Arbitrary probes (inside or outside the training range) always
+        // land in a leaf.
+        prop_assert!(t.predict(&[probe, probe * 0.5]).unwrap().is_finite());
+    }
+}

@@ -1,0 +1,116 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for model training and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Not enough history to train or predict.
+    NotEnoughHistory {
+        /// What was being modeled.
+        context: String,
+        /// Observations required.
+        required: usize,
+        /// Observations available.
+        actual: usize,
+    },
+    /// The requested family has no attacks in the given data.
+    NoAttacksForFamily(ddos_trace::FamilyId),
+    /// A configuration value was invalid.
+    InvalidConfig {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An underlying statistics operation failed.
+    Stats(ddos_stats::StatsError),
+    /// An underlying neural-network operation failed.
+    Neural(ddos_neural::NeuralError),
+    /// An underlying regression-tree operation failed.
+    Cart(ddos_cart::CartError),
+    /// An underlying trace operation failed.
+    Trace(ddos_trace::TraceError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotEnoughHistory { context, required, actual } => {
+                write!(f, "not enough history for {context}: need {required}, got {actual}")
+            }
+            ModelError::NoAttacksForFamily(id) => {
+                write!(f, "no attacks recorded for {id}")
+            }
+            ModelError::InvalidConfig { detail } => write!(f, "invalid model config: {detail}"),
+            ModelError::Stats(e) => write!(f, "stats error: {e}"),
+            ModelError::Neural(e) => write!(f, "neural error: {e}"),
+            ModelError::Cart(e) => write!(f, "regression-tree error: {e}"),
+            ModelError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Stats(e) => Some(e),
+            ModelError::Neural(e) => Some(e),
+            ModelError::Cart(e) => Some(e),
+            ModelError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddos_stats::StatsError> for ModelError {
+    fn from(e: ddos_stats::StatsError) -> Self {
+        ModelError::Stats(e)
+    }
+}
+
+impl From<ddos_neural::NeuralError> for ModelError {
+    fn from(e: ddos_neural::NeuralError) -> Self {
+        ModelError::Neural(e)
+    }
+}
+
+impl From<ddos_cart::CartError> for ModelError {
+    fn from(e: ddos_cart::CartError) -> Self {
+        ModelError::Cart(e)
+    }
+}
+
+impl From<ddos_trace::TraceError> for ModelError {
+    fn from(e: ddos_trace::TraceError) -> Self {
+        ModelError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = ModelError::NotEnoughHistory {
+            context: "duration series".to_string(),
+            required: 10,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("duration series"));
+        assert!(ModelError::NoAttacksForFamily(ddos_trace::FamilyId(3))
+            .to_string()
+            .contains("family#3"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = ModelError::Stats(ddos_stats::StatsError::EmptyInput);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

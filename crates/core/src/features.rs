@@ -1,0 +1,367 @@
+//! Feature extraction (§III): turning raw attack records into the model
+//! variables of Table II.
+//!
+//! The [`FeatureExtractor`] wraps a corpus together with a valley-free
+//! [`PathOracle`] over its topology and the per-AS address space totals
+//! needed by Eq. 4's intra-AS term. All series are chronological (the
+//! corpus guarantees attack ordering).
+
+use crate::variables::{BotnetState, TargetProfile, TimestampParts};
+use crate::{ModelError, Result};
+use ddos_astopo::paths::PathOracle;
+use ddos_astopo::Asn;
+use ddos_trace::{AttackRecord, Corpus, FamilyId};
+use std::collections::BTreeMap;
+
+/// Feature extractor over one corpus.
+///
+/// # Example
+///
+/// ```
+/// use ddos_core::features::FeatureExtractor;
+/// use ddos_trace::{CorpusConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let corpus = TraceGenerator::new(CorpusConfig::small(), 42).generate()?;
+/// let fx = FeatureExtractor::new(&corpus);
+/// let family = corpus.catalog().most_active(1)[0];
+/// let attacks = corpus.family_attacks(family);
+/// let mags = FeatureExtractor::magnitude_series(&attacks);
+/// assert_eq!(mags.len(), attacks.len());
+/// let a_s = fx.source_distribution(attacks[0])?;
+/// assert!(a_s >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct FeatureExtractor<'c> {
+    corpus: &'c Corpus,
+    oracle: PathOracle<'c>,
+    /// Total IPv4 addresses allocated per AS (the `N_{AS_j}` of Eq. 4).
+    as_space: BTreeMap<Asn, u64>,
+}
+
+impl<'c> FeatureExtractor<'c> {
+    /// Builds an extractor (precomputes the per-AS address-space table).
+    pub fn new(corpus: &'c Corpus) -> Self {
+        FeatureExtractor {
+            corpus,
+            oracle: PathOracle::new(corpus.topology()),
+            as_space: corpus.ip_map().address_space_by_asn(),
+        }
+    }
+
+    /// The wrapped corpus.
+    pub fn corpus(&self) -> &Corpus {
+        self.corpus
+    }
+
+    /// Per-attack magnitudes (distinct bot counts) — the series behind
+    /// Fig. 1.
+    pub fn magnitude_series(attacks: &[&AttackRecord]) -> Vec<f64> {
+        attacks.iter().map(|a| a.magnitude() as f64).collect()
+    }
+
+    /// `A^f` (Eq. 1): the family's running average attacks-per-day at each
+    /// attack instant — cumulative attack count over elapsed days.
+    pub fn activity_series(attacks: &[&AttackRecord]) -> Vec<f64> {
+        if attacks.is_empty() {
+            return Vec::new();
+        }
+        let first_day = attacks[0].start.day();
+        attacks
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let elapsed = (a.start.day() - first_day + 1) as f64;
+                (i + 1) as f64 / elapsed
+            })
+            .collect()
+    }
+
+    /// `A^b` (Eq. 2): each attack's bot count normalized by the cumulative
+    /// bot count observed so far — "percents of active bots in all
+    /// historic observations".
+    pub fn active_bots_series(attacks: &[&AttackRecord]) -> Vec<f64> {
+        let mut cumulative = 0.0;
+        attacks
+            .iter()
+            .map(|a| {
+                cumulative += a.magnitude() as f64;
+                a.magnitude() as f64 / cumulative
+            })
+            .collect()
+    }
+
+    /// `A^s` (Eq. 3–4) for a single attack: the intra-AS concentration sum
+    /// divided by the mean pairwise inter-AS hop distance of the attack's
+    /// source ASes. Larger when bots sit densely in few, close ASes.
+    ///
+    /// Single-AS attacks have no pairwise distance; the denominator
+    /// defaults to 1 hop (maximal concentration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotEnoughHistory`] when the attack has no bots
+    /// (cannot happen for generated corpora).
+    pub fn source_distribution(&self, attack: &AttackRecord) -> Result<f64> {
+        let hist = attack.asn_histogram();
+        if hist.is_empty() {
+            return Err(ModelError::NotEnoughHistory {
+                context: "source distribution of an attack without bots".to_string(),
+                required: 1,
+                actual: 0,
+            });
+        }
+        let intra: f64 = hist
+            .iter()
+            .map(|(asn, n)| {
+                let space = self.as_space.get(asn).copied().unwrap_or(1).max(1);
+                *n as f64 / space as f64
+            })
+            .sum();
+        let asns: Vec<Asn> = hist.iter().map(|(a, _)| *a).collect();
+        let dt = if asns.len() < 2 {
+            1.0
+        } else {
+            self.oracle.mean_pairwise_distance(&asns).max(1.0)
+        };
+        Ok(intra / dt)
+    }
+
+    /// `A^s` over a chronological attack slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates per-attack errors.
+    pub fn source_distribution_series(&self, attacks: &[&AttackRecord]) -> Result<Vec<f64>> {
+        attacks.iter().map(|a| self.source_distribution(a)).collect()
+    }
+
+    /// The full attacker-state series (Table II group 1) for a family's
+    /// chronological attacks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeatureExtractor::source_distribution`] errors.
+    pub fn botnet_state_series(&self, attacks: &[&AttackRecord]) -> Result<Vec<BotnetState>> {
+        let activity = Self::activity_series(attacks);
+        let active = Self::active_bots_series(attacks);
+        let source = self.source_distribution_series(attacks)?;
+        Ok(activity
+            .into_iter()
+            .zip(active)
+            .zip(source)
+            .map(|((a, b), s)| BotnetState {
+                activity_level: a,
+                active_bots: b,
+                source_distribution: s,
+            })
+            .collect())
+    }
+
+    /// The target-side profile (Table II group 2) of a victim AS: the
+    /// durations, decomposed timestamps and inter-attack gaps of every
+    /// attack on that network, chronological.
+    pub fn target_profile(&self, asn: Asn) -> TargetProfile {
+        let attacks = self.corpus.attacks_on_asn(asn);
+        Self::profile_from_attacks(asn, &attacks)
+    }
+
+    /// Builds a [`TargetProfile`] from an explicit attack slice (used when
+    /// restricting to the training window).
+    pub fn profile_from_attacks(asn: Asn, attacks: &[&AttackRecord]) -> TargetProfile {
+        let durations: Vec<f64> = attacks.iter().map(|a| a.duration_secs as f64).collect();
+        let timestamps: Vec<TimestampParts> =
+            attacks.iter().map(|a| TimestampParts::from_timestamp(a.start)).collect();
+        let inter_attack_gaps: Vec<f64> = attacks
+            .windows(2)
+            .map(|w| w[1].start.abs_diff(w[0].start) as f64)
+            .collect();
+        TargetProfile { location: asn, durations, timestamps, inter_attack_gaps }
+    }
+
+    /// Per-AS bot-share series for a family: for the family's `top_k` most
+    /// common source ASes, the fraction of each attack's bots located in
+    /// that AS. Returns `(asns, series)` where `series[k]` is chronological
+    /// over `attacks`. This is the distribution Fig. 2 predicts.
+    pub fn as_share_series(
+        attacks: &[&AttackRecord],
+        top_k: usize,
+    ) -> (Vec<Asn>, Vec<Vec<f64>>) {
+        // Rank source ASes by total bot count.
+        let mut totals: BTreeMap<Asn, u64> = BTreeMap::new();
+        for a in attacks {
+            for (asn, n) in a.asn_histogram() {
+                *totals.entry(asn).or_insert(0) += n as u64;
+            }
+        }
+        let mut ranked: Vec<(Asn, u64)> = totals.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let asns: Vec<Asn> = ranked.into_iter().take(top_k).map(|(a, _)| a).collect();
+
+        let series: Vec<Vec<f64>> = asns
+            .iter()
+            .map(|target_asn| {
+                attacks
+                    .iter()
+                    .map(|a| {
+                        let total = a.magnitude() as f64;
+                        let here = a
+                            .asn_histogram()
+                            .iter()
+                            .find(|(asn, _)| asn == target_asn)
+                            .map_or(0.0, |(_, n)| *n as f64);
+                        if total > 0.0 {
+                            here / total
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        (asns, series)
+    }
+
+    /// Convenience: the chronological attacks of a family, failing loudly
+    /// when the family never attacked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoAttacksForFamily`] when empty.
+    pub fn family_attacks(&self, family: FamilyId) -> Result<Vec<&'c AttackRecord>> {
+        let attacks = self.corpus.family_attacks(family);
+        if attacks.is_empty() {
+            return Err(ModelError::NoAttacksForFamily(family));
+        }
+        Ok(attacks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddos_trace::{CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 91).generate().unwrap()
+    }
+
+    #[test]
+    fn activity_series_is_running_average() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let a = FeatureExtractor::activity_series(&attacks);
+        assert_eq!(a.len(), attacks.len());
+        // First value: 1 attack in 1 day.
+        assert_eq!(a[0], 1.0);
+        // All positive, bounded by total attacks.
+        assert!(a.iter().all(|v| *v > 0.0 && *v <= attacks.len() as f64));
+    }
+
+    #[test]
+    fn active_bots_series_normalized() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let series = FeatureExtractor::active_bots_series(&attacks);
+        assert_eq!(series[0], 1.0); // first attack is 100% of history
+        assert!(series.iter().all(|v| *v > 0.0 && *v <= 1.0));
+        // Later values should mostly shrink as history accumulates.
+        assert!(series[series.len() - 1] < 0.5);
+    }
+
+    #[test]
+    fn source_distribution_positive_and_concentration_sensitive() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let series = fx.source_distribution_series(&attacks[..50.min(attacks.len())]).unwrap();
+        assert!(series.iter().all(|v| *v > 0.0));
+    }
+
+    #[test]
+    fn botnet_state_series_aligns() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let fam = c.catalog().most_active(1)[0];
+        let attacks: Vec<&AttackRecord> =
+            c.family_attacks(fam).into_iter().take(30).collect();
+        let states = fx.botnet_state_series(&attacks).unwrap();
+        assert_eq!(states.len(), 30);
+        for s in &states {
+            assert!(s.activity_level > 0.0);
+            assert!(s.active_bots > 0.0);
+            assert!(s.source_distribution > 0.0);
+        }
+    }
+
+    #[test]
+    fn target_profile_gaps_align() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let asn = c.hottest_target_asns(1)[0].0;
+        let profile = fx.target_profile(asn);
+        assert!(profile.len() >= 2);
+        assert_eq!(profile.inter_attack_gaps.len(), profile.len() - 1);
+        assert_eq!(profile.durations.len(), profile.len());
+        assert_eq!(profile.location, asn);
+        assert!(profile.timestamps.iter().all(|t| t.hour < 24 && (1..=31).contains(&t.day)));
+    }
+
+    #[test]
+    fn as_share_series_shapes_and_bounds() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let (asns, series) = FeatureExtractor::as_share_series(&attacks, 5);
+        assert!(asns.len() <= 5);
+        assert_eq!(series.len(), asns.len());
+        for s in &series {
+            assert_eq!(s.len(), attacks.len());
+            assert!(s.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+        // The top AS should carry a substantial average share.
+        let avg: f64 = series[0].iter().sum::<f64>() / series[0].len() as f64;
+        assert!(avg > 0.02, "top AS share {avg}");
+    }
+
+    #[test]
+    fn family_attacks_errors_for_empty_family() {
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        assert!(matches!(
+            fx.family_attacks(FamilyId(99)),
+            Err(ModelError::NoAttacksForFamily(_))
+        ));
+        assert!(fx.family_attacks(FamilyId(0)).is_ok());
+    }
+
+    #[test]
+    fn concentrated_attack_has_higher_as_coefficient() {
+        // Build two synthetic attacks on the same corpus substrate: one
+        // with all bots in one AS, one spread across many.
+        let c = corpus();
+        let fx = FeatureExtractor::new(&c);
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let template = attacks
+            .iter()
+            .find(|a| a.source_asns().len() >= 4)
+            .expect("some attack spans several ASes");
+
+        let mut concentrated = (*template).clone();
+        let first_asn = concentrated.bots[0].asn;
+        for b in &mut concentrated.bots {
+            b.asn = first_asn;
+        }
+        let a_conc = fx.source_distribution(&concentrated).unwrap();
+        let a_spread = fx.source_distribution(template).unwrap();
+        assert!(
+            a_conc > a_spread,
+            "concentrated {a_conc} should exceed spread {a_spread}"
+        );
+    }
+}

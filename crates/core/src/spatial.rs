@@ -1,0 +1,432 @@
+//! The spatial model (§V): NAR neural networks over per-network series.
+//!
+//! "All target-related variables characterize DDoS attacks in the same
+//! network region (AS-level)" — so the spatial model groups attacks by the
+//! victim's AS and fits a nonlinear autoregressive network (Eq. 6–7) to
+//! each per-network series: durations, launch hours, launch days and
+//! inter-attack gaps. A second spatial product is the per-family
+//! **source-ASN distribution** predictor behind Fig. 2.
+
+use crate::features::FeatureExtractor;
+use crate::{ModelError, Result};
+use ddos_astopo::Asn;
+use ddos_neural::grid::{grid_search, GridSpec};
+use ddos_neural::nar::{NarConfig, NarModel};
+use ddos_neural::train::TrainConfig;
+use ddos_trace::AttackRecord;
+use serde::{Deserialize, Serialize};
+
+/// Spatial-model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatialConfig {
+    /// Grid-search space for the NAR architecture (ignored when `fixed`
+    /// is set).
+    pub grid: GridSpec,
+    /// Fix the architecture instead of grid searching (ablation knob).
+    pub fixed: Option<NarConfig>,
+    /// Minimum per-network attacks required to fit.
+    pub min_attacks: usize,
+    /// How many of the family's source ASes the distribution model tracks.
+    pub top_k_ases: usize,
+}
+
+impl Default for SpatialConfig {
+    fn default() -> Self {
+        SpatialConfig {
+            grid: GridSpec::default(),
+            fixed: None,
+            min_attacks: 20,
+            top_k_ases: 8,
+        }
+    }
+}
+
+impl SpatialConfig {
+    /// A fast configuration for tests: small fixed architecture, light
+    /// training.
+    pub fn fast() -> Self {
+        SpatialConfig {
+            grid: GridSpec {
+                delays: vec![2, 3],
+                hidden: vec![4],
+                train: TrainConfig { max_epochs: 120, patience: 15, ..Default::default() },
+            },
+            fixed: Some(NarConfig {
+                delays: 3,
+                hidden: 5,
+                train: TrainConfig { max_epochs: 150, patience: 20, ..Default::default() },
+                ..Default::default()
+            }),
+            min_attacks: 12,
+            top_k_ases: 5,
+        }
+    }
+}
+
+/// A fitted per-network spatial model.
+#[derive(Debug, Clone)]
+pub struct SpatialModel {
+    asn: Asn,
+    duration: NarModel,
+    hour: NarModel,
+    day: NarModel,
+    gaps: Option<NarModel>,
+}
+
+impl SpatialModel {
+    /// Fits NAR models to one victim network's chronological training
+    /// attacks.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NotEnoughHistory`] for too few attacks.
+    /// * Propagates NAR fitting errors.
+    pub fn fit(
+        asn: Asn,
+        train: &[&AttackRecord],
+        config: &SpatialConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        if train.len() < config.min_attacks {
+            return Err(ModelError::NotEnoughHistory {
+                context: format!("spatial model for {asn}"),
+                required: config.min_attacks,
+                actual: train.len(),
+            });
+        }
+        let profile = FeatureExtractor::profile_from_attacks(asn, train);
+        let hours: Vec<f64> = profile.timestamps.iter().map(|t| t.hour as f64).collect();
+        let days: Vec<f64> = profile.timestamps.iter().map(|t| t.day as f64).collect();
+        // Durations are heavy-tailed (log-normal by nature); the NAR works
+        // in log space so min-max scaling does not crush the body of the
+        // distribution.
+        let log_durations: Vec<f64> =
+            profile.durations.iter().map(|d| d.max(1.0).ln()).collect();
+
+        let fit_series = |series: &[f64], salt: u64| -> Result<NarModel> {
+            match &config.fixed {
+                Some(cfg) => Ok(NarModel::fit(series, *cfg, seed ^ salt)?),
+                None => Ok(grid_search(series, &config.grid, seed ^ salt)?.model),
+            }
+        };
+
+        let gaps = if profile.inter_attack_gaps.len() >= config.min_attacks {
+            fit_series(&profile.inter_attack_gaps, 0xD4).ok()
+        } else {
+            None
+        };
+
+        Ok(SpatialModel {
+            asn,
+            duration: fit_series(&log_durations, 0xD1)?,
+            hour: fit_series(&hours, 0xD2)?,
+            day: fit_series(&days, 0xD3)?,
+            gaps,
+        })
+    }
+
+    /// The victim network this model covers.
+    pub fn asn(&self) -> Asn {
+        self.asn
+    }
+
+    /// Rolling one-step duration predictions over the network's test
+    /// attacks (given its training attacks as history).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAR errors.
+    pub fn predict_durations(
+        &self,
+        train: &[&AttackRecord],
+        test: &[&AttackRecord],
+    ) -> Result<Vec<f64>> {
+        let h: Vec<f64> = train.iter().map(|a| (a.duration_secs as f64).max(1.0).ln()).collect();
+        let t: Vec<f64> = test.iter().map(|a| (a.duration_secs as f64).max(1.0).ln()).collect();
+        let preds = self.duration.predict_rolling(&h, &t)?;
+        Ok(preds.into_iter().map(f64::exp).collect())
+    }
+
+    /// Rolling one-step launch-hour predictions (values in `[0, 24)`,
+    /// clamped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAR errors.
+    pub fn predict_hours(
+        &self,
+        train: &[&AttackRecord],
+        test: &[&AttackRecord],
+    ) -> Result<Vec<f64>> {
+        let h: Vec<f64> = train.iter().map(|a| a.start.hour() as f64).collect();
+        let t: Vec<f64> = test.iter().map(|a| a.start.hour() as f64).collect();
+        let preds = self.hour.predict_rolling(&h, &t)?;
+        Ok(preds.into_iter().map(|p| p.clamp(0.0, 23.999)).collect())
+    }
+
+    /// Rolling one-step launch-day predictions (day-of-month, clamped to
+    /// `[1, 31]`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAR errors.
+    pub fn predict_days(
+        &self,
+        train: &[&AttackRecord],
+        test: &[&AttackRecord],
+    ) -> Result<Vec<f64>> {
+        let h: Vec<f64> = train.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let t: Vec<f64> = test.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let preds = self.day.predict_rolling(&h, &t)?;
+        Ok(preds.into_iter().map(|p| p.clamp(1.0, 31.0)).collect())
+    }
+
+    /// One-step forecast of the next duration / hour from history alone.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAR errors.
+    pub fn forecast_next(&self, train: &[&AttackRecord]) -> Result<(f64, f64)> {
+        let durations: Vec<f64> =
+            train.iter().map(|a| (a.duration_secs as f64).max(1.0).ln()).collect();
+        let hours: Vec<f64> = train.iter().map(|a| a.start.hour() as f64).collect();
+        let d = self.duration.predict_next(&durations)?.exp();
+        let h = self.hour.predict_next(&hours)?.clamp(0.0, 23.999);
+        Ok((d, h))
+    }
+
+    /// One-step forecast of the gap to the next attack (seconds), when the
+    /// gap model exists.
+    pub fn forecast_gap(&self, train: &[&AttackRecord]) -> Option<f64> {
+        let model = self.gaps.as_ref()?;
+        let gaps: Vec<f64> =
+            train.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
+        model.predict_next(&gaps).ok().map(|g| g.max(0.0))
+    }
+}
+
+/// The per-family source-ASN distribution predictor behind Fig. 2: one NAR
+/// per top-K source AS over that AS's per-attack bot-share series;
+/// predictions are renormalized into a distribution.
+#[derive(Debug, Clone)]
+pub struct SourceDistributionModel {
+    asns: Vec<Asn>,
+    models: Vec<NarModel>,
+    train_shares: Vec<Vec<f64>>,
+}
+
+impl SourceDistributionModel {
+    /// Fits the distribution model on a family's chronological training
+    /// attacks.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NotEnoughHistory`] when there are too few attacks
+    ///   or no source ASes.
+    /// * Propagates NAR errors.
+    pub fn fit(train: &[&AttackRecord], config: &SpatialConfig, seed: u64) -> Result<Self> {
+        if train.len() < config.min_attacks {
+            return Err(ModelError::NotEnoughHistory {
+                context: "source-distribution model".to_string(),
+                required: config.min_attacks,
+                actual: train.len(),
+            });
+        }
+        let (asns, series) = FeatureExtractor::as_share_series(train, config.top_k_ases);
+        if asns.is_empty() {
+            return Err(ModelError::NotEnoughHistory {
+                context: "source-distribution model: no source ASes".to_string(),
+                required: 1,
+                actual: 0,
+            });
+        }
+        let nar_cfg = config.fixed.unwrap_or(NarConfig {
+            delays: 3,
+            hidden: 6,
+            ..Default::default()
+        });
+        let mut models = Vec::with_capacity(asns.len());
+        for (k, s) in series.iter().enumerate() {
+            models.push(NarModel::fit(s, nar_cfg, seed ^ (k as u64))?);
+        }
+        Ok(SourceDistributionModel { asns, models, train_shares: series })
+    }
+
+    /// The tracked source ASes, most common first.
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+
+    /// Rolling predictions of the per-AS share distribution over test
+    /// attacks. Returns one normalized `Vec<f64>` (aligned with
+    /// [`SourceDistributionModel::asns`]) per test attack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NAR errors.
+    pub fn predict_distribution(&self, test: &[&AttackRecord]) -> Result<Vec<Vec<f64>>> {
+        let (_, truth) = {
+            // Recompute the test shares for the tracked ASes.
+            let shares: Vec<Vec<f64>> = self
+                .asns
+                .iter()
+                .map(|target_asn| {
+                    test.iter()
+                        .map(|a| {
+                            let total = a.magnitude() as f64;
+                            let here = a
+                                .asn_histogram()
+                                .iter()
+                                .find(|(asn, _)| asn == target_asn)
+                                .map_or(0.0, |(_, n)| *n as f64);
+                            if total > 0.0 {
+                                here / total
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            ((), shares)
+        };
+        // Per-AS rolling predictions.
+        let mut per_as: Vec<Vec<f64>> = Vec::with_capacity(self.asns.len());
+        for (k, model) in self.models.iter().enumerate() {
+            per_as.push(model.predict_rolling(&self.train_shares[k], &truth[k])?);
+        }
+        // Transpose + clamp + renormalize into distributions.
+        let mut out = Vec::with_capacity(test.len());
+        for j in 0..test.len() {
+            let mut row: Vec<f64> = per_as.iter().map(|s| s[j].max(0.0)).collect();
+            let total: f64 = row.iter().sum();
+            if total > 0.0 {
+                for v in &mut row {
+                    *v /= total;
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Ground-truth share distribution (over the tracked ASes, normalized)
+    /// for each test attack.
+    pub fn truth_distribution(&self, test: &[&AttackRecord]) -> Vec<Vec<f64>> {
+        test.iter()
+            .map(|a| {
+                let hist = a.asn_histogram();
+                let mut row: Vec<f64> = self
+                    .asns
+                    .iter()
+                    .map(|asn| {
+                        hist.iter().find(|(h, _)| h == asn).map_or(0.0, |(_, n)| *n as f64)
+                    })
+                    .collect();
+                let total: f64 = row.iter().sum();
+                if total > 0.0 {
+                    for v in &mut row {
+                        *v /= total;
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddos_trace::{Corpus, CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 111).generate().unwrap()
+    }
+
+    fn hottest_split(c: &Corpus) -> (Asn, Vec<&AttackRecord>, Vec<&AttackRecord>) {
+        let asn = c.hottest_target_asns(1)[0].0;
+        let attacks = c.attacks_on_asn(asn);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        (asn, attacks[..cut].to_vec(), attacks[cut..].to_vec())
+    }
+
+    #[test]
+    fn fit_and_predict_per_network() {
+        let c = corpus();
+        let (asn, train, test) = hottest_split(&c);
+        let model = SpatialModel::fit(asn, &train, &SpatialConfig::fast(), 1).unwrap();
+        assert_eq!(model.asn(), asn);
+        let durations = model.predict_durations(&train, &test).unwrap();
+        assert_eq!(durations.len(), test.len());
+        let hours = model.predict_hours(&train, &test).unwrap();
+        assert!(hours.iter().all(|h| (0.0..24.0).contains(h)));
+        let days = model.predict_days(&train, &test).unwrap();
+        assert!(days.iter().all(|d| (1.0..=31.0).contains(d)));
+    }
+
+    #[test]
+    fn forecasts_are_sane() {
+        let c = corpus();
+        let (asn, train, _) = hottest_split(&c);
+        let model = SpatialModel::fit(asn, &train, &SpatialConfig::fast(), 2).unwrap();
+        let (d, h) = model.forecast_next(&train).unwrap();
+        assert!(d.is_finite());
+        assert!((0.0..24.0).contains(&h));
+        if let Some(g) = model.forecast_gap(&train) {
+            assert!(g >= 0.0);
+        }
+    }
+
+    #[test]
+    fn too_few_attacks_rejected() {
+        let c = corpus();
+        let (asn, train, _) = hottest_split(&c);
+        let err = SpatialModel::fit(asn, &train[..3], &SpatialConfig::fast(), 3);
+        assert!(matches!(err, Err(ModelError::NotEnoughHistory { .. })));
+    }
+
+    #[test]
+    fn source_distribution_predictions_are_distributions() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        let (train, test) = (attacks[..cut].to_vec(), attacks[cut..cut + 30].to_vec());
+        let model = SourceDistributionModel::fit(&train, &SpatialConfig::fast(), 4).unwrap();
+        assert!(!model.asns().is_empty());
+        let preds = model.predict_distribution(&test).unwrap();
+        assert_eq!(preds.len(), test.len());
+        for row in &preds {
+            let total: f64 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9 || total == 0.0, "row sums to {total}");
+            assert!(row.iter().all(|v| *v >= 0.0));
+        }
+        let truth = model.truth_distribution(&test);
+        assert_eq!(truth.len(), preds.len());
+    }
+
+    #[test]
+    fn source_distribution_tracks_truth_reasonably() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        let (train, test) = (attacks[..cut].to_vec(), attacks[cut..].to_vec());
+        let model = SourceDistributionModel::fit(&train, &SpatialConfig::fast(), 5).unwrap();
+        let preds = model.predict_distribution(&test).unwrap();
+        let truth = model.truth_distribution(&test);
+        // Mean absolute share error over all (attack, AS) cells should be
+        // small: shares drift slowly by construction.
+        let mut err = 0.0;
+        let mut n = 0.0;
+        for (p, t) in preds.iter().zip(&truth) {
+            for (a, b) in p.iter().zip(t) {
+                err += (a - b).abs();
+                n += 1.0;
+            }
+        }
+        let mae = err / n;
+        assert!(mae < 0.2, "share MAE {mae}");
+    }
+}

@@ -1,0 +1,660 @@
+//! The spatiotemporal model (§VI): a regression tree over the temporal and
+//! spatial models' outputs.
+//!
+//! Per prediction instance (one upcoming attack on one target) the model
+//! assembles the paper's two history groups — the last `h` attacks on the
+//! target's AS and the last `h` attacks anywhere (the paper uses `h = 10`)
+//! — runs the fitted temporal (ARIMA) and spatial (NAR) components on
+//! them, and feeds the resulting predictions (`N_tmp`, `N_spa`, `N_int`,
+//! …) into a CART tree with MLR leaves, pruned to retain 88% of the root
+//! standard deviation. Four trees are trained: launch hour, launch day,
+//! magnitude and duration.
+
+use crate::spatial::{SpatialConfig, SpatialModel};
+use crate::variables::{PredictedAttack, TimestampParts};
+use crate::{ModelError, Result};
+use ddos_astopo::Asn;
+use ddos_cart::prune::prune_holdout;
+use ddos_cart::tree::{RegressionTree, TreeConfig};
+use ddos_stats::arima::{Arima, ArimaOrder};
+use ddos_trace::{AttackRecord, Corpus};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Spatiotemporal-model configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpatioTemporalConfig {
+    /// History attacks per group (the paper uses 10 for both the same-AS
+    /// and the recent group).
+    pub history_per_group: usize,
+    /// Tree growth parameters.
+    pub tree: TreeConfig,
+    /// Std-dev retention for pruning (the paper's 0.88). `None` disables
+    /// pruning (ablation knob).
+    pub prune_retention: Option<f64>,
+    /// Spatial sub-model configuration (per-AS NAR nets).
+    pub spatial: SpatialConfig,
+    /// Fit per-AS NAR models only for this many hottest victim ASes; the
+    /// rest fall back to window statistics (keeps training tractable).
+    pub max_spatial_models: usize,
+}
+
+impl Default for SpatioTemporalConfig {
+    fn default() -> Self {
+        SpatioTemporalConfig {
+            history_per_group: 10,
+            tree: TreeConfig { max_depth: 12, min_samples_leaf: 6, ..TreeConfig::default() },
+            prune_retention: Some(0.88),
+            spatial: SpatialConfig::fast(),
+            max_spatial_models: 24,
+        }
+    }
+}
+
+impl SpatioTemporalConfig {
+    /// A fast configuration for tests.
+    pub fn fast() -> Self {
+        SpatioTemporalConfig {
+            history_per_group: 8,
+            max_spatial_models: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// Feature vector of one prediction instance (one row of the tree design).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceFeatures {
+    /// `N_tmp` — hour predicted by the temporal (ARIMA) component from the
+    /// recent group.
+    pub tmp_hour: f64,
+    /// Hour predicted by the spatial (NAR) component from the same-AS
+    /// group.
+    pub spa_hour: f64,
+    /// `N_int` — next inter-launch interval (seconds) predicted by the
+    /// temporal component from the recent group.
+    pub interval_secs: f64,
+    /// Day-of-month predicted by the temporal component.
+    pub tmp_day: f64,
+    /// Day-of-month predicted by the spatial component.
+    pub spa_day: f64,
+    /// Mean magnitude over the recent group (the unpruned tree's extra
+    /// determinant the paper mentions).
+    pub mean_recent_magnitude: f64,
+    /// Duration predicted by the spatial component (seconds).
+    pub spa_duration: f64,
+    /// Hour of the last same-AS attack.
+    pub last_as_hour: f64,
+    /// Gap (seconds) between the last two same-AS attacks.
+    pub last_as_gap: f64,
+    /// Hour implied by launching one predicted same-AS gap after the last
+    /// same-AS attack — the `N_int`-style composition the paper highlights
+    /// as the tree's strongest timestamp signal (multistage follow-ups
+    /// land 30 s–24 h after their predecessor).
+    pub implied_hour: f64,
+    /// Day-of-month implied by the same composition.
+    pub implied_day: f64,
+    /// 1.0 when the most recent attack anywhere hit this same AS — the
+    /// tell of an ongoing multistage chain on this network.
+    pub chain_indicator: f64,
+    /// Median launch hour of the same-AS history (robust estimate of the
+    /// network's preferred attack hour).
+    pub as_hour_median: f64,
+}
+
+impl InstanceFeatures {
+    /// Flattens into the tree's input row. Keep in sync with
+    /// [`InstanceFeatures::FEATURE_NAMES`].
+    pub fn to_row(self) -> Vec<f64> {
+        vec![
+            self.tmp_hour,
+            self.spa_hour,
+            self.interval_secs,
+            self.tmp_day,
+            self.spa_day,
+            self.mean_recent_magnitude,
+            self.spa_duration,
+            self.last_as_hour,
+            self.last_as_gap,
+            self.implied_hour,
+            self.implied_day,
+            self.chain_indicator,
+            self.as_hour_median,
+        ]
+    }
+
+    /// Human-readable feature names aligned with [`InstanceFeatures::to_row`].
+    pub const FEATURE_NAMES: [&'static str; 13] = [
+        "N_tmp_hour",
+        "N_spa_hour",
+        "N_int",
+        "N_tmp_day",
+        "N_spa_day",
+        "mean_recent_magnitude",
+        "N_spa_duration",
+        "last_as_hour",
+        "last_as_gap",
+        "implied_hour",
+        "implied_day",
+        "chain_indicator",
+        "as_hour_median",
+    ];
+}
+
+/// One evaluated prediction: the three models' outputs next to the truth
+/// (the rows behind Figures 3–4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StPrediction {
+    /// True launch hour.
+    pub truth_hour: f64,
+    /// True launch day (day-of-month).
+    pub truth_day: f64,
+    /// True magnitude.
+    pub truth_magnitude: f64,
+    /// True duration (seconds).
+    pub truth_duration: f64,
+    /// Spatiotemporal tree predictions.
+    pub st_hour: f64,
+    /// Spatiotemporal day prediction.
+    pub st_day: f64,
+    /// Spatiotemporal magnitude prediction.
+    pub st_magnitude: f64,
+    /// Spatiotemporal duration prediction.
+    pub st_duration: f64,
+    /// Spatial-only hour prediction (the `N_spa` feature itself).
+    pub spatial_hour: f64,
+    /// Spatial-only day prediction.
+    pub spatial_day: f64,
+    /// Temporal-only hour prediction (the `N_tmp` feature itself).
+    pub temporal_hour: f64,
+    /// Temporal-only day prediction.
+    pub temporal_day: f64,
+}
+
+impl StPrediction {
+    /// The spatiotemporal prediction as a [`PredictedAttack`].
+    pub fn predicted_attack(&self) -> PredictedAttack {
+        PredictedAttack {
+            magnitude: self.st_magnitude,
+            duration_secs: self.st_duration,
+            timestamp: TimestampParts {
+                day: self.st_day.round().clamp(1.0, 31.0) as u8,
+                hour: self.st_hour.round().clamp(0.0, 23.0) as u8,
+            },
+        }
+    }
+}
+
+/// The fitted spatiotemporal model.
+pub struct SpatioTemporalModel {
+    config: SpatioTemporalConfig,
+    /// Global temporal components (fit on all training attacks).
+    hour_arima: Arima,
+    day_arima: Arima,
+    gap_arima: Arima,
+    /// Per-AS spatial components for the hottest victim networks.
+    spatial: BTreeMap<Asn, SpatialModel>,
+    /// The four trees.
+    hour_tree: RegressionTree,
+    day_tree: RegressionTree,
+    magnitude_tree: RegressionTree,
+    duration_tree: RegressionTree,
+}
+
+impl SpatioTemporalModel {
+    /// Fits the model: temporal components on the full training stream,
+    /// spatial components per hot victim AS, then the four trees on every
+    /// training instance with sufficient history.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::NotEnoughHistory`] when fewer than ~30 usable
+    ///   training instances exist.
+    /// * Propagates component errors.
+    pub fn fit(
+        corpus: &Corpus,
+        train: &[AttackRecord],
+        config: &SpatioTemporalConfig,
+        seed: u64,
+    ) -> Result<Self> {
+        let train_refs: Vec<&AttackRecord> = train.iter().collect();
+        let h = config.history_per_group;
+        if train_refs.len() < h * 4 {
+            return Err(ModelError::NotEnoughHistory {
+                context: "spatiotemporal training stream".to_string(),
+                required: h * 4,
+                actual: train_refs.len(),
+            });
+        }
+
+        // Global temporal components. Fixed small AR orders keep this
+        // robust on arbitrary corpora; the per-family temporal model of
+        // §IV handles order search.
+        let hours: Vec<f64> = train_refs.iter().map(|a| a.start.hour() as f64).collect();
+        let days: Vec<f64> = train_refs.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let gaps: Vec<f64> =
+            train_refs.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
+        let hour_arima = Arima::fit(&hours, ArimaOrder::new(2, 0, 1))?;
+        let day_arima = Arima::fit(&days, ArimaOrder::new(2, 0, 0))?;
+        let gap_arima = Arima::fit(&gaps, ArimaOrder::new(2, 0, 1))?;
+
+        // Spatial components for the hottest victim ASes (within train).
+        let mut per_asn: BTreeMap<Asn, Vec<&AttackRecord>> = BTreeMap::new();
+        for a in &train_refs {
+            per_asn.entry(a.target_asn).or_default().push(a);
+        }
+        let mut hot: Vec<(Asn, usize)> =
+            per_asn.iter().map(|(asn, v)| (*asn, v.len())).collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut spatial = BTreeMap::new();
+        for (asn, _) in hot.into_iter().take(config.max_spatial_models) {
+            if let Ok(model) =
+                SpatialModel::fit(asn, &per_asn[&asn], &config.spatial, seed ^ asn.0 as u64)
+            {
+                spatial.insert(asn, model);
+            }
+        }
+
+        // Training instances.
+        let mut shell = SpatioTemporalModel {
+            config: config.clone(),
+            hour_arima,
+            day_arima,
+            gap_arima,
+            spatial,
+            // Placeholder trees, replaced below.
+            hour_tree: trivial_tree()?,
+            day_tree: trivial_tree()?,
+            magnitude_tree: trivial_tree()?,
+            duration_tree: trivial_tree()?,
+        };
+        let instances = shell.build_instances(&train_refs, h);
+        if instances.len() < 30 {
+            return Err(ModelError::NotEnoughHistory {
+                context: "spatiotemporal training instances".to_string(),
+                required: 30,
+                actual: instances.len(),
+            });
+        }
+        let xs: Vec<Vec<f64>> = instances.iter().map(|(f, _)| f.to_row()).collect();
+        let label = |idx: usize| -> Vec<f64> { instances.iter().map(|(_, l)| l[idx]).collect() };
+
+        // Grow on the head of the instance stream, prune against the
+        // chronological tail (reduced-error pruning with the paper's
+        // retention factor), and pick each tree's leaf kind by holdout
+        // RMSE: periodic targets (hour) usually prefer constant leaves
+        // (MLR leaves extrapolate across the 0/24 wrap) while
+        // near-identity targets (day) prefer the paper's MLR leaves — the
+        // holdout decides per corpus instead of hard-coding either.
+        let grow_n = (xs.len() as f64 * 0.85) as usize;
+        let grow_n = grow_n.clamp(20, xs.len());
+        let fit_tree = |labels: &[f64]| -> Result<RegressionTree> {
+            match config.prune_retention {
+                Some(retention) => {
+                    let mut best: Option<(f64, RegressionTree)> = None;
+                    for leaf_kind in
+                        [ddos_cart::leaf::LeafKind::Linear, ddos_cart::leaf::LeafKind::Constant]
+                    {
+                        let tree_cfg = TreeConfig { leaf_kind, ..config.tree };
+                        let mut tree =
+                            RegressionTree::fit(&xs[..grow_n], &labels[..grow_n], &tree_cfg)?;
+                        prune_holdout(&mut tree, &xs[grow_n..], &labels[grow_n..], retention)?;
+                        let mut sse = 0.0;
+                        for (row, y) in xs[grow_n..].iter().zip(&labels[grow_n..]) {
+                            let e = tree.predict(row)? - y;
+                            sse += e * e;
+                        }
+                        if best.as_ref().is_none_or(|(s, _)| sse < *s) {
+                            best = Some((sse, tree));
+                        }
+                    }
+                    Ok(best.expect("both leaf kinds fit").1)
+                }
+                None => Ok(RegressionTree::fit(&xs, labels, &config.tree)?),
+            }
+        };
+        shell.hour_tree = fit_tree(&label(0))?;
+        shell.day_tree = fit_tree(&label(1))?;
+        shell.magnitude_tree = fit_tree(&label(2))?;
+        shell.duration_tree = fit_tree(&label(3))?;
+        let _ = corpus; // corpus-level context reserved for future features
+        Ok(shell)
+    }
+
+    /// The configuration used at fit time.
+    pub fn config(&self) -> &SpatioTemporalConfig {
+        &self.config
+    }
+
+    /// The fitted hour tree (for importance inspection).
+    pub fn hour_tree(&self) -> &RegressionTree {
+        &self.hour_tree
+    }
+
+    /// The fitted day tree.
+    pub fn day_tree(&self) -> &RegressionTree {
+        &self.day_tree
+    }
+
+    /// Builds `(features, labels)` instances over a chronological attack
+    /// stream; labels are `[hour, day, magnitude, duration]` of the
+    /// predicted attack.
+    fn build_instances(
+        &self,
+        stream: &[&AttackRecord],
+        h: usize,
+    ) -> Vec<(InstanceFeatures, [f64; 4])> {
+        let mut per_asn: HashMap<Asn, Vec<usize>> = HashMap::new();
+        let mut out = Vec::new();
+        for (k, attack) in stream.iter().enumerate() {
+            let asn_history = per_asn.entry(attack.target_asn).or_default();
+            if k >= h && asn_history.len() >= h {
+                let recent: Vec<&AttackRecord> = stream[k - h..k].to_vec();
+                let same_as: Vec<&AttackRecord> = asn_history
+                    [asn_history.len() - h..]
+                    .iter()
+                    .map(|&i| stream[i])
+                    .collect();
+                if let Some(features) = self.features_for(&recent, &same_as) {
+                    out.push((
+                        features,
+                        [
+                            attack.start.hour() as f64,
+                            attack.start.day_of_month() as f64,
+                            attack.magnitude() as f64,
+                            attack.duration_secs as f64,
+                        ],
+                    ));
+                }
+            }
+            per_asn.get_mut(&attack.target_asn).expect("just inserted").push(k);
+        }
+        out
+    }
+
+    /// Computes one instance's features from the two history groups.
+    fn features_for(
+        &self,
+        recent: &[&AttackRecord],
+        same_as: &[&AttackRecord],
+    ) -> Option<InstanceFeatures> {
+        if recent.is_empty() || same_as.len() < 2 {
+            return None;
+        }
+        let recent_hours: Vec<f64> = recent.iter().map(|a| a.start.hour() as f64).collect();
+        let recent_days: Vec<f64> =
+            recent.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let recent_gaps: Vec<f64> =
+            recent.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
+        let as_hours: Vec<f64> = same_as.iter().map(|a| a.start.hour() as f64).collect();
+        let as_days: Vec<f64> = same_as.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let as_durations: Vec<f64> =
+            same_as.iter().map(|a| a.duration_secs as f64).collect();
+
+        // Temporal component: frozen-ARIMA one-step from the recent group.
+        let tmp_hour = self
+            .hour_arima
+            .predict_one_from(&recent_hours)
+            .unwrap_or_else(|_| mean(&recent_hours))
+            .clamp(0.0, 23.999);
+        let tmp_day = self
+            .day_arima
+            .predict_one_from(&recent_days)
+            .unwrap_or_else(|_| mean(&recent_days))
+            .clamp(1.0, 31.0);
+        let interval_secs = if recent_gaps.is_empty() {
+            0.0
+        } else {
+            self.gap_arima
+                .predict_one_from(&recent_gaps)
+                .unwrap_or_else(|_| mean(&recent_gaps))
+                .max(0.0)
+        };
+
+        // Spatial component: per-AS NAR when available, else window stats.
+        let asn = same_as[0].target_asn;
+        let (spa_duration, spa_hour) = match self.spatial.get(&asn) {
+            Some(model) => model
+                .forecast_next(same_as)
+                .unwrap_or((mean(&as_durations), mean(&as_hours))),
+            None => (mean(&as_durations), mean(&as_hours)),
+        };
+        let spa_day = mean(&as_days).clamp(1.0, 31.0);
+
+        let last_as_gap = if same_as.len() >= 2 {
+            same_as[same_as.len() - 1]
+                .start
+                .abs_diff(same_as[same_as.len() - 2].start) as f64
+        } else {
+            0.0
+        };
+
+        // Implied next launch: last same-AS attack plus the predicted
+        // same-AS gap (per-AS NAR when fitted, else the window median
+        // gap). Multistage follow-ups make this the sharpest timestamp
+        // signal available to the tree.
+        let as_gaps: Vec<f64> =
+            same_as.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
+        let predicted_gap = self
+            .spatial
+            .get(&asn)
+            .and_then(|m| m.forecast_gap(same_as))
+            .unwrap_or_else(|| median(&as_gaps));
+        let last_start = same_as[same_as.len() - 1].start;
+        let implied = last_start + predicted_gap.max(0.0) as u64;
+        let implied_hour = implied.hour() as f64;
+        let implied_day = implied.day_of_month() as f64;
+        let chain_indicator = if recent[recent.len() - 1].target_asn == asn { 1.0 } else { 0.0 };
+        let as_hour_median = median(&as_hours);
+
+        Some(InstanceFeatures {
+            tmp_hour,
+            spa_hour: spa_hour.clamp(0.0, 23.999),
+            interval_secs,
+            tmp_day,
+            spa_day,
+            mean_recent_magnitude: mean(
+                &recent.iter().map(|a| a.magnitude() as f64).collect::<Vec<_>>(),
+            ),
+            spa_duration: spa_duration.max(0.0),
+            last_as_hour: as_hours[as_hours.len() - 1],
+            last_as_gap,
+            implied_hour,
+            implied_day,
+            chain_indicator,
+            as_hour_median,
+        })
+    }
+
+    /// Evaluates the model over a test stream: for every test attack whose
+    /// target AS has accumulated enough history (train attacks plus
+    /// already-revealed test attacks), produces the three models'
+    /// predictions next to the truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tree prediction errors.
+    pub fn predict(
+        &self,
+        train: &[AttackRecord],
+        test: &[AttackRecord],
+    ) -> Result<Vec<StPrediction>> {
+        let h = self.config.history_per_group;
+        let stream: Vec<&AttackRecord> = train.iter().chain(test.iter()).collect();
+        let test_start = train.len();
+
+        let mut per_asn: HashMap<Asn, Vec<usize>> = HashMap::new();
+        for (k, a) in stream[..test_start].iter().enumerate() {
+            per_asn.entry(a.target_asn).or_default().push(k);
+        }
+
+        let mut out = Vec::new();
+        for (k, attack) in stream.iter().enumerate().skip(test_start) {
+            let asn_history = per_asn.entry(attack.target_asn).or_default();
+            if k >= h && asn_history.len() >= h {
+                let recent: Vec<&AttackRecord> = stream[k - h..k].to_vec();
+                let same_as: Vec<&AttackRecord> =
+                    asn_history[asn_history.len() - h..].iter().map(|&i| stream[i]).collect();
+                if let Some(f) = self.features_for(&recent, &same_as) {
+                    let row = f.to_row();
+                    out.push(StPrediction {
+                        truth_hour: attack.start.hour() as f64,
+                        truth_day: attack.start.day_of_month() as f64,
+                        truth_magnitude: attack.magnitude() as f64,
+                        truth_duration: attack.duration_secs as f64,
+                        st_hour: self.hour_tree.predict(&row)?.clamp(0.0, 23.999),
+                        st_day: self.day_tree.predict(&row)?.clamp(1.0, 31.0),
+                        st_magnitude: self.magnitude_tree.predict(&row)?.max(0.0),
+                        st_duration: self.duration_tree.predict(&row)?.max(0.0),
+                        spatial_hour: f.spa_hour,
+                        spatial_day: f.spa_day,
+                        temporal_hour: f.tmp_hour,
+                        temporal_day: f.tmp_day,
+                    });
+                }
+            }
+            per_asn.get_mut(&attack.target_asn).expect("entry exists").push(k);
+        }
+        Ok(out)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+fn median(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        return 0.0;
+    }
+    let mut s = v.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    s[s.len() / 2]
+}
+
+/// A 1-leaf placeholder tree used during two-phase construction.
+fn trivial_tree() -> Result<RegressionTree> {
+    Ok(RegressionTree::fit(
+        &[vec![0.0; 13], vec![1.0; 13]],
+        &[0.0, 0.0],
+        &TreeConfig::default(),
+    )?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddos_stats::metrics::rmse;
+    use ddos_trace::{CorpusConfig, TraceGenerator};
+
+    fn fitted() -> (ddos_trace::Corpus, SpatioTemporalModel) {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), 121).generate().unwrap();
+        let (train, _) = corpus.split(0.8).unwrap();
+        let model =
+            SpatioTemporalModel::fit(&corpus, train, &SpatioTemporalConfig::fast(), 5).unwrap();
+        (corpus, model)
+    }
+
+    #[test]
+    fn fit_produces_trees_with_leaves() {
+        let (_, model) = fitted();
+        assert!(model.hour_tree().n_leaves() >= 1);
+        assert!(model.day_tree().n_leaves() >= 1);
+    }
+
+    #[test]
+    fn predictions_are_in_domain() {
+        let (corpus, model) = fitted();
+        let (train, test) = corpus.split(0.8).unwrap();
+        let preds = model.predict(train, test).unwrap();
+        assert!(!preds.is_empty(), "no test instances had enough history");
+        for p in &preds {
+            assert!((0.0..24.0).contains(&p.st_hour));
+            assert!((1.0..=31.0).contains(&p.st_day));
+            assert!(p.st_magnitude >= 0.0);
+            assert!(p.st_duration >= 0.0);
+            assert!((0.0..24.0).contains(&p.truth_hour));
+            let pa = p.predicted_attack();
+            assert!(pa.timestamp.hour < 24);
+            assert!((1..=31).contains(&pa.timestamp.day));
+        }
+    }
+
+    #[test]
+    fn st_model_beats_spatial_on_hours() {
+        let (corpus, model) = fitted();
+        let (train, test) = corpus.split(0.8).unwrap();
+        let preds = model.predict(train, test).unwrap();
+        let truth: Vec<f64> = preds.iter().map(|p| p.truth_hour).collect();
+        let st: Vec<f64> = preds.iter().map(|p| p.st_hour).collect();
+        let spa: Vec<f64> = preds.iter().map(|p| p.spatial_hour).collect();
+        let st_rmse = rmse(&st, &truth).unwrap();
+        let spa_rmse = rmse(&spa, &truth).unwrap();
+        assert!(
+            st_rmse <= spa_rmse * 1.1,
+            "ST hour RMSE {st_rmse} should not lose to spatial {spa_rmse}"
+        );
+    }
+
+    #[test]
+    fn too_small_stream_rejected() {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), 122).generate().unwrap();
+        let err = SpatioTemporalModel::fit(
+            &corpus,
+            &corpus.attacks()[..10],
+            &SpatioTemporalConfig::fast(),
+            1,
+        );
+        assert!(matches!(err, Err(ModelError::NotEnoughHistory { .. })));
+    }
+
+    #[test]
+    fn feature_names_align_with_row() {
+        let f = InstanceFeatures {
+            tmp_hour: 1.0,
+            spa_hour: 2.0,
+            interval_secs: 3.0,
+            tmp_day: 4.0,
+            spa_day: 5.0,
+            mean_recent_magnitude: 6.0,
+            spa_duration: 7.0,
+            last_as_hour: 8.0,
+            last_as_gap: 9.0,
+            implied_hour: 10.0,
+            implied_day: 11.0,
+            chain_indicator: 1.0,
+            as_hour_median: 13.0,
+        };
+        let row = f.to_row();
+        assert_eq!(row.len(), InstanceFeatures::FEATURE_NAMES.len());
+        assert_eq!(
+            row,
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 1.0, 13.0]
+        );
+    }
+
+    #[test]
+    fn pruning_disabled_grows_bigger_or_equal_trees() {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), 123).generate().unwrap();
+        let (train, _) = corpus.split(0.8).unwrap();
+        let pruned = SpatioTemporalModel::fit(
+            &corpus,
+            train,
+            &SpatioTemporalConfig { prune_retention: Some(0.88), ..SpatioTemporalConfig::fast() },
+            9,
+        )
+        .unwrap();
+        let unpruned = SpatioTemporalModel::fit(
+            &corpus,
+            train,
+            &SpatioTemporalConfig { prune_retention: None, ..SpatioTemporalConfig::fast() },
+            9,
+        )
+        .unwrap();
+        assert!(unpruned.hour_tree().n_leaves() >= pruned.hour_tree().n_leaves());
+    }
+}

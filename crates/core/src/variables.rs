@@ -1,0 +1,138 @@
+//! The modeling variables of Table II.
+//!
+//! Three groups (§III-B): attacker-side botnet state (time-indexed),
+//! target-side affinity (time-free), and model outputs (fed back as
+//! corrections). These types give the table's symbols concrete, documented
+//! homes so every model speaks the same vocabulary.
+//!
+//! | symbol | type / field |
+//! |---|---|
+//! | `A^f_{t_i}` | [`BotnetState::activity_level`] |
+//! | `A^b_{t_i}` | [`BotnetState::active_bots`] |
+//! | `A^s_{t_i}` | [`BotnetState::source_distribution`] |
+//! | `T_l` | [`TargetProfile::location`] |
+//! | `T^d_j` | [`TargetProfile::durations`] |
+//! | `T^{ts}_j` | [`TargetProfile::timestamps`] (as [`TimestampParts`]) |
+//! | `(D^b_{t_i})_j` | [`PredictedAttack::magnitude`] |
+//! | `(D^d_{t_i})_j` | [`PredictedAttack::duration_secs`] |
+//! | `D^{ts}_{j+1}` | [`PredictedAttack::timestamp`] |
+
+use ddos_astopo::Asn;
+use ddos_trace::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// The decomposed timestamp `(T^{day}, T^{hour})` of §III-B2: the paper
+/// confines the day to `[1, 31]` and the hour to `[0, 24)` so predictors
+/// can learn daily/monthly periodicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimestampParts {
+    /// Day-of-month-style component, `1..=31`.
+    pub day: u8,
+    /// Hour of day, `0..24`.
+    pub hour: u8,
+}
+
+impl TimestampParts {
+    /// Decomposes a trace timestamp.
+    pub fn from_timestamp(ts: Timestamp) -> Self {
+        TimestampParts { day: ts.day_of_month(), hour: ts.hour() }
+    }
+}
+
+impl From<Timestamp> for TimestampParts {
+    fn from(ts: Timestamp) -> Self {
+        TimestampParts::from_timestamp(ts)
+    }
+}
+
+/// Attacker-side state at one observation instant `t_i` (Table II group 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BotnetState {
+    /// `A^f_{t_i}` — the family's activity level: average attacks per day
+    /// observed so far (Eq. 1).
+    pub activity_level: f64,
+    /// `A^b_{t_i}` — normalized currently-active bot count: the attack's
+    /// distinct bots over the cumulative bots observed to date (Eq. 2).
+    pub active_bots: f64,
+    /// `A^s_{t_i}` — the silhouette-style source-distribution coefficient:
+    /// intra-AS concentration over mean inter-AS distance (Eq. 3–4).
+    /// Larger means bots packed into fewer, closer ASes.
+    pub source_distribution: f64,
+}
+
+/// Target-side variables (Table II group 2) — time-free attributes of one
+/// victim network accumulated over its attack history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetProfile {
+    /// `T_l` — the target's location, i.e. its AS number.
+    pub location: Asn,
+    /// `T^d_j` — durations (seconds) of the attacks observed on this
+    /// target (or its network), chronological.
+    pub durations: Vec<f64>,
+    /// `T^{ts}_j` — decomposed launch timestamps, chronological.
+    pub timestamps: Vec<TimestampParts>,
+    /// Inter-attack gaps in seconds (`T^i_t = T^{ts}_{j+1} − T^{ts}_j`),
+    /// chronological; one shorter than `timestamps`.
+    pub inter_attack_gaps: Vec<f64>,
+}
+
+impl TargetProfile {
+    /// Number of attacks in the profile.
+    pub fn len(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Whether the profile holds no attacks.
+    pub fn is_empty(&self) -> bool {
+        self.timestamps.is_empty()
+    }
+}
+
+/// A model's prediction of the next attack (Table II group 3) — also the
+/// feedback variables `(D^b)_j`, `(D^d)_j`, `D^{ts}_{j+1}`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictedAttack {
+    /// `(D^b_{t_i})_j` — predicted magnitude (bot count).
+    pub magnitude: f64,
+    /// `(D^d_{t_i})_j` — predicted duration in seconds.
+    pub duration_secs: f64,
+    /// `D^{ts}_{j+1}` — predicted launch timestamp (day, hour).
+    pub timestamp: TimestampParts,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_parts_decompose() {
+        let ts = Timestamp::from_day_hour(33, 15);
+        let p = TimestampParts::from_timestamp(ts);
+        assert_eq!(p.day, 3); // 33 % 31 + 1
+        assert_eq!(p.hour, 15);
+        let q: TimestampParts = ts.into();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn target_profile_len() {
+        let p = TargetProfile {
+            location: Asn(7),
+            durations: vec![10.0, 20.0],
+            timestamps: vec![
+                TimestampParts { day: 1, hour: 2 },
+                TimestampParts { day: 1, hour: 5 },
+            ],
+            inter_attack_gaps: vec![10_800.0],
+        };
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn botnet_state_is_copyable() {
+        let s = BotnetState { activity_level: 1.0, active_bots: 0.5, source_distribution: 2.0 };
+        let t = s;
+        assert_eq!(s, t);
+    }
+}

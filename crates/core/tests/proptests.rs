@@ -1,0 +1,98 @@
+//! Property-based tests for the model crate: feature and use-case
+//! invariants that must hold over randomized corpora and inputs.
+
+use ddos_core::detection::{DetectorConfig, EntropyDetector};
+use ddos_core::features::FeatureExtractor;
+use ddos_core::usecases::{AsFilteringSimulator, MiddleboxSimulator, TakedownSimulator};
+use ddos_trace::{Corpus, CorpusConfig, TraceGenerator};
+use proptest::prelude::*;
+
+fn corpus_for(seed: u64) -> Corpus {
+    TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Feature-series invariants over corpus realizations: `A^f > 0`,
+    /// `A^b ∈ (0, 1]`, `A^s > 0`, and all series align with the attacks.
+    #[test]
+    fn feature_invariants(seed in 0u64..2_000) {
+        let corpus = corpus_for(seed);
+        let fx = FeatureExtractor::new(&corpus);
+        let fam = corpus.catalog().most_active(1)[0];
+        let attacks: Vec<_> = corpus.family_attacks(fam).into_iter().take(60).collect();
+        let states = fx.botnet_state_series(&attacks).unwrap();
+        prop_assert_eq!(states.len(), attacks.len());
+        for s in &states {
+            prop_assert!(s.activity_level > 0.0);
+            prop_assert!(s.active_bots > 0.0 && s.active_bots <= 1.0);
+            prop_assert!(s.source_distribution > 0.0);
+            prop_assert!(s.source_distribution.is_finite());
+        }
+    }
+
+    /// Filtering coverage is a true fraction and monotone in the rule set.
+    #[test]
+    fn filtering_coverage_monotone(seed in 0u64..2_000, k in 1usize..6) {
+        let corpus = corpus_for(seed);
+        let attack = &corpus.attacks()[corpus.len() / 2];
+        let sim = AsFilteringSimulator::new();
+        let asns = attack.source_asns();
+        let small = sim.replay(&asns[..k.min(asns.len())], attack);
+        let full = sim.replay(&asns, attack);
+        prop_assert!((0.0..=1.0).contains(&small.coverage));
+        prop_assert!(small.coverage <= full.coverage + 1e-12);
+        prop_assert!((full.coverage - 1.0).abs() < 1e-12);
+    }
+
+    /// Takedown accounting conserves bots and collapse implies the floor.
+    #[test]
+    fn takedown_conserves_bots(seed in 0u64..2_000, k in 0usize..5, floor in 0.05f64..0.95) {
+        let corpus = corpus_for(seed);
+        let attack = &corpus.attacks()[corpus.len() / 3];
+        let asns = attack.source_asns();
+        let sim = TakedownSimulator { viability_floor: floor };
+        let out = sim.apply(attack, &asns[..k.min(asns.len())], 60);
+        prop_assert_eq!(out.bots_removed + out.bots_remaining, attack.magnitude());
+        prop_assert!((0.0..=1.0).contains(&out.removed_fraction));
+        if out.attack_collapses {
+            prop_assert!((out.bots_remaining as f64) < floor * attack.magnitude() as f64);
+        }
+    }
+
+    /// Middlebox outcomes never report negative times and the proactive
+    /// flip with a perfect prediction always beats or ties the reactive
+    /// one on exposure.
+    #[test]
+    fn middlebox_outcomes_sane(
+        start in 0.0f64..80_000.0,
+        duration in 1.0f64..20_000.0,
+        error in -7_200.0f64..7_200.0,
+    ) {
+        let sim = MiddleboxSimulator::default();
+        let (pro, rea) = sim.compare(start + error, start, duration).unwrap();
+        prop_assert!(pro.unprotected_secs >= 0.0 && rea.unprotected_secs >= 0.0);
+        prop_assert!(pro.overcautious_secs >= 0.0);
+        prop_assert!(pro.unprotected_secs <= duration + 1e-9);
+        // Perfect prediction: zero exposure (margin 30 min >= 0 error).
+        if error == 0.0 {
+            prop_assert_eq!(pro.unprotected_secs, 0.0);
+        }
+    }
+
+    /// The detector's threshold always sits below the benign mean and the
+    /// entropy of any window is nonnegative and bounded by log2(window).
+    #[test]
+    fn detector_invariants(n_ases in 4u32..80, seed in 0u64..500) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let benign: Vec<ddos_astopo::Asn> =
+            (0..2_000).map(|_| ddos_astopo::Asn(rng.gen_range(0..n_ases))).collect();
+        let config = DetectorConfig { window: 100, sigma_threshold: 4.0 };
+        let d = EntropyDetector::calibrate(&benign, config).unwrap();
+        prop_assert!(d.threshold() < d.benign_mean());
+        prop_assert!(d.benign_mean() >= 0.0);
+        prop_assert!(d.benign_mean() <= (config.window as f64).log2() + 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for network construction, training and prediction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NeuralError {
+    /// A dimension parameter was zero or inconsistent.
+    BadDimensions {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// The training set was empty or shorter than the lag structure allows.
+    NotEnoughData {
+        /// Minimum observations required.
+        required: usize,
+        /// Observations supplied.
+        actual: usize,
+    },
+    /// An input row had the wrong width for the network.
+    InputWidthMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Supplied width.
+        actual: usize,
+    },
+    /// A hyperparameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Description of the violation.
+        detail: String,
+    },
+    /// Input contained NaN or infinite values.
+    NonFiniteInput,
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuralError::BadDimensions { detail } => write!(f, "bad dimensions: {detail}"),
+            NeuralError::NotEnoughData { required, actual } => {
+                write!(f, "not enough data: need {required}, got {actual}")
+            }
+            NeuralError::InputWidthMismatch { expected, actual } => {
+                write!(f, "input width {actual} does not match network input {expected}")
+            }
+            NeuralError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            NeuralError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl Error for NeuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NeuralError::NonFiniteInput.to_string().contains("NaN"));
+        let e = NeuralError::NotEnoughData { required: 10, actual: 2 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NeuralError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Grid search over NAR hyperparameters.
+//!
+//! "For each dataset by any botnet family, we need to find the optimal
+//! parameters for the number of delays as well as the number of hidden
+//! nodes. A grid search technique was utilized to accomplish this." (§V-A)
+
+use crate::nar::{NarConfig, NarModel};
+use crate::train::TrainConfig;
+use crate::{NeuralError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSpec {
+    /// Delay counts to try.
+    pub delays: Vec<usize>,
+    /// Hidden-layer widths to try.
+    pub hidden: Vec<usize>,
+    /// Training configuration shared by all cells.
+    pub train: TrainConfig,
+}
+
+impl Default for GridSpec {
+    fn default() -> Self {
+        GridSpec {
+            delays: vec![1, 2, 3, 4, 6],
+            hidden: vec![2, 4, 8, 12],
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// One evaluated grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// Delay count.
+    pub delays: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Validation RMSE on the holdout tail (original scale).
+    pub rmse: f64,
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// The winning model, retrained on the full series.
+    pub model: NarModel,
+    /// Every evaluated cell, sorted ascending by RMSE.
+    pub table: Vec<GridCell>,
+}
+
+/// Searches the grid: each cell trains on the first 80% of the series and
+/// is scored by rolling one-step RMSE on the remaining 20%; the winner is
+/// refit on the whole series.
+///
+/// # Errors
+///
+/// * [`NeuralError::InvalidParameter`] for an empty grid.
+/// * [`NeuralError::NotEnoughData`] when the series cannot support the
+///   smallest cell.
+pub fn grid_search(series: &[f64], spec: &GridSpec, seed: u64) -> Result<GridOutcome> {
+    if spec.delays.is_empty() || spec.hidden.is_empty() {
+        return Err(NeuralError::InvalidParameter {
+            name: "spec",
+            detail: "grid must contain at least one delay and one hidden size".to_string(),
+        });
+    }
+    let cut = (series.len() as f64 * 0.8) as usize;
+    let (head, tail) = series.split_at(cut.clamp(1, series.len().saturating_sub(1)));
+    if tail.is_empty() {
+        return Err(NeuralError::NotEnoughData { required: 10, actual: series.len() });
+    }
+
+    let mut table = Vec::new();
+    let mut best: Option<(GridCell, NarModel)> = None;
+    for (ci, &delays) in spec.delays.iter().enumerate() {
+        for (cj, &hidden) in spec.hidden.iter().enumerate() {
+            let config = NarConfig {
+                delays,
+                hidden,
+                train: spec.train,
+                ..Default::default()
+            };
+            let cell_seed = seed ^ ((ci as u64) << 32) ^ (cj as u64);
+            let Ok(model) = NarModel::fit(head, config, cell_seed) else { continue };
+            let Ok(preds) = model.predict_rolling(head, tail) else { continue };
+            let sse: f64 = preds.iter().zip(tail).map(|(p, t)| (p - t).powi(2)).sum();
+            let rmse = (sse / tail.len() as f64).sqrt();
+            if !rmse.is_finite() {
+                continue;
+            }
+            let cell = GridCell { delays, hidden, rmse };
+            let better = best.as_ref().is_none_or(|(c, _)| rmse < c.rmse);
+            if better {
+                best = Some((cell.clone(), model));
+            }
+            table.push(cell);
+        }
+    }
+    let Some((winner, _)) = best else {
+        return Err(NeuralError::NotEnoughData { required: 10, actual: series.len() });
+    };
+    // Refit the winning architecture on the full series.
+    let config = NarConfig {
+        delays: winner.delays,
+        hidden: winner.hidden,
+        train: spec.train,
+        ..Default::default()
+    };
+    let model = NarModel::fit(series, config, seed)?;
+    table.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).expect("finite rmse"));
+    Ok(GridOutcome { model, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar2(n: usize) -> Vec<f64> {
+        // Deterministic AR(2)-flavored oscillation.
+        let mut x = vec![1.0, 0.5];
+        for t in 2..n {
+            let v: f64 = 1.3 * x[t - 1] - 0.6 * x[t - 2] + ((t as f64) * 0.61).sin() * 0.05;
+            x.push(v);
+        }
+        x
+    }
+
+    #[test]
+    fn search_finds_multi_delay_model_for_ar2() {
+        let s = ar2(260);
+        let spec = GridSpec {
+            delays: vec![1, 2, 3],
+            hidden: vec![4, 8],
+            train: TrainConfig { max_epochs: 200, patience: 20, ..Default::default() },
+        };
+        let out = grid_search(&s, &spec, 31).unwrap();
+        assert!(out.model.config().delays >= 2, "AR(2) needs ≥ 2 delays");
+        assert_eq!(out.table.len(), 6);
+        for w in out.table.windows(2) {
+            assert!(w[0].rmse <= w[1].rmse);
+        }
+    }
+
+    #[test]
+    fn winner_is_best_cell() {
+        let s = ar2(200);
+        let spec = GridSpec {
+            delays: vec![1, 2],
+            hidden: vec![2, 6],
+            train: TrainConfig { max_epochs: 120, patience: 15, ..Default::default() },
+        };
+        let out = grid_search(&s, &spec, 32).unwrap();
+        let best = &out.table[0];
+        assert_eq!(
+            (out.model.config().delays, out.model.config().hidden),
+            (best.delays, best.hidden)
+        );
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        let s = ar2(100);
+        let spec = GridSpec { delays: vec![], hidden: vec![4], train: TrainConfig::default() };
+        assert!(grid_search(&s, &spec, 1).is_err());
+    }
+
+    #[test]
+    fn short_series_rejected() {
+        let spec = GridSpec::default();
+        assert!(grid_search(&[1.0, 2.0], &spec, 1).is_err());
+    }
+}

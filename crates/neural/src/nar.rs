@@ -1,0 +1,284 @@
+//! The nonlinear autoregressive (NAR) model.
+//!
+//! Eq. 6 of the paper:
+//!
+//! ```text
+//! T_{j+1} = f(T_j, T_{j−1}, …, T_{j−q}) + ε,   ε ~ N(0, σ²)
+//! ```
+//!
+//! where `q` is the number of delays and `f` a one-hidden-layer tan-sigmoid
+//! network. [`NarModel`] builds the lagged design from a series, scales
+//! everything into the sigmoid's range, trains the network and exposes
+//! one-step, rolling and recursive forecasting.
+
+use crate::activation::Activation;
+use crate::network::Mlp;
+use crate::scale::MinMaxScaler;
+use crate::train::{train, TrainConfig, TrainReport};
+use crate::{NeuralError, Result};
+use serde::{Deserialize, Serialize};
+
+/// NAR hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NarConfig {
+    /// Number of delays `q` (lagged inputs).
+    pub delays: usize,
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Hidden activation (the paper uses tan-sigmoid).
+    pub activation: Activation,
+    /// Training configuration.
+    pub train: TrainConfig,
+}
+
+impl Default for NarConfig {
+    fn default() -> Self {
+        NarConfig {
+            delays: 3,
+            hidden: 8,
+            activation: Activation::TanSig,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// A fitted NAR model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NarModel {
+    config: NarConfig,
+    scaler: MinMaxScaler,
+    network: Mlp,
+    report: TrainReport,
+    /// Residual standard deviation on the training set (original scale).
+    sigma: f64,
+}
+
+impl NarModel {
+    /// Fits a NAR model to a series.
+    ///
+    /// # Errors
+    ///
+    /// * [`NeuralError::InvalidParameter`] when `delays == 0`.
+    /// * [`NeuralError::NotEnoughData`] when the series has fewer than
+    ///   `delays + 4` points.
+    /// * Propagates scaling and training errors.
+    pub fn fit(series: &[f64], config: NarConfig, seed: u64) -> Result<Self> {
+        if config.delays == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "delays",
+                detail: "need at least one delay".to_string(),
+            });
+        }
+        let min_len = config.delays + 4;
+        if series.len() < min_len {
+            return Err(NeuralError::NotEnoughData { required: min_len, actual: series.len() });
+        }
+        let scaler = MinMaxScaler::fit(series)?;
+        let scaled = scaler.transform_all(series);
+        let (inputs, targets) = lagged_design(&scaled, config.delays);
+        let mut network = Mlp::new(config.delays, config.hidden, config.activation, seed)?;
+        let report = train(&mut network, &inputs, &targets, &config.train)?;
+
+        // Residual σ on the original scale.
+        let mut sse = 0.0;
+        for (x, y) in inputs.iter().zip(&targets) {
+            let pred = scaler.inverse(network.predict(x)?);
+            let truth = scaler.inverse(*y);
+            sse += (pred - truth).powi(2);
+        }
+        let sigma = (sse / inputs.len() as f64).sqrt();
+
+        Ok(NarModel { config, scaler, network, report, sigma })
+    }
+
+    /// The hyperparameters used.
+    pub fn config(&self) -> &NarConfig {
+        &self.config
+    }
+
+    /// The training report.
+    pub fn report(&self) -> &TrainReport {
+        &self.report
+    }
+
+    /// Residual standard deviation (original scale) — the `σ` of Eq. 7.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// One-step prediction from the last `delays` values of `history`
+    /// (most recent last).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::NotEnoughData`] when `history` is shorter
+    /// than the delay count.
+    pub fn predict_next(&self, history: &[f64]) -> Result<f64> {
+        let q = self.config.delays;
+        if history.len() < q {
+            return Err(NeuralError::NotEnoughData { required: q, actual: history.len() });
+        }
+        let window: Vec<f64> = history[history.len() - q..]
+            .iter()
+            .rev() // input order: T_j, T_{j-1}, …, T_{j-q+1}
+            .map(|v| self.scaler.transform(*v))
+            .collect();
+        Ok(self.scaler.inverse(self.network.predict(&window)?))
+    }
+
+    /// Rolling one-step predictions over a held-out continuation: predicts
+    /// each element of `test` from everything before it (training history
+    /// plus already-revealed test truth). Returns one prediction per test
+    /// element — the paper's evaluation protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NarModel::predict_next`] errors; `history` must hold at
+    /// least `delays` values.
+    pub fn predict_rolling(&self, history: &[f64], test: &[f64]) -> Result<Vec<f64>> {
+        let mut h = history.to_vec();
+        let mut out = Vec::with_capacity(test.len());
+        for &truth in test {
+            out.push(self.predict_next(&h)?);
+            h.push(truth);
+        }
+        Ok(out)
+    }
+
+    /// Recursive multi-step forecast: feeds its own predictions back as
+    /// inputs.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NarModel::predict_next`], plus
+    /// [`NeuralError::InvalidParameter`] for a zero horizon.
+    pub fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if horizon == 0 {
+            return Err(NeuralError::InvalidParameter {
+                name: "horizon",
+                detail: "forecast horizon must be nonzero".to_string(),
+            });
+        }
+        let mut h = history.to_vec();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let next = self.predict_next(&h)?;
+            h.push(next);
+            out.push(next);
+        }
+        Ok(out)
+    }
+}
+
+/// Builds the lagged design: row `t` is `[x_t, x_{t−1}, …, x_{t−q+1}]` with
+/// target `x_{t+1}`.
+fn lagged_design(series: &[f64], delays: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut inputs = Vec::new();
+    let mut targets = Vec::new();
+    for t in (delays - 1)..(series.len() - 1) {
+        let row: Vec<f64> = (0..delays).map(|j| series[t - j]).collect();
+        inputs.push(row);
+        targets.push(series[t + 1]);
+    }
+    (inputs, targets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.35).sin() * 4.0 + 10.0).collect()
+    }
+
+    #[test]
+    fn lagged_design_shapes() {
+        let s: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let (x, y) = lagged_design(&s, 3);
+        assert_eq!(x.len(), y.len());
+        assert_eq!(x.len(), 7);
+        assert_eq!(x[0], vec![2.0, 1.0, 0.0]);
+        assert_eq!(y[0], 3.0);
+        assert_eq!(x.last().unwrap(), &vec![8.0, 7.0, 6.0]);
+        assert_eq!(*y.last().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn learns_a_sine_wave() {
+        let s = sine(300);
+        let model = NarModel::fit(
+            &s,
+            NarConfig { delays: 4, hidden: 10, ..Default::default() },
+            21,
+        )
+        .unwrap();
+        assert!(model.sigma() < 0.8, "sigma {}", model.sigma());
+        // One-step prediction continues the wave.
+        let next = model.predict_next(&s).unwrap();
+        let truth = (300.0f64 * 0.35).sin() * 4.0 + 10.0;
+        assert!((next - truth).abs() < 1.0, "next {next} vs {truth}");
+    }
+
+    #[test]
+    fn rolling_prediction_tracks_test_set() {
+        let s = sine(360);
+        let (train_s, test_s) = s.split_at(300);
+        let model = NarModel::fit(
+            train_s,
+            NarConfig { delays: 4, hidden: 10, ..Default::default() },
+            22,
+        )
+        .unwrap();
+        let preds = model.predict_rolling(train_s, test_s).unwrap();
+        assert_eq!(preds.len(), test_s.len());
+        let rmse: f64 = (preds
+            .iter()
+            .zip(test_s)
+            .map(|(p, t)| (p - t).powi(2))
+            .sum::<f64>()
+            / test_s.len() as f64)
+            .sqrt();
+        assert!(rmse < 1.2, "rolling RMSE {rmse}");
+    }
+
+    #[test]
+    fn recursive_forecast_stays_in_range() {
+        let s = sine(300);
+        let model = NarModel::fit(
+            &s,
+            NarConfig { delays: 4, hidden: 8, ..Default::default() },
+            23,
+        )
+        .unwrap();
+        let fc = model.forecast(&s, 24).unwrap();
+        assert_eq!(fc.len(), 24);
+        // Scaled sigmoid output cannot leave the training range by much.
+        assert!(fc.iter().all(|v| *v > 4.0 && *v < 16.0), "{fc:?}");
+    }
+
+    #[test]
+    fn validates_parameters() {
+        let s = sine(50);
+        assert!(NarModel::fit(&s, NarConfig { delays: 0, ..Default::default() }, 1).is_err());
+        assert!(NarModel::fit(&s[..5], NarConfig { delays: 4, ..Default::default() }, 1).is_err());
+        let m = NarModel::fit(&s, NarConfig::default(), 1).unwrap();
+        assert!(m.predict_next(&s[..2]).is_err());
+        assert!(m.forecast(&s, 0).is_err());
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let s = sine(120);
+        let a = NarModel::fit(&s, NarConfig::default(), 9).unwrap();
+        let b = NarModel::fit(&s, NarConfig::default(), 9).unwrap();
+        assert_eq!(a.predict_next(&s).unwrap(), b.predict_next(&s).unwrap());
+    }
+
+    #[test]
+    fn constant_series_predicts_constant() {
+        let s = vec![5.0; 40];
+        let model = NarModel::fit(&s, NarConfig::default(), 3).unwrap();
+        let p = model.predict_next(&s).unwrap();
+        assert!((p - 5.0).abs() < 1e-9, "constant prediction {p}");
+    }
+}

@@ -1,0 +1,266 @@
+//! A one-hidden-layer multilayer perceptron.
+//!
+//! The paper's spatial model "consists of three layers: input, hidden and
+//! an output … we use only one hidden layer to construct the spatial model
+//! in order to simplify the performance optimization" (§V-A). This module
+//! is that network, with a linear output unit for regression.
+
+use crate::activation::Activation;
+use crate::{NeuralError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected 1-hidden-layer regression network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    input_dim: usize,
+    hidden_dim: usize,
+    hidden_activation: Activation,
+    /// Hidden weights, row-major `[hidden][input]`.
+    w1: Vec<f64>,
+    /// Hidden biases `[hidden]`.
+    b1: Vec<f64>,
+    /// Output weights `[hidden]`.
+    w2: Vec<f64>,
+    /// Output bias.
+    b2: f64,
+}
+
+/// The forward pass's intermediate state, needed by backpropagation.
+#[derive(Debug, Clone)]
+pub struct Forward {
+    /// Hidden-layer outputs.
+    pub hidden: Vec<f64>,
+    /// Network output.
+    pub output: f64,
+}
+
+impl Mlp {
+    /// Creates a network with small random weights (uniform in
+    /// `±1/√fan_in`, the classic initialization for sigmoid nets).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::BadDimensions`] when either dimension is 0.
+    pub fn new(
+        input_dim: usize,
+        hidden_dim: usize,
+        hidden_activation: Activation,
+        seed: u64,
+    ) -> Result<Self> {
+        if input_dim == 0 || hidden_dim == 0 {
+            return Err(NeuralError::BadDimensions {
+                detail: format!("input {input_dim} × hidden {hidden_dim} must be nonzero"),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a1 = 1.0 / (input_dim as f64).sqrt();
+        let a2 = 1.0 / (hidden_dim as f64).sqrt();
+        let w1 = (0..hidden_dim * input_dim).map(|_| rng.gen_range(-a1..a1)).collect();
+        let b1 = (0..hidden_dim).map(|_| rng.gen_range(-a1..a1)).collect();
+        let w2 = (0..hidden_dim).map(|_| rng.gen_range(-a2..a2)).collect();
+        let b2 = rng.gen_range(-a2..a2);
+        Ok(Mlp { input_dim, hidden_dim, hidden_activation, w1, b1, w2, b2 })
+    }
+
+    /// Input width.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    /// Number of trainable parameters.
+    pub fn n_params(&self) -> usize {
+        self.w1.len() + self.b1.len() + self.w2.len() + 1
+    }
+
+    /// Forward pass returning only the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
+    pub fn predict(&self, input: &[f64]) -> Result<f64> {
+        Ok(self.forward(input)?.output)
+    }
+
+    /// Forward pass retaining the hidden activations (for training).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
+    pub fn forward(&self, input: &[f64]) -> Result<Forward> {
+        if input.len() != self.input_dim {
+            return Err(NeuralError::InputWidthMismatch {
+                expected: self.input_dim,
+                actual: input.len(),
+            });
+        }
+        let mut hidden = Vec::with_capacity(self.hidden_dim);
+        for h in 0..self.hidden_dim {
+            let row = &self.w1[h * self.input_dim..(h + 1) * self.input_dim];
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.b1[h];
+            hidden.push(self.hidden_activation.apply(z));
+        }
+        let output: f64 =
+            self.w2.iter().zip(&hidden).map(|(w, h)| w * h).sum::<f64>() + self.b2;
+        Ok(Forward { hidden, output })
+    }
+
+    /// Accumulates the gradient of the squared error `½(out − target)²`
+    /// for one sample into `grad` (same flat layout as [`Mlp::apply_update`]:
+    /// `w1, b1, w2, b2`).
+    ///
+    /// Returns the sample's squared error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
+    pub fn accumulate_gradient(
+        &self,
+        input: &[f64],
+        target: f64,
+        grad: &mut [f64],
+    ) -> Result<f64> {
+        debug_assert_eq!(grad.len(), self.n_params());
+        let fwd = self.forward(input)?;
+        let err = fwd.output - target;
+        // Output layer.
+        let (gw1, rest) = grad.split_at_mut(self.w1.len());
+        let (gb1, rest) = rest.split_at_mut(self.b1.len());
+        let (gw2, gb2) = rest.split_at_mut(self.w2.len());
+        for (g, h) in gw2.iter_mut().zip(&fwd.hidden) {
+            *g += err * h;
+        }
+        gb2[0] += err;
+        // Hidden layer.
+        for h in 0..self.hidden_dim {
+            let dh = err
+                * self.w2[h]
+                * self.hidden_activation.derivative_from_output(fwd.hidden[h]);
+            for i in 0..self.input_dim {
+                gw1[h * self.input_dim + i] += dh * input[i];
+            }
+            gb1[h] += dh;
+        }
+        Ok(err * err)
+    }
+
+    /// Mutable view of all parameters as one flat slice-set, in the order
+    /// `w1, b1, w2, b2` (the layout gradients use).
+    pub fn apply_update(&mut self, update: impl Fn(usize, f64) -> f64) {
+        let mut idx = 0;
+        for w in &mut self.w1 {
+            *w = update(idx, *w);
+            idx += 1;
+        }
+        for b in &mut self.b1 {
+            *b = update(idx, *b);
+            idx += 1;
+        }
+        for w in &mut self.w2 {
+            *w = update(idx, *w);
+            idx += 1;
+        }
+        self.b2 = update(idx, self.b2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dims() {
+        assert!(Mlp::new(0, 3, Activation::TanSig, 1).is_err());
+        assert!(Mlp::new(3, 0, Activation::TanSig, 1).is_err());
+        let m = Mlp::new(4, 6, Activation::TanSig, 1).unwrap();
+        assert_eq!(m.input_dim(), 4);
+        assert_eq!(m.hidden_dim(), 6);
+        assert_eq!(m.n_params(), 4 * 6 + 6 + 6 + 1);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = Mlp::new(3, 5, Activation::TanSig, 42).unwrap();
+        let b = Mlp::new(3, 5, Activation::TanSig, 42).unwrap();
+        assert_eq!(a, b);
+        let c = Mlp::new(3, 5, Activation::TanSig, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let m = Mlp::new(3, 2, Activation::TanSig, 1).unwrap();
+        assert!(matches!(
+            m.predict(&[1.0, 2.0]),
+            Err(NeuralError::InputWidthMismatch { expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn output_is_finite_for_large_inputs() {
+        let m = Mlp::new(2, 8, Activation::TanSig, 2).unwrap();
+        let y = m.predict(&[1e6, -1e6]).unwrap();
+        assert!(y.is_finite());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = Mlp::new(3, 4, Activation::TanSig, 3).unwrap();
+        let input = [0.3, -0.7, 0.2];
+        let target = 0.5;
+        let mut grad = vec![0.0; m.n_params()];
+        m.accumulate_gradient(&input, target, &mut grad).unwrap();
+
+        let h = 1e-6;
+        let mut idx_check = 0;
+        let loss = |net: &Mlp| {
+            let e = net.predict(&input).unwrap() - target;
+            0.5 * e * e
+        };
+        #[allow(clippy::needless_range_loop)] // probe selects a parameter index
+        for probe in 0..m.n_params() {
+            let mut plus = m.clone();
+            plus.apply_update(|i, v| if i == probe { v + h } else { v });
+            let mut minus = m.clone();
+            minus.apply_update(|i, v| if i == probe { v - h } else { v });
+            let numeric = (loss(&plus) - loss(&minus)) / (2.0 * h);
+            assert!(
+                (numeric - grad[probe]).abs() < 1e-5,
+                "param {probe}: numeric {numeric} vs analytic {}",
+                grad[probe]
+            );
+            idx_check += 1;
+        }
+        assert_eq!(idx_check, m.n_params());
+    }
+
+    #[test]
+    fn accumulate_returns_squared_error() {
+        let m = Mlp::new(1, 2, Activation::TanSig, 4).unwrap();
+        let mut grad = vec![0.0; m.n_params()];
+        let out = m.predict(&[0.5]).unwrap();
+        let se = m.accumulate_gradient(&[0.5], 1.0, &mut grad).unwrap();
+        assert!((se - (out - 1.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_update_touches_every_param() {
+        let mut m = Mlp::new(2, 3, Activation::TanSig, 5).unwrap();
+        let before = m.clone();
+        m.apply_update(|_, v| v + 1.0);
+        let mut diffs = 0;
+        // Re-run prediction difference as a proxy: all params shifted.
+        let y0 = before.predict(&[0.1, 0.2]).unwrap();
+        let y1 = m.predict(&[0.1, 0.2]).unwrap();
+        if (y1 - y0).abs() > 1e-9 {
+            diffs += 1;
+        }
+        assert_eq!(diffs, 1);
+    }
+}

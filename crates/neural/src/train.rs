@@ -1,0 +1,315 @@
+//! Batch training with early stopping.
+//!
+//! Two optimizers are provided: **RPROP** (resilient backpropagation,
+//! the default — robust on the small per-target datasets the spatial model
+//! sees, with no learning rate to tune) and plain **SGD with momentum**.
+//! Training stops early when the validation error has not improved for
+//! `patience` epochs, the standard guard against overfitting tiny series.
+
+use crate::network::Mlp;
+use crate::{NeuralError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer drives training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum Optimizer {
+    /// Resilient backpropagation (sign-based adaptive step sizes).
+    #[default]
+    Rprop,
+    /// Stochastic gradient descent with momentum (full-batch here).
+    Sgd {
+        /// Learning rate.
+        learning_rate: f64,
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f64,
+    },
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Maximum number of epochs.
+    pub max_epochs: usize,
+    /// Fraction of samples held out for validation-based early stopping
+    /// (taken from the *end* of the sample list; time-ordered callers get a
+    /// chronological holdout).
+    pub validation_fraction: f64,
+    /// Epochs without validation improvement before stopping.
+    pub patience: usize,
+    /// Optimizer.
+    pub optimizer: Optimizer,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            max_epochs: 300,
+            validation_fraction: 0.2,
+            patience: 25,
+            optimizer: Optimizer::Rprop,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Epochs actually run.
+    pub epochs: usize,
+    /// Final training MSE.
+    pub train_mse: f64,
+    /// Best validation MSE (equals `train_mse` when no validation split).
+    pub validation_mse: f64,
+    /// Whether early stopping triggered.
+    pub stopped_early: bool,
+}
+
+/// Trains `network` in place on `(inputs, targets)`.
+///
+/// The network with the *best validation error* is the one left in
+/// `network` (classic early-stopping semantics).
+///
+/// # Errors
+///
+/// * [`NeuralError::NotEnoughData`] when there are no samples.
+/// * [`NeuralError::BadDimensions`] when inputs/targets lengths differ.
+/// * [`NeuralError::InvalidParameter`] for bad config values.
+/// * Propagates width mismatches from the forward pass.
+pub fn train(network: &mut Mlp, inputs: &[Vec<f64>], targets: &[f64], config: &TrainConfig) -> Result<TrainReport> {
+    if inputs.is_empty() {
+        return Err(NeuralError::NotEnoughData { required: 1, actual: 0 });
+    }
+    if inputs.len() != targets.len() {
+        return Err(NeuralError::BadDimensions {
+            detail: format!("{} inputs vs {} targets", inputs.len(), targets.len()),
+        });
+    }
+    if !(0.0..1.0).contains(&config.validation_fraction) {
+        return Err(NeuralError::InvalidParameter {
+            name: "validation_fraction",
+            detail: format!("must lie in [0, 1), got {}", config.validation_fraction),
+        });
+    }
+    if config.max_epochs == 0 {
+        return Err(NeuralError::InvalidParameter {
+            name: "max_epochs",
+            detail: "must be nonzero".to_string(),
+        });
+    }
+    if targets.iter().any(|t| !t.is_finite())
+        || inputs.iter().flatten().any(|v| !v.is_finite())
+    {
+        return Err(NeuralError::NonFiniteInput);
+    }
+
+    let n_val = ((inputs.len() as f64) * config.validation_fraction) as usize;
+    let n_train = inputs.len() - n_val;
+    // Never train on zero samples; fold a too-small split back in.
+    let (n_train, n_val) = if n_train == 0 { (inputs.len(), 0) } else { (n_train, n_val) };
+
+    let n_params = network.n_params();
+    let mut grad = vec![0.0; n_params];
+    let mut prev_grad = vec![0.0; n_params];
+    let mut step = vec![0.05f64; n_params]; // RPROP initial step
+    let mut velocity = vec![0.0; n_params];
+
+    let mut best = network.clone();
+    let mut best_val = f64::INFINITY;
+    let mut stall = 0usize;
+    let mut epochs_run = 0usize;
+    let mut train_mse = f64::INFINITY;
+    let mut stopped_early = false;
+
+    for epoch in 0..config.max_epochs {
+        epochs_run = epoch + 1;
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        let mut sse = 0.0;
+        for (x, y) in inputs[..n_train].iter().zip(&targets[..n_train]) {
+            sse += network.accumulate_gradient(x, *y, &mut grad)?;
+        }
+        train_mse = sse / n_train as f64;
+
+        match config.optimizer {
+            Optimizer::Rprop => {
+                // iRPROP−: adapt per-parameter steps by gradient sign
+                // agreement; on sign flip, shrink the step and skip the move.
+                const ETA_PLUS: f64 = 1.2;
+                const ETA_MINUS: f64 = 0.5;
+                const STEP_MAX: f64 = 5.0;
+                const STEP_MIN: f64 = 1e-9;
+                let g = grad.clone();
+                let pg = prev_grad.clone();
+                let mut moves = vec![0.0; n_params];
+                for i in 0..n_params {
+                    let prod = g[i] * pg[i];
+                    if prod > 0.0 {
+                        step[i] = (step[i] * ETA_PLUS).min(STEP_MAX);
+                        moves[i] = -g[i].signum() * step[i];
+                        prev_grad[i] = g[i];
+                    } else if prod < 0.0 {
+                        step[i] = (step[i] * ETA_MINUS).max(STEP_MIN);
+                        moves[i] = 0.0;
+                        prev_grad[i] = 0.0;
+                    } else {
+                        moves[i] = -g[i].signum() * step[i];
+                        prev_grad[i] = g[i];
+                    }
+                }
+                network.apply_update(|i, v| v + moves[i]);
+            }
+            Optimizer::Sgd { learning_rate, momentum } => {
+                let scale = learning_rate / n_train as f64;
+                for i in 0..n_params {
+                    velocity[i] = momentum * velocity[i] - scale * grad[i];
+                }
+                network.apply_update(|i, v| v + velocity[i]);
+            }
+        }
+
+        // Validation / early stopping.
+        let val_mse = if n_val > 0 {
+            let mut sse = 0.0;
+            for (x, y) in inputs[n_train..].iter().zip(&targets[n_train..]) {
+                let e = network.predict(x)? - y;
+                sse += e * e;
+            }
+            sse / n_val as f64
+        } else {
+            train_mse
+        };
+        if val_mse < best_val - 1e-12 {
+            best_val = val_mse;
+            best = network.clone();
+            stall = 0;
+        } else {
+            stall += 1;
+            if stall >= config.patience {
+                stopped_early = true;
+                break;
+            }
+        }
+    }
+
+    *network = best;
+    Ok(TrainReport { epochs: epochs_run, train_mse, validation_mse: best_val, stopped_early })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+
+    fn xor_like() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // A smooth nonlinear target a linear model cannot fit.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..80 {
+            let a = (i % 9) as f64 / 4.0 - 1.0;
+            let b = (i / 9) as f64 / 4.0 - 1.0;
+            xs.push(vec![a, b]);
+            ys.push((a * b).tanh());
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn rprop_learns_nonlinear_function() {
+        let (xs, ys) = xor_like();
+        let mut net = Mlp::new(2, 8, Activation::TanSig, 11).unwrap();
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig { max_epochs: 500, validation_fraction: 0.0, patience: 100, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.train_mse < 0.01, "train MSE {}", report.train_mse);
+        // Spot-check sign structure of the learned surface.
+        assert!(net.predict(&[0.9, 0.9]).unwrap() > 0.2);
+        assert!(net.predict(&[0.9, -0.9]).unwrap() < -0.2);
+    }
+
+    #[test]
+    fn sgd_also_reduces_error() {
+        let (xs, ys) = xor_like();
+        let mut net = Mlp::new(2, 8, Activation::TanSig, 12).unwrap();
+        let initial_mse: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (net.predict(x).unwrap() - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64;
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig {
+                max_epochs: 400,
+                validation_fraction: 0.0,
+                patience: 400,
+                optimizer: Optimizer::Sgd { learning_rate: 0.5, momentum: 0.9 },
+            },
+        )
+        .unwrap();
+        assert!(report.train_mse < initial_mse * 0.5, "{} vs {initial_mse}", report.train_mse);
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_noise() {
+        // Pure noise: validation cannot improve for long.
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 * 0.37).sin()]).collect();
+        let ys: Vec<f64> = (0..60).map(|i| ((i * 2654435761u64 % 97) as f64 / 97.0) - 0.5).collect();
+        let mut net = Mlp::new(1, 4, Activation::TanSig, 13).unwrap();
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig { max_epochs: 5_000, patience: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert!(report.stopped_early);
+        assert!(report.epochs < 5_000);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let mut net = Mlp::new(1, 2, Activation::TanSig, 1).unwrap();
+        assert!(train(&mut net, &[], &[], &TrainConfig::default()).is_err());
+        assert!(train(&mut net, &[vec![1.0]], &[1.0, 2.0], &TrainConfig::default()).is_err());
+        assert!(train(
+            &mut net,
+            &[vec![f64::NAN]],
+            &[1.0],
+            &TrainConfig { validation_fraction: 0.0, ..Default::default() }
+        )
+        .is_err());
+        let bad = TrainConfig { validation_fraction: 1.5, ..Default::default() };
+        assert!(train(&mut net, &[vec![1.0]], &[1.0], &bad).is_err());
+        let bad = TrainConfig { max_epochs: 0, ..Default::default() };
+        assert!(train(&mut net, &[vec![1.0]], &[1.0], &bad).is_err());
+    }
+
+    #[test]
+    fn best_validation_network_is_kept() {
+        let (xs, ys) = xor_like();
+        let mut net = Mlp::new(2, 6, Activation::TanSig, 14).unwrap();
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &TrainConfig { max_epochs: 300, validation_fraction: 0.25, patience: 30, ..Default::default() },
+        )
+        .unwrap();
+        // Recompute validation error of the returned network: must equal
+        // the reported best.
+        let n_val = (xs.len() as f64 * 0.25) as usize;
+        let n_train = xs.len() - n_val;
+        let mut sse = 0.0;
+        for (x, y) in xs[n_train..].iter().zip(&ys[n_train..]) {
+            let e = net.predict(x).unwrap() - y;
+            sse += e * e;
+        }
+        let val = sse / n_val as f64;
+        assert!((val - report.validation_mse).abs() < 1e-9);
+    }
+}

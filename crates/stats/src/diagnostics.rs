@@ -1,0 +1,283 @@
+//! Residual diagnostics for fitted time-series models.
+//!
+//! After fitting a temporal model, the Box–Jenkins workflow checks that the
+//! residuals are white noise; the Ljung–Box portmanteau test is the standard
+//! instrument. The chi-square survival function it needs is implemented via
+//! the regularized incomplete gamma function.
+
+use crate::acf::acf;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a Ljung–Box test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LjungBox {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used for the reference chi-square.
+    pub dof: usize,
+    /// Right-tail p-value; small values reject "residuals are white noise".
+    pub p_value: f64,
+}
+
+impl LjungBox {
+    /// Convenience: whether white noise is *not* rejected at the given
+    /// significance level (i.e. the residuals look clean).
+    pub fn looks_white(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Ljung–Box portmanteau test on a residual series with `lags` tested lags
+/// and `fitted_params` estimated model parameters (subtracted from the
+/// degrees of freedom).
+///
+/// # Errors
+///
+/// * [`StatsError::TooShort`] when the series cannot support `lags`.
+/// * [`StatsError::InvalidParameter`] when `lags == 0` or
+///   `lags <= fitted_params` (no degrees of freedom would remain).
+///
+/// # Example
+///
+/// ```
+/// use rand::{Rng, SeedableRng};
+/// # fn main() -> Result<(), ddos_stats::StatsError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let noise: Vec<f64> = (0..500).map(|_| rng.gen::<f64>() - 0.5).collect();
+/// let lb = ddos_stats::diagnostics::ljung_box(&noise, 10, 0)?;
+/// assert!(lb.looks_white(0.01));
+/// # Ok(())
+/// # }
+/// ```
+pub fn ljung_box(residuals: &[f64], lags: usize, fitted_params: usize) -> Result<LjungBox> {
+    if lags == 0 {
+        return Err(StatsError::InvalidParameter {
+            name: "lags",
+            detail: "must test at least one lag".to_string(),
+        });
+    }
+    if lags <= fitted_params {
+        return Err(StatsError::InvalidParameter {
+            name: "lags",
+            detail: format!("lags ({lags}) must exceed fitted parameter count ({fitted_params})"),
+        });
+    }
+    let n = residuals.len();
+    let rho = acf(residuals, lags)?;
+    let mut q = 0.0;
+    for (k, r) in rho.iter().enumerate().skip(1) {
+        q += r * r / (n - k) as f64;
+    }
+    q *= n as f64 * (n as f64 + 2.0);
+    let dof = lags - fitted_params;
+    let p_value = chi_square_sf(q, dof as f64);
+    Ok(LjungBox { statistic: q, dof, p_value })
+}
+
+/// Right-tail probability of the chi-square distribution with `k` degrees
+/// of freedom: `P(X > x)`.
+///
+/// Returns 1.0 for `x <= 0`.
+pub fn chi_square_sf(x: f64, k: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - regularized_lower_gamma(k / 2.0, x / 2.0)
+}
+
+/// Regularized lower incomplete gamma function P(a, x), by series expansion
+/// for `x < a + 1` and continued fraction otherwise (Numerical-Recipes
+/// style `gammp`).
+pub fn regularized_lower_gamma(a: f64, x: f64) -> f64 {
+    if x < 0.0 || a <= 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series representation.
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..500 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-14 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Continued fraction for Q(a, x), then P = 1 - Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1e308;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-14 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9).
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Summary statistics of a residual series: mean, standard deviation and
+/// the fraction of |residual| values exceeding two standard deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidualSummary {
+    /// Mean residual (should be near zero for an unbiased model).
+    pub mean: f64,
+    /// Residual standard deviation.
+    pub std_dev: f64,
+    /// Fraction of residuals beyond ±2σ (≈0.05 for Gaussian residuals).
+    pub outlier_fraction: f64,
+}
+
+/// Computes a [`ResidualSummary`].
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyInput`] for an empty series.
+pub fn summarize_residuals(residuals: &[f64]) -> Result<ResidualSummary> {
+    if residuals.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mean = crate::metrics::mean(residuals)?;
+    let std_dev = crate::metrics::std_dev(residuals)?;
+    let outliers = if std_dev > 0.0 {
+        residuals.iter().filter(|r| (*r - mean).abs() > 2.0 * std_dev).count()
+    } else {
+        0
+    };
+    Ok(ResidualSummary {
+        mean,
+        std_dev,
+        outlier_fraction: outliers as f64 / residuals.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn regularized_gamma_endpoints() {
+        assert_eq!(regularized_lower_gamma(2.0, 0.0), 0.0);
+        assert!((regularized_lower_gamma(1.0, 30.0) - 1.0).abs() < 1e-10);
+        // P(1, x) = 1 - e^{-x}
+        assert!((regularized_lower_gamma(1.0, 1.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_sf_known_values() {
+        // Chi-square with 1 dof: P(X > 3.841) ≈ 0.05
+        assert!((chi_square_sf(3.841, 1.0) - 0.05).abs() < 0.002);
+        // 10 dof: P(X > 18.307) ≈ 0.05
+        assert!((chi_square_sf(18.307, 10.0) - 0.05).abs() < 0.002);
+        assert_eq!(chi_square_sf(-1.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let noise: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>() - 0.5).collect();
+        let lb = ljung_box(&noise, 12, 0).unwrap();
+        assert!(lb.looks_white(0.01), "white noise rejected: p = {}", lb.p_value);
+        assert_eq!(lb.dof, 12);
+    }
+
+    #[test]
+    fn ljung_box_rejects_autocorrelated_series() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut x = vec![0.0f64; 2000];
+        for t in 1..x.len() {
+            x[t] = 0.8 * x[t - 1] + rng.gen::<f64>() - 0.5;
+        }
+        let lb = ljung_box(&x, 12, 0).unwrap();
+        assert!(lb.p_value < 1e-6, "AR(1) should fail whiteness: p = {}", lb.p_value);
+        assert!(!lb.looks_white(0.05));
+    }
+
+    #[test]
+    fn ljung_box_validates_params() {
+        let noise = vec![0.0, 1.0, 0.0, 1.0];
+        assert!(ljung_box(&noise, 0, 0).is_err());
+        assert!(ljung_box(&noise, 2, 2).is_err());
+    }
+
+    #[test]
+    fn residual_summary_gaussianish() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let resid: Vec<f64> =
+            (0..5000).map(|_| crate::distributions::standard_normal(&mut rng)).collect();
+        let s = summarize_residuals(&resid).unwrap();
+        assert!(s.mean.abs() < 0.05);
+        assert!((s.std_dev - 1.0).abs() < 0.05);
+        assert!((s.outlier_fraction - 0.0455).abs() < 0.02);
+    }
+
+    #[test]
+    fn residual_summary_constant() {
+        let s = summarize_residuals(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.outlier_fraction, 0.0);
+        assert!(summarize_residuals(&[]).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for every fallible operation in this crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input series (or design matrix) was empty.
+    EmptyInput,
+    /// The input was too short for the requested operation.
+    ///
+    /// Carries the required and actual lengths.
+    TooShort {
+        /// Minimum number of observations required.
+        required: usize,
+        /// Number of observations actually supplied.
+        actual: usize,
+    },
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A matrix operation failed because the matrix is singular
+    /// (or numerically too ill-conditioned to factor).
+    SingularMatrix,
+    /// Dimensions were inconsistent for a matrix operation.
+    DimensionMismatch {
+        /// Textual description of the offending shapes.
+        detail: String,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Textual description of the violation.
+        detail: String,
+    },
+    /// Model fitting failed to converge.
+    NonConvergence {
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input contained a non-finite value (NaN or infinity).
+    NonFiniteInput,
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyInput => write!(f, "input is empty"),
+            StatsError::TooShort { required, actual } => {
+                write!(f, "input too short: need at least {required}, got {actual}")
+            }
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::SingularMatrix => write!(f, "matrix is singular or ill-conditioned"),
+            StatsError::DimensionMismatch { detail } => {
+                write!(f, "dimension mismatch: {detail}")
+            }
+            StatsError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            StatsError::NonConvergence { iterations } => {
+                write!(f, "failed to converge after {iterations} iterations")
+            }
+            StatsError::NonFiniteInput => write!(f, "input contains NaN or infinite values"),
+        }
+    }
+}
+
+impl Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = StatsError::EmptyInput;
+        let msg = e.to_string();
+        assert!(msg.starts_with("input"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn display_reports_lengths() {
+        let e = StatsError::TooShort { required: 10, actual: 3 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", StatsError::SingularMatrix).is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Ordinary least squares: simple and multivariate linear regression.
+//!
+//! The spatiotemporal model of the paper (§VI) attaches a multivariate
+//! linear regression (MLR) to every leaf of a regression tree; the temporal
+//! model's AR component is also fit by least squares. Both paths go through
+//! [`LinearModel`].
+
+use crate::matrix::Matrix;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted linear model `y = β₀ + β₁ x₁ + … + βₖ xₖ`.
+///
+/// Construct with [`LinearModel::fit`] (multivariate) or
+/// [`LinearModel::fit_simple`] (single regressor).
+///
+/// # Example
+///
+/// ```
+/// use ddos_stats::ols::LinearModel;
+///
+/// # fn main() -> Result<(), ddos_stats::StatsError> {
+/// let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+/// let ys: Vec<f64> = (0..20).map(|i| 3.0 + 2.0 * i as f64).collect();
+/// let model = LinearModel::fit(&xs, &ys)?;
+/// assert!((model.intercept() - 3.0).abs() < 1e-8);
+/// assert!((model.coefficients()[0] - 2.0).abs() < 1e-8);
+/// assert!((model.predict(&[10.0])? - 23.0).abs() < 1e-8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    intercept: f64,
+    coefficients: Vec<f64>,
+    r_squared: f64,
+    residual_std: f64,
+    n_obs: usize,
+}
+
+impl LinearModel {
+    /// Fits a multivariate linear regression with an intercept.
+    ///
+    /// `xs` holds one row of regressors per observation; `ys` the responses.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptyInput`] when `xs` is empty.
+    /// * [`StatsError::LengthMismatch`] when `xs.len() != ys.len()`.
+    /// * [`StatsError::TooShort`] when there are fewer observations than
+    ///   parameters (k + 1).
+    /// * [`StatsError::SingularMatrix`] for collinear designs.
+    /// * [`StatsError::NonFiniteInput`] when inputs contain NaN/∞.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let k = xs[0].len();
+        let p = k + 1;
+        if xs.len() < p {
+            return Err(StatsError::TooShort { required: p, actual: xs.len() });
+        }
+        for row in xs {
+            if row.len() != k {
+                return Err(StatsError::DimensionMismatch {
+                    detail: format!("regressor row has {} entries, expected {k}", row.len()),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::NonFiniteInput);
+            }
+        }
+        if ys.iter().any(|v| !v.is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+
+        // Design matrix with leading column of ones.
+        let rows: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|r| {
+                let mut row = Vec::with_capacity(p);
+                row.push(1.0);
+                row.extend_from_slice(r);
+                row
+            })
+            .collect();
+        let design = Matrix::from_rows(&rows)?;
+        let beta = design.lstsq(ys)?;
+
+        let fitted = design.mat_vec(&beta)?;
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = ys.iter().zip(&fitted).map(|(y, f)| (y - f).powi(2)).sum();
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let dof = (xs.len() - p).max(1);
+        let residual_std = (ss_res / dof as f64).sqrt();
+
+        Ok(LinearModel {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            r_squared,
+            residual_std,
+            n_obs: xs.len(),
+        })
+    }
+
+    /// Fits a simple (single-regressor) linear regression `y = a + b x`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearModel::fit`].
+    pub fn fit_simple(x: &[f64], y: &[f64]) -> Result<Self> {
+        let xs: Vec<Vec<f64>> = x.iter().map(|&v| vec![v]).collect();
+        LinearModel::fit(&xs, y)
+    }
+
+    /// Predicts the response for one regressor row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `x` has the wrong
+    /// number of entries.
+    pub fn predict(&self, x: &[f64]) -> Result<f64> {
+        if x.len() != self.coefficients.len() {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!(
+                    "input has {} regressors, model expects {}",
+                    x.len(),
+                    self.coefficients.len()
+                ),
+            });
+        }
+        Ok(self.intercept + self.coefficients.iter().zip(x).map(|(b, v)| b * v).sum::<f64>())
+    }
+
+    /// Predicts the response for many regressor rows.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LinearModel::predict`], applied to each row.
+    pub fn predict_many(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
+        xs.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The fitted intercept β₀.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// The fitted slope coefficients β₁..βₖ.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Residual standard deviation (√(SSR / dof)).
+    pub fn residual_std(&self) -> f64 {
+        self.residual_std
+    }
+
+    /// Number of observations used for the fit.
+    pub fn n_obs(&self) -> usize {
+        self.n_obs
+    }
+
+    /// Number of regressors (excluding the intercept).
+    pub fn n_regressors(&self) -> usize {
+        self.coefficients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_exact_line() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 5.0 - 1.5 * v).collect();
+        let m = LinearModel::fit_simple(&x, &y).unwrap();
+        assert!((m.intercept() - 5.0).abs() < 1e-9);
+        assert!((m.coefficients()[0] + 1.5).abs() < 1e-9);
+        assert!((m.r_squared() - 1.0).abs() < 1e-12);
+        assert!(m.residual_std() < 1e-8);
+    }
+
+    #[test]
+    fn multivariate_recovers_plane() {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!((m.intercept() - 1.0).abs() < 1e-8);
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefficients()[1] + 3.0).abs() < 1e-8);
+        assert_eq!(m.n_regressors(), 2);
+        assert_eq!(m.n_obs(), 30);
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| 2.0 * i as f64 + if i % 3 == 0 { 1.0 } else { -0.5 })
+            .collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!(m.r_squared() > 0.99);
+        assert!(m.residual_std() > 0.0);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            LinearModel::fit(&xs, &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(LinearModel::fit(&[], &[]), Err(StatsError::EmptyInput)));
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let xs = vec![vec![1.0, 2.0]];
+        assert!(matches!(
+            LinearModel::fit(&xs, &[1.0]),
+            Err(StatsError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_collinear() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert!(LinearModel::fit(&xs, &ys).is_err());
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let xs = vec![vec![1.0], vec![f64::NAN], vec![3.0]];
+        assert!(matches!(
+            LinearModel::fit(&xs, &[1.0, 2.0, 3.0]),
+            Err(StatsError::NonFiniteInput)
+        ));
+    }
+
+    #[test]
+    fn predict_validates_width() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!(m.predict(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn constant_response_r2_is_one() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![7.0; 5];
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        assert!((m.predict(&[3.0]).unwrap() - 7.0).abs() < 1e-9);
+        assert_eq!(m.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn predict_many_matches_predict() {
+        let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] + 0.1 * r[1]).collect();
+        let m = LinearModel::fit(&xs, &ys).unwrap();
+        let batch = m.predict_many(&xs).unwrap();
+        for (row, b) in xs.iter().zip(&batch) {
+            assert_eq!(m.predict(row).unwrap(), *b);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Information-criterion order selection for ARIMA models.
+//!
+//! The paper fits "the most general class of models for time series data"
+//! (§IV-A4) without publishing exact orders; this module performs the
+//! standard Box–Jenkins grid search, choosing the differencing degree from
+//! the lag-1 autocorrelation and the (p, q) pair by AIC (or BIC).
+
+use crate::acf::acf;
+use crate::arima::{difference, Arima, ArimaOrder};
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Which information criterion drives the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Akaike information criterion (default; better for forecasting).
+    #[default]
+    Aic,
+    /// Bayesian information criterion (sparser models).
+    Bic,
+}
+
+/// Configuration for [`search`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchConfig {
+    /// Maximum AR order to try (inclusive).
+    pub max_p: usize,
+    /// Maximum differencing degree to try (inclusive).
+    pub max_d: usize,
+    /// Maximum MA order to try (inclusive).
+    pub max_q: usize,
+    /// Criterion to minimize.
+    pub criterion: Criterion,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { max_p: 3, max_d: 1, max_q: 2, criterion: Criterion::Aic }
+    }
+}
+
+/// Result of an order search: the winning model plus the score table.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The best-scoring fitted model.
+    pub model: Arima,
+    /// Every (order, score) pair that fit successfully, sorted by score.
+    pub table: Vec<(ArimaOrder, f64)>,
+}
+
+/// Chooses a differencing degree `d ∈ 0..=max_d`: the smallest `d` whose
+/// differenced series has lag-1 autocorrelation below 0.9 (a pragmatic
+/// stationarity screen; a near-unit-root series keeps ρ₁ ≈ 1).
+///
+/// # Errors
+///
+/// Propagates [`StatsError::TooShort`] for series too short to difference.
+pub fn choose_differencing(series: &[f64], max_d: usize) -> Result<usize> {
+    for d in 0..=max_d {
+        let w = difference(series, d)?;
+        if w.len() < 3 {
+            return Err(StatsError::TooShort { required: d + 3, actual: series.len() });
+        }
+        match acf(&w, 1) {
+            Ok(rho) if rho[1].abs() < 0.9 => return Ok(d),
+            Ok(_) => continue,
+            // A constant series is trivially stationary.
+            Err(StatsError::InvalidParameter { .. }) => return Ok(d),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(max_d)
+}
+
+/// Grid search over (p, d, q) minimizing the chosen criterion.
+///
+/// `d` is screened first with [`choose_differencing`] and the grid then runs
+/// over `p ∈ 0..=max_p`, `q ∈ 0..=max_q`. Orders whose fit fails (e.g. too
+/// little data) are skipped; at least the white-noise order (0, d, 0) must
+/// fit.
+///
+/// # Errors
+///
+/// * [`StatsError::TooShort`] when even the degenerate order cannot fit.
+/// * Propagates differencing errors.
+///
+/// # Example
+///
+/// ```
+/// use ddos_stats::select::{search, SearchConfig};
+///
+/// # fn main() -> Result<(), ddos_stats::StatsError> {
+/// let series: Vec<f64> = (0..150).map(|i| ((i as f64) * 0.4).sin() * 3.0 + 10.0).collect();
+/// let outcome = search(&series, SearchConfig::default())?;
+/// assert!(outcome.model.order().p > 0); // a sinusoid needs AR structure
+/// # Ok(())
+/// # }
+/// ```
+pub fn search(series: &[f64], config: SearchConfig) -> Result<SearchOutcome> {
+    let d = choose_differencing(series, config.max_d)?;
+    let mut table: Vec<(ArimaOrder, f64)> = Vec::new();
+    let mut best: Option<(ArimaOrder, f64, Arima)> = None;
+    for p in 0..=config.max_p {
+        for q in 0..=config.max_q {
+            let order = ArimaOrder::new(p, d, q);
+            let Ok(model) = Arima::fit(series, order) else { continue };
+            let score = match config.criterion {
+                Criterion::Aic => model.aic(),
+                Criterion::Bic => model.bic(),
+            };
+            if !score.is_finite() {
+                continue;
+            }
+            table.push((order, score));
+            let better = match &best {
+                None => true,
+                Some((_, s, _)) => score < *s,
+            };
+            if better {
+                best = Some((order, score, model));
+            }
+        }
+    }
+    let Some((_, _, model)) = best else {
+        return Err(StatsError::TooShort { required: 8, actual: series.len() });
+    };
+    table.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+    Ok(SearchOutcome { model, table })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn ar_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = vec![0.0; n];
+        for t in 1..n {
+            x[t] = phi * x[t - 1] + rng.gen::<f64>() - 0.5;
+        }
+        x
+    }
+
+    #[test]
+    fn stationary_series_needs_no_differencing() {
+        let s = ar_series(0.5, 500, 1);
+        assert_eq!(choose_differencing(&s, 2).unwrap(), 0);
+    }
+
+    #[test]
+    fn random_walk_needs_one_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = vec![0.0f64];
+        for _ in 0..800 {
+            s.push(s.last().unwrap() + rng.gen::<f64>() - 0.5);
+        }
+        assert_eq!(choose_differencing(&s, 2).unwrap(), 1);
+    }
+
+    #[test]
+    fn linear_trend_detected() {
+        let s: Vec<f64> = (0..300).map(|i| 2.0 * i as f64).collect();
+        let d = choose_differencing(&s, 2).unwrap();
+        assert!(d >= 1, "trend should difference at least once, got {d}");
+    }
+
+    #[test]
+    fn search_prefers_ar_for_ar_data() {
+        let s = ar_series(0.8, 1500, 3);
+        let out = search(&s, SearchConfig::default()).unwrap();
+        assert!(out.model.order().p >= 1, "chose {:?}", out.model.order());
+        assert_eq!(out.model.order().d, 0);
+        assert!(!out.table.is_empty());
+        // Table is sorted ascending.
+        for w in out.table.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn search_white_noise_prefers_small_model() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s: Vec<f64> = (0..1500).map(|_| rng.gen::<f64>()).collect();
+        let out = search(&s, SearchConfig { criterion: Criterion::Bic, ..Default::default() })
+            .unwrap();
+        let o = out.model.order();
+        assert!(o.p + o.q <= 1, "white noise picked {o}");
+    }
+
+    #[test]
+    fn search_fails_on_tiny_series() {
+        assert!(search(&[1.0, 2.0, 3.0], SearchConfig::default()).is_err());
+    }
+
+    #[test]
+    fn criterion_default_is_aic() {
+        assert_eq!(Criterion::default(), Criterion::Aic);
+    }
+}

@@ -1,0 +1,244 @@
+//! Exponential smoothing forecasters.
+//!
+//! Simple (SES) and trend-corrected (Holt) exponential smoothing sit
+//! between the paper's Always-Mean straw man and the full ARIMA machinery:
+//! they adapt to level shifts with two parameters and no model selection.
+//! The ablation benches use them as a middle comparator, and
+//! [`HoltModel::fit_auto`] tunes the smoothing constants by grid search on
+//! one-step training error.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// Simple exponential smoothing: `level ← α·x + (1 − α)·level`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SesModel {
+    alpha: f64,
+    level: f64,
+}
+
+impl SesModel {
+    /// Fits (initializes and runs) SES over a series.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptyInput`] for an empty series.
+    /// * [`StatsError::InvalidParameter`] for `α ∉ (0, 1]`.
+    pub fn fit(series: &[f64], alpha: f64) -> Result<Self> {
+        if series.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "alpha",
+                detail: format!("must lie in (0, 1], got {alpha}"),
+            });
+        }
+        let mut level = series[0];
+        for x in &series[1..] {
+            level = alpha * x + (1.0 - alpha) * level;
+        }
+        Ok(SesModel { alpha, level })
+    }
+
+    /// The current level (= the one-step forecast).
+    pub fn forecast(&self) -> f64 {
+        self.level
+    }
+
+    /// Absorbs one new observation and returns the *pre-update* forecast
+    /// (the rolling-evaluation convention).
+    pub fn update(&mut self, x: f64) -> f64 {
+        let forecast = self.level;
+        self.level = self.alpha * x + (1.0 - self.alpha) * self.level;
+        forecast
+    }
+
+    /// Rolling one-step predictions over a test continuation.
+    pub fn predict_rolling(&mut self, test: &[f64]) -> Vec<f64> {
+        test.iter().map(|x| self.update(*x)).collect()
+    }
+}
+
+/// Holt's linear (trend-corrected) exponential smoothing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoltModel {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+}
+
+impl HoltModel {
+    /// Fits Holt smoothing with the given constants.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::TooShort`] for fewer than two observations.
+    /// * [`StatsError::InvalidParameter`] for constants outside `(0, 1]`.
+    pub fn fit(series: &[f64], alpha: f64, beta: f64) -> Result<Self> {
+        if series.len() < 2 {
+            return Err(StatsError::TooShort { required: 2, actual: series.len() });
+        }
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(StatsError::InvalidParameter {
+                    name: if name == "alpha" { "alpha" } else { "beta" },
+                    detail: format!("must lie in (0, 1], got {v}"),
+                });
+            }
+        }
+        let mut model = HoltModel {
+            alpha,
+            beta,
+            level: series[0],
+            trend: series[1] - series[0],
+        };
+        for x in &series[1..] {
+            model.update(*x);
+        }
+        Ok(model)
+    }
+
+    /// Tunes `(α, β)` by one-step training SSE over a coarse grid and
+    /// returns the best model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`HoltModel::fit`] errors.
+    pub fn fit_auto(series: &[f64]) -> Result<Self> {
+        let grid = [0.05, 0.1, 0.2, 0.4, 0.6, 0.8];
+        let mut best: Option<(f64, Self)> = None;
+        for &alpha in &grid {
+            for &beta in &grid {
+                // One-step SSE computed by replaying the series.
+                if series.len() < 3 {
+                    continue;
+                }
+                let mut m = HoltModel {
+                    alpha,
+                    beta,
+                    level: series[0],
+                    trend: series[1] - series[0],
+                };
+                let mut sse = 0.0;
+                for x in &series[1..] {
+                    let f = m.update(*x);
+                    sse += (f - x).powi(2);
+                }
+                if best.as_ref().is_none_or(|(s, _)| sse < *s) {
+                    best = Some((sse, m));
+                }
+            }
+        }
+        match best {
+            Some((_, m)) => Ok(m),
+            None => HoltModel::fit(series, 0.2, 0.1),
+        }
+    }
+
+    /// One-step forecast `level + trend`.
+    pub fn forecast(&self) -> f64 {
+        self.level + self.trend
+    }
+
+    /// Multi-step forecast `level + h·trend`.
+    pub fn forecast_h(&self, h: usize) -> f64 {
+        self.level + h as f64 * self.trend
+    }
+
+    /// Absorbs one observation and returns the pre-update forecast.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let forecast = self.forecast();
+        let prev_level = self.level;
+        self.level = self.alpha * x + (1.0 - self.alpha) * (self.level + self.trend);
+        self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        forecast
+    }
+
+    /// Rolling one-step predictions over a test continuation.
+    pub fn predict_rolling(&mut self, test: &[f64]) -> Vec<f64> {
+        test.iter().map(|x| self.update(*x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ses_constant_series_is_exact() {
+        let s = vec![5.0; 30];
+        let m = SesModel::fit(&s, 0.3).unwrap();
+        assert!((m.forecast() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ses_adapts_to_level_shift() {
+        let mut s = vec![0.0; 30];
+        s.extend(vec![10.0; 30]);
+        let m = SesModel::fit(&s, 0.3).unwrap();
+        assert!(m.forecast() > 9.0, "level {} did not adapt", m.forecast());
+    }
+
+    #[test]
+    fn ses_validates() {
+        assert!(SesModel::fit(&[], 0.3).is_err());
+        assert!(SesModel::fit(&[1.0], 0.0).is_err());
+        assert!(SesModel::fit(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn holt_tracks_linear_trend() {
+        let s: Vec<f64> = (0..60).map(|i| 3.0 + 2.0 * i as f64).collect();
+        let m = HoltModel::fit(&s, 0.5, 0.3).unwrap();
+        // Next value should be ≈ 3 + 2·60 = 123.
+        assert!((m.forecast() - 123.0).abs() < 2.0, "forecast {}", m.forecast());
+        assert!((m.forecast_h(3) - 127.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn holt_beats_ses_on_trending_data() {
+        let train: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let test: Vec<f64> = (50..70).map(|i| i as f64).collect();
+        let mut holt = HoltModel::fit(&train, 0.5, 0.3).unwrap();
+        let mut ses = SesModel::fit(&train, 0.5).unwrap();
+        let holt_sse: f64 =
+            holt.predict_rolling(&test).iter().zip(&test).map(|(p, t)| (p - t).powi(2)).sum();
+        let ses_sse: f64 =
+            ses.predict_rolling(&test).iter().zip(&test).map(|(p, t)| (p - t).powi(2)).sum();
+        assert!(holt_sse < ses_sse * 0.2, "holt {holt_sse} vs ses {ses_sse}");
+    }
+
+    #[test]
+    fn fit_auto_selects_reasonable_constants() {
+        // Noisy trend: auto-tuned Holt should do no worse than a poor
+        // hand-picked configuration.
+        let series: Vec<f64> =
+            (0..80).map(|i| 0.5 * i as f64 + ((i * 7) % 5) as f64).collect();
+        let (train, test) = series.split_at(60);
+        let mut auto = HoltModel::fit_auto(train).unwrap();
+        let mut poor = HoltModel::fit(train, 1.0, 1.0).unwrap();
+        let sse = |p: Vec<f64>| -> f64 {
+            p.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum()
+        };
+        let auto_sse = sse(auto.predict_rolling(test));
+        let poor_sse = sse(poor.predict_rolling(test));
+        assert!(auto_sse <= poor_sse * 1.2, "auto {auto_sse} vs poor {poor_sse}");
+    }
+
+    #[test]
+    fn holt_validates() {
+        assert!(HoltModel::fit(&[1.0], 0.5, 0.5).is_err());
+        assert!(HoltModel::fit(&[1.0, 2.0], 0.0, 0.5).is_err());
+        assert!(HoltModel::fit(&[1.0, 2.0], 0.5, 2.0).is_err());
+    }
+
+    #[test]
+    fn update_returns_pre_update_forecast() {
+        let mut m = SesModel::fit(&[4.0], 0.5).unwrap();
+        let f = m.update(8.0);
+        assert_eq!(f, 4.0);
+        assert_eq!(m.forecast(), 6.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Attack records: the unit of the corpus.
+//!
+//! In the source dataset "a DDoS attack is labeled with a unique DDoS
+//! identifier, corresponding to an attack by given DDoS malware family on a
+//! given target" (§II-C), carries a start timestamp and a `Duration`
+//! attribute, and is associated with the set of bot IPs observed in hourly
+//! snapshots. [`AttackRecord`] carries exactly those fields.
+
+use crate::family::FamilyId;
+use crate::targets::TargetId;
+use crate::time::Timestamp;
+use ddos_astopo::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The traffic mechanism an attack uses — the paper's introduction calls
+/// out "the attack traffic mechanisms utilized to launch the attacks" as
+/// one axis of DDoS complexity, and real families mix floods and
+/// amplification differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackVector {
+    /// TCP SYN flood (state exhaustion).
+    SynFlood,
+    /// Raw UDP volumetric flood.
+    UdpFlood,
+    /// Application-layer HTTP request flood.
+    HttpFlood,
+    /// Reflected/amplified traffic (DNS/NTP-style).
+    Amplification,
+}
+
+impl AttackVector {
+    /// All vectors, in stable order (the categorical-sampler index order).
+    pub const ALL: [AttackVector; 4] = [
+        AttackVector::SynFlood,
+        AttackVector::UdpFlood,
+        AttackVector::HttpFlood,
+        AttackVector::Amplification,
+    ];
+
+    /// Stable index into [`AttackVector::ALL`].
+    pub fn index(self) -> usize {
+        AttackVector::ALL.iter().position(|v| *v == self).expect("member of ALL")
+    }
+}
+
+impl fmt::Display for AttackVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackVector::SynFlood => write!(f, "syn-flood"),
+            AttackVector::UdpFlood => write!(f, "udp-flood"),
+            AttackVector::HttpFlood => write!(f, "http-flood"),
+            AttackVector::Amplification => write!(f, "amplification"),
+        }
+    }
+}
+
+/// Unique identifier of a verified DDoS attack (the paper's "DDoS ID").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct AttackId(pub u64);
+
+impl fmt::Display for AttackId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ddos#{}", self.0)
+    }
+}
+
+/// One bot observed participating in an attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BotObservation {
+    /// The bot's IPv4 address (host order).
+    pub ip: u32,
+    /// The AS hosting the bot (as the commercial IP→ASN mapping would
+    /// report it).
+    pub asn: Asn,
+}
+
+/// A verified DDoS attack record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackRecord {
+    /// Unique attack identifier.
+    pub id: AttackId,
+    /// Launching botnet family.
+    pub family: FamilyId,
+    /// The victim.
+    pub target: TargetId,
+    /// The victim's AS (the paper's `T_l` variable).
+    pub target_asn: Asn,
+    /// Launch time.
+    pub start: Timestamp,
+    /// Attack duration in seconds (the paper's `Duration` attribute / `T^d`).
+    pub duration_secs: u64,
+    /// Distinct bots observed over the attack's lifetime.
+    pub bots: Vec<BotObservation>,
+    /// Hourly snapshots of the *cumulative* number of distinct bots seen by
+    /// the end of each hour of the attack (at least one snapshot).
+    pub hourly_bot_counts: Vec<u32>,
+    /// Whether this record was flagged as a multistage follow-up: same
+    /// target as the family's previous attack, 30 s–24 h after it.
+    pub multistage: bool,
+    /// The traffic mechanism used.
+    pub vector: AttackVector,
+}
+
+impl AttackRecord {
+    /// Magnitude of the attack: number of distinct participating bots
+    /// (the paper measures attack magnitude by bot count, after Mao et al.).
+    pub fn magnitude(&self) -> usize {
+        self.bots.len()
+    }
+
+    /// The attack's end time.
+    pub fn end(&self) -> Timestamp {
+        self.start + self.duration_secs
+    }
+
+    /// Distinct source ASes, ascending.
+    pub fn source_asns(&self) -> Vec<Asn> {
+        let set: BTreeSet<Asn> = self.bots.iter().map(|b| b.asn).collect();
+        set.into_iter().collect()
+    }
+
+    /// Histogram of bots per source AS, ascending by ASN.
+    pub fn asn_histogram(&self) -> Vec<(Asn, usize)> {
+        let mut counts: std::collections::BTreeMap<Asn, usize> = std::collections::BTreeMap::new();
+        for b in &self.bots {
+            *counts.entry(b.asn).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Internal consistency check used by generator tests and property
+    /// tests: snapshots must be monotone, end at the full magnitude, and
+    /// cover the duration.
+    pub fn is_consistent(&self) -> bool {
+        if self.hourly_bot_counts.is_empty() {
+            return false;
+        }
+        if self.hourly_bot_counts.windows(2).any(|w| w[0] > w[1]) {
+            return false;
+        }
+        if *self.hourly_bot_counts.last().expect("nonempty") as usize != self.bots.len() {
+            return false;
+        }
+        let hours_needed = self.duration_secs.div_ceil(crate::time::HOUR).max(1);
+        self.hourly_bot_counts.len() as u64 == hours_needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttackRecord {
+        AttackRecord {
+            id: AttackId(7),
+            family: FamilyId(0),
+            target: TargetId(3),
+            target_asn: Asn(500),
+            start: Timestamp::from_day_hour(2, 10),
+            duration_secs: 5_400, // 1.5 h → 2 snapshots
+            bots: vec![
+                BotObservation { ip: 1, asn: Asn(10) },
+                BotObservation { ip: 2, asn: Asn(10) },
+                BotObservation { ip: 3, asn: Asn(20) },
+            ],
+            hourly_bot_counts: vec![2, 3],
+            multistage: false,
+            vector: AttackVector::SynFlood,
+        }
+    }
+
+    #[test]
+    fn magnitude_counts_bots() {
+        assert_eq!(sample().magnitude(), 3);
+    }
+
+    #[test]
+    fn end_adds_duration() {
+        let a = sample();
+        assert_eq!(a.end().as_secs(), a.start.as_secs() + 5_400);
+    }
+
+    #[test]
+    fn source_asns_dedup_sorted() {
+        assert_eq!(sample().source_asns(), vec![Asn(10), Asn(20)]);
+    }
+
+    #[test]
+    fn asn_histogram_counts() {
+        assert_eq!(sample().asn_histogram(), vec![(Asn(10), 2), (Asn(20), 1)]);
+    }
+
+    #[test]
+    fn consistency_accepts_valid_record() {
+        assert!(sample().is_consistent());
+    }
+
+    #[test]
+    fn consistency_rejects_bad_snapshots() {
+        let mut a = sample();
+        a.hourly_bot_counts = vec![3, 2];
+        assert!(!a.is_consistent());
+
+        let mut a = sample();
+        a.hourly_bot_counts = vec![2, 2]; // final != magnitude
+        assert!(!a.is_consistent());
+
+        let mut a = sample();
+        a.hourly_bot_counts = vec![3]; // wrong snapshot count for 1.5h
+        assert!(!a.is_consistent());
+
+        let mut a = sample();
+        a.hourly_bot_counts.clear();
+        assert!(!a.is_consistent());
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(AttackId(5).to_string(), "ddos#5");
+    }
+
+    #[test]
+    fn vector_index_round_trips() {
+        for (i, v) in AttackVector::ALL.iter().enumerate() {
+            assert_eq!(v.index(), i);
+        }
+        assert_eq!(AttackVector::Amplification.to_string(), "amplification");
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-family bot pools with AS affinity and temporal churn.
+//!
+//! A family's pool is recruited once per trace: bots are placed into stub
+//! ASes drawn from a region-weighted Zipf (families concentrate in few
+//! networks — the geolocation affinity of §II-B). At attack time the
+//! participants are sampled from a *rotating window* over the pool, so the
+//! set of source ASes drifts slowly across the trace: "the bots involved in
+//! an attack may rotate or shift" (§III-B1). That drift is precisely the
+//! signal the temporal `A^s` series and the spatial model consume.
+
+use crate::attack::BotObservation;
+use crate::family::FamilyProfile;
+use crate::{Result, TraceError};
+use ddos_astopo::graph::{AsGraph, Tier};
+use ddos_astopo::ipmap::Prefix;
+use ddos_astopo::Asn;
+use ddos_stats::distributions::Categorical;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A botnet family's recruited bot population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BotPool {
+    bots: Vec<BotObservation>,
+    /// Fraction of the pool the rotation window advances per day.
+    churn_per_day: f64,
+    /// Fraction of the pool inside the active window.
+    window_fraction: f64,
+}
+
+impl BotPool {
+    /// Recruits a pool for `profile` over the stub ASes of `graph`.
+    ///
+    /// AS selection layers the family's regional affinity over a Zipf
+    /// concentration (rank order deterministic in the ASN sort, offset by
+    /// `family_slot` so families prefer different networks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] when the graph has no stub
+    /// ASes or allocations are missing.
+    pub fn recruit<R: Rng + ?Sized>(
+        graph: &AsGraph,
+        allocations: &BTreeMap<Asn, Vec<Prefix>>,
+        profile: &FamilyProfile,
+        family_slot: usize,
+        rng: &mut R,
+    ) -> Result<Self> {
+        let stubs = graph.tier_members(Tier::Stub);
+        if stubs.is_empty() {
+            return Err(TraceError::InvalidConfig {
+                detail: "topology has no stub ASes to host bots".to_string(),
+            });
+        }
+        // Regional weight per stub.
+        let weights: Vec<f64> = stubs
+            .iter()
+            .map(|s| {
+                let region = graph.info(*s).expect("stub exists").region as usize;
+                profile.region_weights[region % profile.region_weights.len()].max(1e-6)
+            })
+            .collect();
+
+        // Zipf rank over a rotated stub order: family_slot shifts which
+        // ASes take the head ranks.
+        let zipf_weight = |rank: usize| 1.0 / ((rank + 1) as f64).powf(profile.as_concentration);
+        let composed: Vec<f64> = (0..stubs.len())
+            .map(|i| {
+                let rank = (i + stubs.len() - family_slot * 7 % stubs.len()) % stubs.len();
+                weights[i] * zipf_weight(rank)
+            })
+            .collect();
+        let picker = Categorical::new(&composed).map_err(TraceError::Stats)?;
+
+        let mut bots = Vec::with_capacity(profile.pool_size);
+        let mut used: BTreeSet<u32> = BTreeSet::new();
+        while bots.len() < profile.pool_size {
+            let asn = stubs[picker.sample(rng)];
+            let prefixes = allocations.get(&asn).ok_or_else(|| TraceError::InvalidConfig {
+                detail: format!("{asn} has no prefix allocation"),
+            })?;
+            let prefix = prefixes[rng.gen_range(0..prefixes.len())];
+            let ip = prefix.address(rng.gen_range(1..prefix.size()));
+            if used.insert(ip) {
+                bots.push(BotObservation { ip, asn });
+            }
+        }
+        Ok(BotPool { bots, churn_per_day: 0.013, window_fraction: 0.5 })
+    }
+
+    /// Number of bots in the pool.
+    pub fn len(&self) -> usize {
+        self.bots.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bots.is_empty()
+    }
+
+    /// All bots (stable order).
+    pub fn bots(&self) -> &[BotObservation] {
+        &self.bots
+    }
+
+    /// Distinct ASes hosting pool bots, ascending.
+    pub fn asns(&self) -> Vec<Asn> {
+        let set: BTreeSet<Asn> = self.bots.iter().map(|b| b.asn).collect();
+        set.into_iter().collect()
+    }
+
+    /// The set of bots considered *active* on `day`: a circular window over
+    /// the pool that advances by `churn_per_day · len` indices per day.
+    pub fn active_window(&self, day: u32) -> Vec<BotObservation> {
+        let n = self.bots.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let window = ((n as f64 * self.window_fraction).ceil() as usize).clamp(1, n);
+        let start = ((day as f64 * self.churn_per_day * n as f64) as usize) % n;
+        (0..window).map(|i| self.bots[(start + i) % n]).collect()
+    }
+
+    /// Samples `count` distinct participants for an attack launched on
+    /// `day`. When `count` exceeds the day's active window, the whole
+    /// window participates.
+    pub fn participants<R: Rng + ?Sized>(
+        &self,
+        day: u32,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<BotObservation> {
+        let window = self.active_window(day);
+        if count >= window.len() {
+            return window;
+        }
+        // Partial Fisher–Yates over the window.
+        let mut w = window;
+        for i in 0..count {
+            let j = rng.gen_range(i..w.len());
+            w.swap(i, j);
+        }
+        w.truncate(count);
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::FamilyCatalog;
+    use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+    use ddos_astopo::ipmap::PrefixAllocator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (AsGraph, BTreeMap<Asn, Vec<Prefix>>) {
+        let g = TopologyGenerator::new(TopologyConfig::small(), 61).generate().unwrap();
+        let (_, allocs) = PrefixAllocator::new().allocate_for(&g).unwrap();
+        (g, allocs)
+    }
+
+    fn pool(seed: u64) -> BotPool {
+        let (g, allocs) = setup();
+        let cat = FamilyCatalog::small();
+        let profile = cat.profile(crate::family::FamilyId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        BotPool::recruit(&g, &allocs, profile, 0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn pool_has_requested_size_and_unique_ips() {
+        let p = pool(1);
+        let cat = FamilyCatalog::small();
+        assert_eq!(p.len(), cat.profile(crate::family::FamilyId(0)).unwrap().pool_size);
+        let ips: BTreeSet<u32> = p.bots().iter().map(|b| b.ip).collect();
+        assert_eq!(ips.len(), p.len(), "duplicate IPs recruited");
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn bots_live_in_stub_ases() {
+        let (g, allocs) = setup();
+        let cat = FamilyCatalog::small();
+        let profile = cat.profile(crate::family::FamilyId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let p = BotPool::recruit(&g, &allocs, profile, 1, &mut rng).unwrap();
+        for b in p.bots() {
+            assert_eq!(g.info(b.asn).unwrap().tier, Tier::Stub);
+            assert!(allocs[&b.asn].iter().any(|pf| pf.contains(b.ip)));
+        }
+    }
+
+    #[test]
+    fn pool_is_as_concentrated() {
+        let p = pool(3);
+        // With a Zipf concentration the top AS should hold far more than a
+        // uniform share.
+        let hist: BTreeMap<Asn, usize> = p.bots().iter().fold(BTreeMap::new(), |mut m, b| {
+            *m.entry(b.asn).or_insert(0) += 1;
+            m
+        });
+        let max = *hist.values().max().unwrap();
+        let uniform_share = p.len() / hist.len().max(1);
+        assert!(max > uniform_share * 2, "max {max}, uniform {uniform_share}");
+    }
+
+    #[test]
+    fn active_window_rotates_over_time() {
+        let p = pool(4);
+        let w0: BTreeSet<u32> = p.active_window(0).iter().map(|b| b.ip).collect();
+        let w_far: BTreeSet<u32> = p.active_window(40).iter().map(|b| b.ip).collect();
+        assert_eq!(w0.len(), w_far.len());
+        let overlap = w0.intersection(&w_far).count();
+        assert!(overlap < w0.len(), "window did not rotate");
+        // Adjacent days overlap heavily (slow churn).
+        let w1: BTreeSet<u32> = p.active_window(1).iter().map(|b| b.ip).collect();
+        let near_overlap = w0.intersection(&w1).count();
+        assert!(near_overlap as f64 > w0.len() as f64 * 0.9);
+    }
+
+    #[test]
+    fn participants_are_distinct_and_from_window() {
+        let p = pool(5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let picks = p.participants(10, 50, &mut rng);
+        assert_eq!(picks.len(), 50);
+        let ips: BTreeSet<u32> = picks.iter().map(|b| b.ip).collect();
+        assert_eq!(ips.len(), 50, "participants repeat");
+        let window: BTreeSet<u32> = p.active_window(10).iter().map(|b| b.ip).collect();
+        assert!(ips.iter().all(|ip| window.contains(ip)));
+    }
+
+    #[test]
+    fn oversized_request_returns_whole_window() {
+        let p = pool(7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let picks = p.participants(0, p.len() * 2, &mut rng);
+        assert_eq!(picks.len(), p.active_window(0).len());
+    }
+
+    #[test]
+    fn different_slots_prefer_different_ases() {
+        let (g, allocs) = setup();
+        let cat = FamilyCatalog::small();
+        let profile = cat.profile(crate::family::FamilyId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let p0 = BotPool::recruit(&g, &allocs, profile, 0, &mut rng).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let p5 = BotPool::recruit(&g, &allocs, profile, 5, &mut rng).unwrap();
+        let top = |p: &BotPool| {
+            let mut hist: BTreeMap<Asn, usize> = BTreeMap::new();
+            for b in p.bots() {
+                *hist.entry(b.asn).or_insert(0) += 1;
+            }
+            hist.into_iter().max_by_key(|(_, c)| *c).map(|(a, _)| a)
+        };
+        // Not guaranteed for every seed/slot pair, but with slot offset 35
+        // ranks apart the heads should differ for this fixture.
+        assert_ne!(top(&p0), top(&p5));
+    }
+}

@@ -1,0 +1,277 @@
+//! Multistage-attack chain reconstruction (§III-A2).
+//!
+//! The paper augments the multistage definition of \[22\]: "attacks that
+//! happened consecutively within a timeframe of 30 seconds to 24 hours …
+//! towards the same target are considered as multistage DDoS attacks", and
+//! derives that band "from analyzing the CDF of inter-launching time of
+//! any two consecutive DDoS attacks". This module rebuilds both artifacts
+//! from a corpus: the inter-launch CDF the band was read off, and the
+//! chains themselves (maximal runs of same-target attacks whose
+//! consecutive gaps stay inside the band).
+
+use crate::attack::AttackId;
+use crate::dataset::Corpus;
+use crate::targets::TargetId;
+use crate::time::DAY;
+use crate::{Result, TraceError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The §III-A2 band: consecutive same-target attacks 30 s – 24 h apart.
+pub const MULTISTAGE_MIN_GAP_SECS: u64 = 30;
+/// Upper edge of the multistage band (exclusive).
+pub const MULTISTAGE_MAX_GAP_SECS: u64 = DAY;
+
+/// One reconstructed multistage chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chain {
+    /// The common victim.
+    pub target: TargetId,
+    /// Attack ids in launch order (length ≥ 2).
+    pub attacks: Vec<AttackId>,
+    /// Gaps between consecutive stages, seconds (length = attacks − 1).
+    pub gaps_secs: Vec<u64>,
+}
+
+impl Chain {
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Chains always have at least two stages.
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+
+    /// Total span from first to last launch, seconds.
+    pub fn span_secs(&self) -> u64 {
+        self.gaps_secs.iter().sum()
+    }
+}
+
+/// Chain-level corpus statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// All reconstructed chains.
+    pub chains: Vec<Chain>,
+    /// Fraction of corpus attacks that belong to some chain.
+    pub chained_fraction: f64,
+    /// Mean chain length (stages).
+    pub mean_length: f64,
+    /// Longest chain observed.
+    pub max_length: usize,
+}
+
+/// Reconstructs multistage chains: per target, chronological attacks are
+/// linked while consecutive gaps stay within the 30 s–24 h band; maximal
+/// runs of length ≥ 2 become [`Chain`]s.
+///
+/// # Errors
+///
+/// Returns [`TraceError::EmptyCorpus`] for an empty corpus (cannot happen
+/// for constructed corpora).
+pub fn reconstruct_chains(corpus: &Corpus) -> Result<ChainStats> {
+    if corpus.is_empty() {
+        return Err(TraceError::EmptyCorpus);
+    }
+    let mut per_target: BTreeMap<TargetId, Vec<&crate::attack::AttackRecord>> = BTreeMap::new();
+    for a in corpus.attacks() {
+        per_target.entry(a.target).or_default().push(a);
+    }
+
+    let mut chains = Vec::new();
+    let mut chained_attacks = 0usize;
+    for (target, attacks) in per_target {
+        let mut run: Vec<&crate::attack::AttackRecord> = Vec::new();
+        let flush = |run: &mut Vec<&crate::attack::AttackRecord>, chains: &mut Vec<Chain>| {
+            if run.len() >= 2 {
+                chains.push(Chain {
+                    target,
+                    attacks: run.iter().map(|a| a.id).collect(),
+                    gaps_secs: run.windows(2).map(|w| w[1].start.abs_diff(w[0].start)).collect(),
+                });
+            }
+            run.clear();
+        };
+        for a in attacks {
+            match run.last() {
+                Some(prev) => {
+                    let gap = a.start.abs_diff(prev.start);
+                    if (MULTISTAGE_MIN_GAP_SECS..MULTISTAGE_MAX_GAP_SECS).contains(&gap) {
+                        run.push(a);
+                    } else {
+                        flush(&mut run, &mut chains);
+                        run.push(a);
+                    }
+                }
+                None => run.push(a),
+            }
+        }
+        flush(&mut run, &mut chains);
+    }
+
+    for c in &chains {
+        chained_attacks += c.len();
+    }
+    let mean_length = if chains.is_empty() {
+        0.0
+    } else {
+        chained_attacks as f64 / chains.len() as f64
+    };
+    Ok(ChainStats {
+        max_length: chains.iter().map(Chain::len).max().unwrap_or(0),
+        chained_fraction: chained_attacks as f64 / corpus.len() as f64,
+        mean_length,
+        chains,
+    })
+}
+
+/// The empirical CDF of inter-launch times between consecutive attacks
+/// (corpus-wide, in launch order) — the distribution the paper read the
+/// 30 s–24 h band off. Returns `(sorted gaps in seconds, cumulative
+/// fraction)` pairs decimated to at most `max_points`.
+///
+/// # Errors
+///
+/// Returns [`TraceError::EmptyCorpus`] when fewer than two attacks exist.
+pub fn inter_launch_cdf(corpus: &Corpus, max_points: usize) -> Result<Vec<(f64, f64)>> {
+    if corpus.len() < 2 {
+        return Err(TraceError::EmptyCorpus);
+    }
+    let mut gaps: Vec<f64> = corpus
+        .attacks()
+        .windows(2)
+        .map(|w| w[1].start.abs_diff(w[0].start) as f64)
+        .collect();
+    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    let n = gaps.len();
+    let step = n.div_ceil(max_points.max(1)).max(1);
+    let mut out = Vec::new();
+    for (i, g) in gaps.iter().enumerate() {
+        if i % step == 0 || i == n - 1 {
+            out.push((*g, (i + 1) as f64 / n as f64));
+        }
+    }
+    Ok(out)
+}
+
+/// Fraction of consecutive same-target gaps that fall inside the
+/// multistage band — the coverage argument the paper makes for choosing
+/// it ("covers most consecutive DDoS attacks without introducing much
+/// noise").
+pub fn band_coverage(corpus: &Corpus) -> f64 {
+    let mut per_target: BTreeMap<TargetId, Vec<u64>> = BTreeMap::new();
+    let mut last_seen: BTreeMap<TargetId, crate::time::Timestamp> = BTreeMap::new();
+    for a in corpus.attacks() {
+        if let Some(prev) = last_seen.insert(a.target, a.start) {
+            per_target.entry(a.target).or_default().push(a.start.abs_diff(prev));
+        }
+    }
+    let all: Vec<u64> = per_target.into_values().flatten().collect();
+    if all.is_empty() {
+        return 0.0;
+    }
+    let inside = all
+        .iter()
+        .filter(|g| (MULTISTAGE_MIN_GAP_SECS..MULTISTAGE_MAX_GAP_SECS).contains(g))
+        .count();
+    inside as f64 / all.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 161).generate().unwrap()
+    }
+
+    #[test]
+    fn chains_have_valid_structure() {
+        let c = corpus();
+        let stats = reconstruct_chains(&c).unwrap();
+        assert!(!stats.chains.is_empty(), "no chains found");
+        for chain in &stats.chains {
+            assert!(chain.len() >= 2);
+            assert!(!chain.is_empty());
+            assert_eq!(chain.gaps_secs.len(), chain.len() - 1);
+            for g in &chain.gaps_secs {
+                assert!(
+                    (MULTISTAGE_MIN_GAP_SECS..MULTISTAGE_MAX_GAP_SECS).contains(g),
+                    "gap {g} outside the band"
+                );
+            }
+            assert_eq!(chain.span_secs(), chain.gaps_secs.iter().sum::<u64>());
+        }
+    }
+
+    #[test]
+    fn chained_fraction_reflects_multistage_generation() {
+        let c = corpus();
+        let stats = reconstruct_chains(&c).unwrap();
+        // The small catalog generates 40-45% multistage follow-ups, so a
+        // substantial fraction of attacks must sit in chains.
+        assert!(
+            stats.chained_fraction > 0.3,
+            "chained fraction {}",
+            stats.chained_fraction
+        );
+        assert!(stats.mean_length >= 2.0);
+        assert!(stats.max_length >= 3);
+    }
+
+    #[test]
+    fn generator_multistage_flags_live_in_chains() {
+        // Every attack the generator flagged as multistage must be found
+        // inside some reconstructed chain.
+        let c = corpus();
+        let stats = reconstruct_chains(&c).unwrap();
+        let chained: std::collections::BTreeSet<AttackId> =
+            stats.chains.iter().flat_map(|ch| ch.attacks.iter().copied()).collect();
+        let mut missing = 0;
+        let mut flagged = 0;
+        for a in c.attacks() {
+            if a.multistage {
+                flagged += 1;
+                if !chained.contains(&a.id) {
+                    missing += 1;
+                }
+            }
+        }
+        assert!(flagged > 0);
+        // A flagged attack can fall out of a chain only when its
+        // predecessor's gap collided with the band edges.
+        assert!(
+            (missing as f64) < (flagged as f64) * 0.05,
+            "{missing}/{flagged} multistage attacks missing from chains"
+        );
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let c = corpus();
+        let cdf = inter_launch_cdf(&c, 100).unwrap();
+        assert!(cdf.len() <= 101);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "gaps not sorted");
+            assert!(w[0].1 <= w[1].1, "CDF not monotone");
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_covers_most_same_target_gaps() {
+        let c = corpus();
+        let coverage = band_coverage(&c);
+        // "This range covers most consecutive DDoS attacks."
+        assert!(coverage > 0.5, "band coverage {coverage}");
+    }
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(MULTISTAGE_MIN_GAP_SECS, 30);
+        assert_eq!(MULTISTAGE_MAX_GAP_SECS, 86_400);
+    }
+}

@@ -1,0 +1,369 @@
+//! The corpus container: chronological attack records plus the substrate
+//! they were observed on.
+
+use crate::attack::AttackRecord;
+use crate::family::{FamilyCatalog, FamilyId};
+use crate::targets::{TargetId, TargetPopulation};
+use crate::{Result, TraceError};
+use ddos_astopo::graph::AsGraph;
+use ddos_astopo::ipmap::IpAsnMap;
+use ddos_astopo::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete verified-attack corpus.
+///
+/// Holds the chronologically ordered attacks together with the synthetic
+/// Internet they were generated on, the IP→ASN mapping, the target
+/// population and the family catalog — everything the feature extractors
+/// in `ddos-core` need.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Corpus {
+    attacks: Vec<AttackRecord>,
+    catalog: FamilyCatalog,
+    topology: AsGraph,
+    ipmap: IpAsnMap,
+    targets: TargetPopulation,
+    days: u32,
+}
+
+impl Corpus {
+    /// Assembles a corpus. Attacks must already be chronologically sorted.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::EmptyCorpus`] when no attacks are given.
+    /// * [`TraceError::InvalidConfig`] when attacks are out of order.
+    pub fn new(
+        attacks: Vec<AttackRecord>,
+        catalog: FamilyCatalog,
+        topology: AsGraph,
+        ipmap: IpAsnMap,
+        targets: TargetPopulation,
+        days: u32,
+    ) -> Result<Self> {
+        if attacks.is_empty() {
+            return Err(TraceError::EmptyCorpus);
+        }
+        if attacks.windows(2).any(|w| w[0].start > w[1].start) {
+            return Err(TraceError::InvalidConfig {
+                detail: "attacks must be chronologically sorted".to_string(),
+            });
+        }
+        Ok(Corpus { attacks, catalog, topology, ipmap, targets, days })
+    }
+
+    /// All attacks, chronological.
+    pub fn attacks(&self) -> &[AttackRecord] {
+        &self.attacks
+    }
+
+    /// Number of attacks.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+    }
+
+    /// Whether the corpus is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.attacks.is_empty()
+    }
+
+    /// The family catalog.
+    pub fn catalog(&self) -> &FamilyCatalog {
+        &self.catalog
+    }
+
+    /// The synthetic Internet.
+    pub fn topology(&self) -> &AsGraph {
+        &self.topology
+    }
+
+    /// The IP→ASN mapping.
+    pub fn ip_map(&self) -> &IpAsnMap {
+        &self.ipmap
+    }
+
+    /// The target population.
+    pub fn targets(&self) -> &TargetPopulation {
+        &self.targets
+    }
+
+    /// Length of the observation window in days.
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+
+    /// Chronological attacks of one family.
+    pub fn family_attacks(&self, family: FamilyId) -> Vec<&AttackRecord> {
+        self.attacks.iter().filter(|a| a.family == family).collect()
+    }
+
+    /// Chronological attacks on targets inside one AS (the spatial model's
+    /// grouping: "all target-related variables characterize DDoS attacks in
+    /// the same network region (AS-level)", §V).
+    pub fn attacks_on_asn(&self, asn: Asn) -> Vec<&AttackRecord> {
+        self.attacks.iter().filter(|a| a.target_asn == asn).collect()
+    }
+
+    /// Chronological attacks on one target.
+    pub fn attacks_on_target(&self, target: TargetId) -> Vec<&AttackRecord> {
+        self.attacks.iter().filter(|a| a.target == target).collect()
+    }
+
+    /// Distinct target ASes observed, ascending.
+    pub fn target_asns(&self) -> Vec<Asn> {
+        let set: std::collections::BTreeSet<Asn> =
+            self.attacks.iter().map(|a| a.target_asn).collect();
+        set.into_iter().collect()
+    }
+
+    /// Chronological train/test split at `fraction` (the paper uses 80/20:
+    /// 40,563 training and 10,141 testing attacks). Test data strictly
+    /// follows training data in time, so it "has no effect on training".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadSplit`] unless `0 < fraction < 1`.
+    pub fn split(&self, fraction: f64) -> Result<(&[AttackRecord], &[AttackRecord])> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(TraceError::BadSplit(fraction));
+        }
+        let cut = ((self.attacks.len() as f64) * fraction).round() as usize;
+        let cut = cut.clamp(1, self.attacks.len() - 1);
+        Ok(self.attacks.split_at(cut))
+    }
+
+    /// Daily attack counts for a family over the whole window (inactive
+    /// days count zero).
+    pub fn daily_counts(&self, family: FamilyId) -> Vec<f64> {
+        let mut counts = vec![0.0; self.days as usize + 3];
+        for a in self.attacks.iter().filter(|a| a.family == family) {
+            let d = a.start.day() as usize;
+            if d < counts.len() {
+                counts[d] += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// Daily counts restricted to *active* days (what Table I averages
+    /// over).
+    pub fn active_daily_counts(&self, family: FamilyId) -> Vec<f64> {
+        self.daily_counts(family).into_iter().filter(|c| *c > 0.0).collect()
+    }
+
+    /// Inter-launch times in seconds between consecutive attacks of one
+    /// family (the paper's waiting-time component of turnaround time).
+    pub fn inter_launch_times(&self, family: FamilyId) -> Vec<f64> {
+        let fam: Vec<&AttackRecord> = self.family_attacks(family);
+        fam.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect()
+    }
+
+    /// Validates every structural invariant of the corpus and returns the
+    /// first violation found: chronological order, dense ids, record
+    /// consistency (snapshots/magnitude/duration), targets resolvable,
+    /// bots resolvable through the IP map. Generated corpora always pass;
+    /// this is the integrity gate for corpora loaded from external
+    /// sources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] describing the violation.
+    pub fn validate(&self) -> Result<()> {
+        let bad = |detail: String| Err(TraceError::InvalidConfig { detail });
+        for (i, a) in self.attacks.iter().enumerate() {
+            if a.id.0 != i as u64 {
+                return bad(format!("attack at index {i} has id {}", a.id));
+            }
+            if i > 0 && self.attacks[i - 1].start > a.start {
+                return bad(format!("attack {} out of chronological order", a.id));
+            }
+            if !a.is_consistent() {
+                return bad(format!("attack {} has inconsistent snapshots", a.id));
+            }
+            if self.targets.target(a.target).is_err() {
+                return bad(format!("attack {} references unknown {}", a.id, a.target));
+            }
+            if !self.topology.contains(a.target_asn) {
+                return bad(format!("attack {} targets unknown {}", a.id, a.target_asn));
+            }
+            for b in &a.bots {
+                if self.ipmap.lookup(b.ip) != Some(b.asn) {
+                    return bad(format!(
+                        "attack {}: bot {} does not resolve to {}",
+                        a.id,
+                        ddos_astopo::ipmap::format_ipv4(b.ip),
+                        b.asn
+                    ));
+                }
+            }
+            if self.catalog.profile(a.family).is_err() {
+                return bad(format!("attack {} references unknown {}", a.id, a.family));
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-AS attack counts over all targets, descending by count.
+    pub fn hottest_target_asns(&self, n: usize) -> Vec<(Asn, usize)> {
+        let mut counts: BTreeMap<Asn, usize> = BTreeMap::new();
+        for a in &self.attacks {
+            *counts.entry(a.target_asn).or_insert(0) += 1;
+        }
+        let mut v: Vec<(Asn, usize)> = counts.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 71).generate().unwrap()
+    }
+
+    #[test]
+    fn split_is_chronological_80_20() {
+        let c = corpus();
+        let (train, test) = c.split(0.8).unwrap();
+        assert_eq!(train.len() + test.len(), c.len());
+        let ratio = train.len() as f64 / c.len() as f64;
+        assert!((ratio - 0.8).abs() < 0.01);
+        assert!(train.last().unwrap().start <= test.first().unwrap().start);
+    }
+
+    #[test]
+    fn split_rejects_bad_fractions() {
+        let c = corpus();
+        assert!(matches!(c.split(0.0), Err(TraceError::BadSplit(_))));
+        assert!(matches!(c.split(1.0), Err(TraceError::BadSplit(_))));
+        assert!(matches!(c.split(-0.3), Err(TraceError::BadSplit(_))));
+    }
+
+    #[test]
+    fn family_views_partition_the_corpus() {
+        let c = corpus();
+        let total: usize =
+            c.catalog().iter().map(|(id, _)| c.family_attacks(id).len()).sum();
+        assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn asn_views_partition_the_corpus() {
+        let c = corpus();
+        let total: usize = c.target_asns().iter().map(|a| c.attacks_on_asn(*a).len()).sum();
+        assert_eq!(total, c.len());
+    }
+
+    #[test]
+    fn daily_counts_sum_to_family_total() {
+        let c = corpus();
+        for (id, _) in c.catalog().iter() {
+            let total: f64 = c.daily_counts(id).iter().sum();
+            assert_eq!(total as usize, c.family_attacks(id).len());
+            let active: f64 = c.active_daily_counts(id).iter().sum();
+            assert_eq!(active, total);
+        }
+    }
+
+    #[test]
+    fn inter_launch_times_are_nonnegative() {
+        let c = corpus();
+        for (id, _) in c.catalog().iter() {
+            assert!(c.inter_launch_times(id).iter().all(|g| *g >= 0.0));
+        }
+    }
+
+    #[test]
+    fn hottest_asns_sorted_desc() {
+        let c = corpus();
+        let hot = c.hottest_target_asns(5);
+        assert!(!hot.is_empty());
+        for w in hot.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_corpus_rejected() {
+        let c = corpus();
+        let err = Corpus::new(
+            Vec::new(),
+            c.catalog().clone(),
+            c.topology().clone(),
+            c.ip_map().clone(),
+            c.targets().clone(),
+            10,
+        );
+        assert!(matches!(err, Err(TraceError::EmptyCorpus)));
+    }
+
+    #[test]
+    fn unsorted_attacks_rejected() {
+        let c = corpus();
+        let mut attacks: Vec<AttackRecord> = c.attacks().to_vec();
+        attacks.swap(0, c.len() - 1);
+        let err = Corpus::new(
+            attacks,
+            c.catalog().clone(),
+            c.topology().clone(),
+            c.ip_map().clone(),
+            c.targets().clone(),
+            c.days(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn generated_corpus_validates() {
+        let c = corpus();
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let c = corpus();
+        // Corrupt one record's snapshots.
+        let mut attacks: Vec<AttackRecord> = c.attacks().to_vec();
+        attacks[3].hourly_bot_counts.clear();
+        let broken = Corpus::new(
+            attacks,
+            c.catalog().clone(),
+            c.topology().clone(),
+            c.ip_map().clone(),
+            c.targets().clone(),
+            c.days(),
+        )
+        .unwrap();
+        let err = broken.validate().unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+
+        // Corrupt a bot's ASN.
+        let mut attacks: Vec<AttackRecord> = c.attacks().to_vec();
+        attacks[0].bots[0].asn = ddos_astopo::Asn(999_999);
+        let broken = Corpus::new(
+            attacks,
+            c.catalog().clone(),
+            c.topology().clone(),
+            c.ip_map().clone(),
+            c.targets().clone(),
+            c.days(),
+        )
+        .unwrap();
+        assert!(broken.validate().is_err());
+    }
+
+    #[test]
+    fn attacks_on_target_are_chronological() {
+        let c = corpus();
+        let target = c.attacks()[0].target;
+        let on_target = c.attacks_on_target(target);
+        for w in on_target.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for trace generation and corpus manipulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Generator or corpus configuration is invalid.
+    InvalidConfig {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// An operation referenced an unknown botnet family.
+    UnknownFamily(crate::family::FamilyId),
+    /// An operation referenced an unknown target.
+    UnknownTarget(crate::targets::TargetId),
+    /// The corpus is empty where data was required.
+    EmptyCorpus,
+    /// A split fraction was outside (0, 1).
+    BadSplit(f64),
+    /// An underlying topology operation failed.
+    Topology(ddos_astopo::TopoError),
+    /// An underlying statistical operation failed.
+    Stats(ddos_stats::StatsError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidConfig { detail } => write!(f, "invalid trace config: {detail}"),
+            TraceError::UnknownFamily(id) => write!(f, "unknown botnet family {id}"),
+            TraceError::UnknownTarget(id) => write!(f, "unknown target {id}"),
+            TraceError::EmptyCorpus => write!(f, "corpus contains no attacks"),
+            TraceError::BadSplit(frac) => {
+                write!(f, "split fraction {frac} must lie strictly between 0 and 1")
+            }
+            TraceError::Topology(e) => write!(f, "topology error: {e}"),
+            TraceError::Stats(e) => write!(f, "stats error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Topology(e) => Some(e),
+            TraceError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ddos_astopo::TopoError> for TraceError {
+    fn from(e: ddos_astopo::TopoError) -> Self {
+        TraceError::Topology(e)
+    }
+}
+
+impl From<ddos_stats::StatsError> for TraceError {
+    fn from(e: ddos_stats::StatsError) -> Self {
+        TraceError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(TraceError::EmptyCorpus.to_string().contains("no attacks"));
+        assert!(TraceError::BadSplit(1.5).to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn source_chains() {
+        let e = TraceError::Stats(ddos_stats::StatsError::EmptyInput);
+        assert!(e.source().is_some());
+        assert!(TraceError::EmptyCorpus.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,429 @@
+//! The end-to-end trace engine: topology → pools → schedules → attacks.
+
+use crate::arrival::{place_within_day, ArrivalSchedule};
+use crate::attack::{AttackId, AttackRecord};
+use crate::bots::BotPool;
+use crate::dataset::Corpus;
+use crate::family::{FamilyCatalog, FamilyId};
+use crate::targets::{TargetId, TargetPopulation};
+use crate::time::{Timestamp, DAY, HOUR};
+use crate::{Result, TraceError};
+use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+use ddos_astopo::ipmap::PrefixAllocator;
+use ddos_stats::distributions::log_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Configuration of a corpus generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Length of the observation window in days (the paper's window is
+    /// roughly 220 days: August 2012 – March 2013).
+    pub days: u32,
+    /// Botnet family catalog.
+    pub catalog: FamilyCatalog,
+    /// Synthetic Internet parameters.
+    pub topology: TopologyConfig,
+    /// Number of target services.
+    pub n_targets: u32,
+}
+
+impl CorpusConfig {
+    /// A fast configuration for unit tests (~1–2 k attacks, 2 families).
+    pub fn small() -> Self {
+        CorpusConfig {
+            days: 60,
+            catalog: FamilyCatalog::small(),
+            topology: TopologyConfig::small(),
+            n_targets: 40,
+        }
+    }
+
+    /// The paper-scale configuration: 220 days, the 10 Table I families,
+    /// ~600 ASes, ~50 k attacks.
+    pub fn standard() -> Self {
+        CorpusConfig {
+            days: 220,
+            catalog: FamilyCatalog::icdcs2017(),
+            topology: TopologyConfig::standard(),
+            n_targets: 300,
+        }
+    }
+
+    /// A mid-size configuration for benches and examples: all 10 families
+    /// at one quarter of the attack volume (the arrival *processes* keep
+    /// their Table I shape; only the window shrinks).
+    pub fn medium() -> Self {
+        CorpusConfig {
+            days: 110,
+            catalog: FamilyCatalog::icdcs2017(),
+            topology: TopologyConfig::standard(),
+            n_targets: 150,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.days == 0 {
+            return Err(TraceError::InvalidConfig { detail: "days must be nonzero".to_string() });
+        }
+        if self.n_targets == 0 {
+            return Err(TraceError::InvalidConfig {
+                detail: "need at least one target".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig::standard()
+    }
+}
+
+/// Deterministic, seeded corpus generator.
+///
+/// # Example
+///
+/// ```
+/// use ddos_trace::{CorpusConfig, TraceGenerator};
+///
+/// # fn main() -> Result<(), ddos_trace::TraceError> {
+/// let corpus = TraceGenerator::new(CorpusConfig::small(), 7).generate()?;
+/// let again = TraceGenerator::new(CorpusConfig::small(), 7).generate()?;
+/// assert_eq!(corpus.attacks().len(), again.attacks().len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    config: CorpusConfig,
+    seed: u64,
+}
+
+/// Per-(family, target) duration memory: log-deviation AR(1) state.
+type DurationState = HashMap<(FamilyId, TargetId), f64>;
+
+/// Moves a launch to the target's preferred hour (a deterministic offset
+/// within ±6 h of the family's diurnal peak) plus Gaussian jitter, keeping
+/// the day.
+fn preferred_launch<R: Rng + ?Sized>(
+    placed: Timestamp,
+    target: TargetId,
+    profile: &crate::family::FamilyProfile,
+    rng: &mut R,
+) -> Timestamp {
+    let offset = (target.0 as i64 * 7) % 13 - 6; // -6..=6
+    let pref = (profile.diurnal_peak as i64 + offset).rem_euclid(24) as f64;
+    let jitter = profile.hour_jitter * ddos_stats::distributions::standard_normal(rng);
+    let hour = (pref + jitter).rem_euclid(24.0);
+    let secs = (hour * crate::time::HOUR as f64) as u64 % DAY;
+    Timestamp(placed.day() as u64 * DAY + secs)
+}
+
+impl TraceGenerator {
+    /// Creates a generator.
+    pub fn new(config: CorpusConfig, seed: u64) -> Self {
+        TraceGenerator { config, seed }
+    }
+
+    /// The configuration this generator will run.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Generates the corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, topology and sampling errors.
+    pub fn generate(&self) -> Result<Corpus> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Substrate: Internet, address plan, targets.
+        let topology = TopologyGenerator::new(self.config.topology.clone(), self.seed ^ 0xA5)
+            .generate()?;
+        let (ipmap, allocations) = PrefixAllocator::new().allocate_for(&topology)?;
+        let targets =
+            TargetPopulation::spread(&topology, &allocations, self.config.n_targets, &mut rng)?;
+
+        let mut attacks: Vec<AttackRecord> = Vec::new();
+        let mut duration_state: DurationState = HashMap::new();
+
+        for (family_id, profile) in self.config.catalog.iter() {
+            let slot = family_id.0;
+            let pool = BotPool::recruit(&topology, &allocations, profile, slot, &mut rng)?;
+            let schedule =
+                ArrivalSchedule::generate(profile, self.config.days, slot, &mut rng)?;
+
+            // Family-specific Zipf preference over a rotated target order.
+            let n_targets = targets.len();
+            let target_weights: Vec<f64> = (0..n_targets)
+                .map(|i| {
+                    let rank = (i + slot * 13) % n_targets;
+                    1.0 / ((rank + 1) as f64).powf(profile.target_zipf)
+                })
+                .collect();
+            let target_picker = ddos_stats::distributions::Categorical::new(&target_weights)
+                .map_err(TraceError::Stats)?;
+            let vector_picker =
+                ddos_stats::distributions::Categorical::new(&profile.vector_weights)
+                    .map_err(TraceError::Stats)?;
+
+            let mut prev: Option<(TargetId, Timestamp)> = None;
+            for plan in schedule.days() {
+                let launches = place_within_day(plan.day, plan.count, profile, &mut rng)?;
+                // Activity multiplier couples magnitudes to the day's latent
+                // rate, giving the temporal model real structure.
+                let activity = (plan.rate / profile.avg_attacks_per_day).powf(0.8);
+                for ts in launches {
+                    let (target_id, mut start, multistage) = self.pick_target(
+                        profile.multistage_prob,
+                        &prev,
+                        ts,
+                        &target_picker,
+                        &mut rng,
+                    );
+                    if !multistage && rng.gen_bool(profile.hour_affinity) {
+                        start = preferred_launch(start, target_id, profile, &mut rng);
+                    }
+                    let target = targets.target(target_id)?;
+                    let vector =
+                        crate::attack::AttackVector::ALL[vector_picker.sample(&mut rng)];
+                    let record = self.build_attack(
+                        family_id,
+                        profile,
+                        &pool,
+                        target_id,
+                        target.asn,
+                        start,
+                        activity,
+                        multistage,
+                        vector,
+                        &mut duration_state,
+                        &mut rng,
+                    )?;
+                    prev = Some((target_id, start));
+                    attacks.push(record);
+                }
+            }
+        }
+
+        // Chronological ordering and dense DDoS IDs.
+        attacks.sort_by_key(|a| (a.start, a.family, a.target));
+        for (i, a) in attacks.iter_mut().enumerate() {
+            a.id = AttackId(i as u64);
+        }
+        Corpus::new(attacks, self.config.catalog.clone(), topology, ipmap, targets, self.config.days)
+    }
+
+    /// Chooses the victim and (possibly adjusted) launch time. A multistage
+    /// follow-up re-attacks the previous target 30 s–24 h after the previous
+    /// launch (§III-A2).
+    fn pick_target<R: Rng + ?Sized>(
+        &self,
+        multistage_prob: f64,
+        prev: &Option<(TargetId, Timestamp)>,
+        placed: Timestamp,
+        picker: &ddos_stats::distributions::Categorical,
+        rng: &mut R,
+    ) -> (TargetId, Timestamp, bool) {
+        if let Some((prev_target, prev_start)) = prev {
+            if rng.gen_bool(multistage_prob) {
+                // Gap log-normal, median ~45 min, clamped to the band.
+                let gap = log_normal(rng, (45.0 * 60.0f64).ln(), 0.5)
+                    .unwrap_or(3_600.0)
+                    .clamp(30.0, (DAY - 1) as f64) as u64;
+                let start = *prev_start + gap;
+                if start.day() < self.config.days {
+                    return (*prev_target, start, true);
+                }
+            }
+        }
+        (TargetId(picker.sample(rng) as u32), placed, false)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build_attack<R: Rng + ?Sized>(
+        &self,
+        family: FamilyId,
+        profile: &crate::family::FamilyProfile,
+        pool: &BotPool,
+        target: TargetId,
+        target_asn: ddos_astopo::Asn,
+        start: Timestamp,
+        activity: f64,
+        multistage: bool,
+        vector: crate::attack::AttackVector,
+        duration_state: &mut DurationState,
+        rng: &mut R,
+    ) -> Result<AttackRecord> {
+        // Magnitude: log-normal with mean `mean_magnitude`, scaled by the
+        // day's activity level.
+        let sigma = profile.magnitude_sigma;
+        let mu = profile.mean_magnitude.ln() - sigma * sigma / 2.0;
+        let raw = log_normal(rng, mu, sigma).map_err(TraceError::Stats)? * activity;
+        let magnitude = (raw.round() as usize).clamp(3, pool.len());
+        let bots = pool.participants(start.day(), magnitude, rng);
+        let magnitude = bots.len();
+
+        // Duration: per-(family, target) AR(1) in log space around the
+        // family median, mildly scaled by magnitude.
+        let key = (family, target);
+        let prev_dev = duration_state.get(&key).copied().unwrap_or(0.0);
+        let rho = profile.duration_persistence;
+        let innov = profile.duration_sigma * (1.0 - rho * rho).sqrt();
+        let dev = rho * prev_dev
+            + innov * ddos_stats::distributions::standard_normal(rng);
+        duration_state.insert(key, dev);
+        let mag_factor = (magnitude as f64 / profile.mean_magnitude).powf(0.3);
+        let duration = (profile.median_duration_secs * dev.exp() * mag_factor)
+            .clamp(30.0, (3 * DAY) as f64) as u64;
+
+        // Hourly cumulative snapshots: linear bot ramp-up over the attack.
+        let hours = duration.div_ceil(HOUR).max(1) as usize;
+        let hourly_bot_counts: Vec<u32> = (1..=hours)
+            .map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32)
+            .collect();
+
+        Ok(AttackRecord {
+            id: AttackId(0), // assigned after the global sort
+            family,
+            target,
+            target_asn,
+            start,
+            duration_secs: duration,
+            bots,
+            hourly_bot_counts,
+            multistage,
+            vector,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_corpus(seed: u64) -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_corpus(5);
+        let b = small_corpus(5);
+        assert_eq!(a.attacks().len(), b.attacks().len());
+        assert_eq!(a.attacks()[10], b.attacks()[10]);
+        let c = small_corpus(6);
+        assert_ne!(a.attacks().len(), c.attacks().len());
+    }
+
+    #[test]
+    fn attacks_are_chronological_with_dense_ids() {
+        let c = small_corpus(7);
+        for (i, w) in c.attacks().windows(2).enumerate() {
+            assert!(w[0].start <= w[1].start, "out of order at {i}");
+        }
+        for (i, a) in c.attacks().iter().enumerate() {
+            assert_eq!(a.id, AttackId(i as u64));
+        }
+    }
+
+    #[test]
+    fn every_attack_is_internally_consistent() {
+        let c = small_corpus(8);
+        for a in c.attacks() {
+            assert!(a.is_consistent(), "{} inconsistent", a.id);
+            assert!(a.magnitude() >= 3);
+            assert!(a.duration_secs >= 30);
+            assert!(a.start.day() < 60 + 3); // multistage may spill ≤ 1 day
+        }
+    }
+
+    #[test]
+    fn corpus_size_matches_expectation() {
+        let c = small_corpus(9);
+        let expected: f64 =
+            CorpusConfig::small().catalog.iter().map(|(_, f)| f.expected_attacks()).sum();
+        let n = c.attacks().len() as f64;
+        assert!(
+            n > expected * 0.5 && n < expected * 1.6,
+            "generated {n}, expected about {expected}"
+        );
+    }
+
+    #[test]
+    fn multistage_attacks_hit_previous_target_within_band() {
+        let c = small_corpus(10);
+        let mut by_family: std::collections::HashMap<FamilyId, Vec<&AttackRecord>> =
+            std::collections::HashMap::new();
+        for a in c.attacks() {
+            by_family.entry(a.family).or_default().push(a);
+        }
+        let mut checked = 0;
+        for attacks in by_family.values() {
+            // Attacks are chronological; find multistage ones and verify a
+            // prior attack by the family on the same target within the band.
+            for (i, a) in attacks.iter().enumerate() {
+                if !a.multistage {
+                    continue;
+                }
+                let ok = attacks[..i].iter().rev().any(|p| {
+                    p.target == a.target && {
+                        let gap = a.start.abs_diff(p.start);
+                        (30..DAY).contains(&gap)
+                    }
+                });
+                assert!(ok, "{} flagged multistage without a band-mate", a.id);
+                checked += 1;
+            }
+        }
+        assert!(checked > 10, "too few multistage attacks to trust the test ({checked})");
+    }
+
+    #[test]
+    fn multistage_fraction_is_plausible() {
+        let c = small_corpus(11);
+        let ms = c.attacks().iter().filter(|a| a.multistage).count() as f64;
+        let frac = ms / c.attacks().len() as f64;
+        // Catalog probabilities are 0.40–0.45 for the two small families.
+        assert!(frac > 0.2 && frac < 0.6, "multistage fraction {frac}");
+    }
+
+    #[test]
+    fn bots_resolve_through_ip_map() {
+        let c = small_corpus(12);
+        for a in c.attacks().iter().take(50) {
+            for b in &a.bots {
+                assert_eq!(c.ip_map().lookup(b.ip), Some(b.asn), "IP map mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn family_target_preferences_differ() {
+        let c = small_corpus(13);
+        let top_target = |fam: FamilyId| {
+            let mut h: std::collections::HashMap<TargetId, usize> = std::collections::HashMap::new();
+            for a in c.attacks().iter().filter(|a| a.family == fam) {
+                *h.entry(a.target).or_insert(0) += 1;
+            }
+            h.into_iter().max_by_key(|(_, n)| *n).map(|(t, _)| t)
+        };
+        assert_ne!(top_target(FamilyId(0)), top_target(FamilyId(1)));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = CorpusConfig::small();
+        cfg.days = 0;
+        assert!(TraceGenerator::new(cfg, 1).generate().is_err());
+        let mut cfg = CorpusConfig::small();
+        cfg.n_targets = 0;
+        assert!(TraceGenerator::new(cfg, 1).generate().is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Hourly monitoring reports — the raw data format of §II-C.
+//!
+//! "By tracking temporal activities of 23 different known botnet families,
+//! the dataset captures a snapshot of each family every hour. … There are
+//! 24 hourly reports per day for each botnet family. The set of bots or
+//! controllers listed in each report are cumulative over the past 24
+//! hours." This module renders a generated corpus back into that report
+//! stream: for every (family, hour) it lists the distinct bots active in
+//! the trailing 24-hour window, which is what a monitoring sensor would
+//! have logged before any per-attack aggregation.
+
+use crate::dataset::Corpus;
+use crate::family::FamilyId;
+use crate::time::{Timestamp, DAY, HOUR};
+use crate::Result;
+use ddos_astopo::Asn;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One hourly report for one family: the cumulative 24-hour bot view.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HourlyReport {
+    /// The reported family.
+    pub family: FamilyId,
+    /// Absolute hour index since trace start.
+    pub hour: u64,
+    /// Distinct bot IPs active in the trailing 24 hours.
+    pub active_bots: u32,
+    /// Distinct source ASes those bots sit in.
+    pub active_asns: u32,
+    /// Attacks launched by the family in the trailing 24 hours.
+    pub attacks_24h: u32,
+}
+
+/// A family's full report stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportStream {
+    /// The family.
+    pub family: FamilyId,
+    /// One report per hour of the observation window, chronological.
+    pub reports: Vec<HourlyReport>,
+}
+
+impl ReportStream {
+    /// The report covering `ts`, if inside the window.
+    pub fn at(&self, ts: Timestamp) -> Option<&HourlyReport> {
+        self.reports.get(ts.absolute_hour() as usize)
+    }
+
+    /// Peak 24-hour active-bot count.
+    pub fn peak_bots(&self) -> u32 {
+        self.reports.iter().map(|r| r.active_bots).max().unwrap_or(0)
+    }
+}
+
+/// Builds the hourly report stream for one family.
+///
+/// Bots are attributed to every hour of their attack's lifetime (a sensor
+/// sees the bot for as long as it fires), and the 24-hour cumulative view
+/// is a sliding union over those hours.
+///
+/// # Errors
+///
+/// Returns [`crate::TraceError::UnknownFamily`] for a family not in the
+/// catalog.
+pub fn hourly_reports(corpus: &Corpus, family: FamilyId) -> Result<ReportStream> {
+    corpus.catalog().profile(family)?;
+    let horizon_hours = (corpus.days() as u64 + 2) * 24;
+
+    // Per-hour sets of (bot, asn) pairs and attack counts.
+    let mut per_hour_bots: BTreeMap<u64, BTreeSet<(u32, Asn)>> = BTreeMap::new();
+    let mut per_hour_attacks: BTreeMap<u64, u32> = BTreeMap::new();
+    for attack in corpus.attacks().iter().filter(|a| a.family == family) {
+        let first = attack.start.absolute_hour();
+        let last = attack.end().absolute_hour().min(horizon_hours.saturating_sub(1));
+        *per_hour_attacks.entry(first).or_insert(0) += 1;
+        for h in first..=last {
+            let bucket = per_hour_bots.entry(h).or_default();
+            for b in &attack.bots {
+                bucket.insert((b.ip, b.asn));
+            }
+        }
+    }
+
+    // Sliding 24-hour union.
+    let mut reports = Vec::with_capacity(horizon_hours as usize);
+    for hour in 0..horizon_hours {
+        let lo = hour.saturating_sub(DAY / HOUR - 1);
+        let mut bots: BTreeSet<(u32, Asn)> = BTreeSet::new();
+        let mut attacks = 0u32;
+        for h in lo..=hour {
+            if let Some(bucket) = per_hour_bots.get(&h) {
+                bots.extend(bucket.iter().copied());
+            }
+            attacks += per_hour_attacks.get(&h).copied().unwrap_or(0);
+        }
+        let asns: BTreeSet<Asn> = bots.iter().map(|(_, a)| *a).collect();
+        reports.push(HourlyReport {
+            family,
+            hour,
+            active_bots: bots.len() as u32,
+            active_asns: asns.len() as u32,
+            attacks_24h: attacks,
+        });
+    }
+    Ok(ReportStream { family, reports })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 171).generate().unwrap()
+    }
+
+    #[test]
+    fn stream_covers_the_window_hourly() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let stream = hourly_reports(&c, fam).unwrap();
+        assert_eq!(stream.reports.len() as u64, (c.days() as u64 + 2) * 24);
+        for (i, r) in stream.reports.iter().enumerate() {
+            assert_eq!(r.hour, i as u64);
+            assert_eq!(r.family, fam);
+        }
+    }
+
+    #[test]
+    fn cumulative_counts_cover_active_attacks() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let stream = hourly_reports(&c, fam).unwrap();
+        // Any hour with a running attack must report at least that
+        // attack's bots.
+        let attack = c.family_attacks(fam)[10];
+        let report = stream.at(attack.start).expect("inside window");
+        assert!(
+            report.active_bots as usize >= attack.magnitude(),
+            "report {} bots < attack magnitude {}",
+            report.active_bots,
+            attack.magnitude()
+        );
+        assert!(report.attacks_24h >= 1);
+        assert!(report.active_asns >= attack.source_asns().len() as u32);
+    }
+
+    #[test]
+    fn attacks_24h_matches_daily_intensity() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let stream = hourly_reports(&c, fam).unwrap();
+        // The max 24h attack count must be ≥ the busiest calendar day's
+        // count (the sliding window dominates any aligned day).
+        let busiest_day =
+            c.daily_counts(fam).into_iter().fold(0.0f64, f64::max) as u32;
+        let max_24h = stream.reports.iter().map(|r| r.attacks_24h).max().unwrap();
+        assert!(max_24h >= busiest_day, "{max_24h} < busiest day {busiest_day}");
+    }
+
+    #[test]
+    fn quiet_hours_report_zero() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let stream = hourly_reports(&c, fam).unwrap();
+        // The window extends 2 days past the trace; its very end must be
+        // attack-free for a 60-day small corpus.
+        let tail = stream.reports.last().unwrap();
+        assert_eq!(tail.attacks_24h, 0);
+        assert_eq!(tail.active_bots, 0);
+        assert!(stream.peak_bots() > 0);
+    }
+
+    #[test]
+    fn unknown_family_rejected() {
+        let c = corpus();
+        assert!(hourly_reports(&c, FamilyId(99)).is_err());
+    }
+}

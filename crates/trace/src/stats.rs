@@ -1,0 +1,219 @@
+//! Corpus-level summary statistics — most importantly the regeneration of
+//! the paper's **Table I** (activity level of bots).
+
+use crate::dataset::Corpus;
+use crate::Result;
+use ddos_stats::metrics::{coefficient_of_variation, mean};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of the activity-level table: a family's average attacks per
+/// active day, number of active days, and daily-count CV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityRow {
+    /// Family name.
+    pub family: String,
+    /// Average number of attacks per active day.
+    pub avg_per_day: f64,
+    /// Number of days with at least one attack.
+    pub active_days: usize,
+    /// Coefficient of variation of daily counts over active days.
+    pub cv: f64,
+}
+
+/// The regenerated Table I.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTable {
+    rows: Vec<ActivityRow>,
+}
+
+impl ActivityTable {
+    /// Computes the table from a corpus, one row per catalog family, in
+    /// catalog order (the paper lists families alphabetically; catalog
+    /// order is alphabetical for the built-in catalog).
+    ///
+    /// # Errors
+    ///
+    /// Propagates metric errors for degenerate families (e.g. a family
+    /// with a single active day has no CV).
+    pub fn compute(corpus: &Corpus) -> Result<Self> {
+        let mut rows = Vec::new();
+        for (id, profile) in corpus.catalog().iter() {
+            let counts = corpus.active_daily_counts(id);
+            if counts.is_empty() {
+                rows.push(ActivityRow {
+                    family: profile.name.clone(),
+                    avg_per_day: 0.0,
+                    active_days: 0,
+                    cv: 0.0,
+                });
+                continue;
+            }
+            let avg = mean(&counts)?;
+            let cv = if counts.len() >= 2 {
+                coefficient_of_variation(&counts).unwrap_or(0.0)
+            } else {
+                0.0
+            };
+            rows.push(ActivityRow {
+                family: profile.name.clone(),
+                avg_per_day: avg,
+                active_days: counts.len(),
+                cv,
+            });
+        }
+        Ok(ActivityTable { rows })
+    }
+
+    /// The table rows, in catalog order.
+    pub fn rows(&self) -> &[ActivityRow] {
+        &self.rows
+    }
+
+    /// Row lookup by family name.
+    pub fn row(&self, family: &str) -> Option<&ActivityRow> {
+        self.rows.iter().find(|r| r.family == family)
+    }
+
+    /// Family names ordered by average attacks per day, descending.
+    pub fn activity_ranking(&self) -> Vec<&str> {
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.sort_by(|a, b| {
+            self.rows[*b]
+                .avg_per_day
+                .partial_cmp(&self.rows[*a].avg_per_day)
+                .expect("finite averages")
+        });
+        idx.into_iter().map(|i| self.rows[i].family.as_str()).collect()
+    }
+}
+
+impl fmt::Display for ActivityTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<14} {:>10} {:>13} {:>6}", "Family", "Avg #/Day", "# Active Days", "CV")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:<14} {:>10.2} {:>13} {:>6.2}",
+                r.family, r.avg_per_day, r.active_days, r.cv
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Per-family histogram over [`crate::attack::AttackVector::ALL`]: the
+/// fraction of the family's attacks using each traffic mechanism.
+pub fn vector_mix(corpus: &Corpus, family: crate::family::FamilyId) -> [f64; 4] {
+    let mut counts = [0usize; 4];
+    let mut total = 0usize;
+    for a in corpus.attacks().iter().filter(|a| a.family == family) {
+        counts[a.vector.index()] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return [0.0; 4];
+    }
+    let mut out = [0.0; 4];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = c as f64 / total as f64;
+    }
+    out
+}
+
+/// Mean number of simultaneously-running verified attacks, sampled hourly —
+/// the paper reports "on average there were 243 simultaneous verified DDoS
+/// attacks" at peak analysis load (§II-C).
+pub fn mean_concurrent_attacks(corpus: &Corpus) -> f64 {
+    let horizon = corpus.days() as u64 * 24;
+    if horizon == 0 {
+        return 0.0;
+    }
+    let mut per_hour = vec![0u32; horizon as usize + 96];
+    for a in corpus.attacks() {
+        let first = a.start.absolute_hour() as usize;
+        let last = a.end().absolute_hour() as usize;
+        for h in first..=last.min(per_hour.len() - 1) {
+            per_hour[h] += 1;
+        }
+    }
+    let active: Vec<f64> = per_hour.iter().filter(|c| **c > 0).map(|c| *c as f64).collect();
+    if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, TraceGenerator};
+
+    fn corpus() -> Corpus {
+        TraceGenerator::new(CorpusConfig::small(), 81).generate().unwrap()
+    }
+
+    #[test]
+    fn table_has_one_row_per_family() {
+        let c = corpus();
+        let t = ActivityTable::compute(&c).unwrap();
+        assert_eq!(t.rows().len(), c.catalog().len());
+    }
+
+    #[test]
+    fn averages_match_raw_counts() {
+        let c = corpus();
+        let t = ActivityTable::compute(&c).unwrap();
+        for (id, profile) in c.catalog().iter() {
+            let row = t.row(&profile.name).unwrap();
+            let total: f64 = c.active_daily_counts(id).iter().sum();
+            let expect = total / row.active_days as f64;
+            assert!((row.avg_per_day - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ranking_puts_dirtjumper_first() {
+        let c = corpus();
+        let t = ActivityTable::compute(&c).unwrap();
+        assert_eq!(t.activity_ranking()[0], "DirtJumper");
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let c = corpus();
+        let t = ActivityTable::compute(&c).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("DirtJumper"));
+        assert!(s.contains("Avg #/Day"));
+        assert_eq!(s.lines().count(), t.rows().len() + 1);
+    }
+
+    #[test]
+    fn concurrency_is_positive() {
+        let c = corpus();
+        let m = mean_concurrent_attacks(&c);
+        assert!(m > 0.0, "mean concurrency {m}");
+    }
+
+    #[test]
+    fn vector_mix_reflects_family_tooling() {
+        let c = corpus();
+        // DirtJumper is an HTTP-flood kit: http must dominate its mix.
+        let dj = c.catalog().by_name("DirtJumper").unwrap();
+        let mix = vector_mix(&c, dj);
+        assert!((mix.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let http = crate::attack::AttackVector::HttpFlood.index();
+        assert!(mix[http] > 0.5, "DirtJumper http share {}", mix[http]);
+        // Unknown family: all zeros.
+        assert_eq!(vector_mix(&c, crate::family::FamilyId(99)), [0.0; 4]);
+    }
+
+    #[test]
+    fn missing_family_row_is_none() {
+        let c = corpus();
+        let t = ActivityTable::compute(&c).unwrap();
+        assert!(t.row("NoSuchFamily").is_none());
+    }
+}

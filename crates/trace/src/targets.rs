@@ -1,0 +1,185 @@
+//! The target population: the services botnets attack.
+//!
+//! Targets live in stub ASes of the synthetic Internet. Families select
+//! targets through a family-specific Zipf preference ("it is common for
+//! botnet families to have … target preferences", §II-B), which is what
+//! makes per-target and per-target-AS histories predictable for the
+//! spatial and spatiotemporal models.
+
+use crate::{Result, TraceError};
+use ddos_astopo::graph::{AsGraph, Tier};
+use ddos_astopo::ipmap::Prefix;
+use ddos_astopo::Asn;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a target service.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TargetId(pub u32);
+
+impl fmt::Display for TargetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "target#{}", self.0)
+    }
+}
+
+/// A single attackable service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Target {
+    /// Identifier.
+    pub id: TargetId,
+    /// Service IPv4 address.
+    pub ip: u32,
+    /// Hosting AS.
+    pub asn: Asn,
+}
+
+/// The full population of targets, spread across stub ASes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetPopulation {
+    targets: Vec<Target>,
+    by_asn: BTreeMap<Asn, Vec<TargetId>>,
+}
+
+impl TargetPopulation {
+    /// Spreads `n` targets across the stub ASes of `graph`, round-robin,
+    /// assigning each an address inside its AS's allocated prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidConfig`] when `n == 0`, the graph has
+    /// no stubs, or an AS lacks a prefix allocation.
+    pub fn spread<R: Rng + ?Sized>(
+        graph: &AsGraph,
+        allocations: &BTreeMap<Asn, Vec<Prefix>>,
+        n: u32,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(TraceError::InvalidConfig {
+                detail: "need at least one target".to_string(),
+            });
+        }
+        let stubs = graph.tier_members(Tier::Stub);
+        if stubs.is_empty() {
+            return Err(TraceError::InvalidConfig {
+                detail: "topology has no stub ASes to host targets".to_string(),
+            });
+        }
+        let mut targets = Vec::with_capacity(n as usize);
+        let mut by_asn: BTreeMap<Asn, Vec<TargetId>> = BTreeMap::new();
+        for i in 0..n {
+            let asn = stubs[i as usize % stubs.len()];
+            let prefixes = allocations.get(&asn).ok_or_else(|| TraceError::InvalidConfig {
+                detail: format!("{asn} has no prefix allocation"),
+            })?;
+            let prefix = prefixes[rng.gen_range(0..prefixes.len())];
+            let ip = prefix.address(rng.gen_range(1..prefix.size()));
+            let id = TargetId(i);
+            targets.push(Target { id, ip, asn });
+            by_asn.entry(asn).or_default().push(id);
+        }
+        Ok(TargetPopulation { targets, by_asn })
+    }
+
+    /// Target lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::UnknownTarget`] for an out-of-range id.
+    pub fn target(&self, id: TargetId) -> Result<&Target> {
+        self.targets.get(id.0 as usize).ok_or(TraceError::UnknownTarget(id))
+    }
+
+    /// Number of targets.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the population is empty (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Iterator over all targets.
+    pub fn iter(&self) -> impl Iterator<Item = &Target> + '_ {
+        self.targets.iter()
+    }
+
+    /// The targets hosted in a given AS (empty for unknown ASes).
+    pub fn in_asn(&self, asn: Asn) -> &[TargetId] {
+        self.by_asn.get(&asn).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All ASes that host at least one target, ascending.
+    pub fn asns(&self) -> Vec<Asn> {
+        self.by_asn.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+    use ddos_astopo::ipmap::PrefixAllocator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (AsGraph, BTreeMap<Asn, Vec<Prefix>>) {
+        let g = TopologyGenerator::new(TopologyConfig::small(), 51).generate().unwrap();
+        let (_, allocs) = PrefixAllocator::new().allocate_for(&g).unwrap();
+        (g, allocs)
+    }
+
+    #[test]
+    fn spread_covers_population() {
+        let (g, allocs) = setup();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = TargetPopulation::spread(&g, &allocs, 100, &mut rng).unwrap();
+        assert_eq!(pop.len(), 100);
+        assert!(!pop.is_empty());
+        // Round-robin across 48 stubs: every AS hosts ≥ 1.
+        assert_eq!(pop.asns().len(), g.tier_members(Tier::Stub).len());
+    }
+
+    #[test]
+    fn targets_live_in_their_asn_prefix() {
+        let (g, allocs) = setup();
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = TargetPopulation::spread(&g, &allocs, 60, &mut rng).unwrap();
+        for t in pop.iter() {
+            let prefixes = &allocs[&t.asn];
+            assert!(prefixes.iter().any(|p| p.contains(t.ip)), "{} outside prefix", t.id);
+            assert_eq!(g.info(t.asn).unwrap().tier, Tier::Stub);
+        }
+    }
+
+    #[test]
+    fn lookup_and_by_asn_consistent() {
+        let (g, allocs) = setup();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = TargetPopulation::spread(&g, &allocs, 50, &mut rng).unwrap();
+        for t in pop.iter() {
+            assert_eq!(pop.target(t.id).unwrap().ip, t.ip);
+            assert!(pop.in_asn(t.asn).contains(&t.id));
+        }
+        assert!(pop.target(TargetId(999)).is_err());
+        assert!(pop.in_asn(Asn(1)).is_empty()); // tier-1 hosts nothing
+    }
+
+    #[test]
+    fn zero_targets_rejected() {
+        let (g, allocs) = setup();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(TargetPopulation::spread(&g, &allocs, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(TargetId(8).to_string(), "target#8");
+    }
+}

@@ -1,0 +1,67 @@
+//! Trace-generator invariants across seeds and configurations.
+
+use ddos_trace::time::DAY;
+use ddos_trace::{CorpusConfig, TraceGenerator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Structural invariants hold for every seed: chronological order,
+    /// dense ids, consistent snapshots, duration bounds, multistage band,
+    /// bots resolvable through the IP map.
+    #[test]
+    fn corpus_invariants(seed in 0u64..10_000) {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap();
+        let attacks = corpus.attacks();
+        prop_assert!(!attacks.is_empty());
+
+        for (i, w) in attacks.windows(2).enumerate() {
+            prop_assert!(w[0].start <= w[1].start, "disorder at {i}");
+        }
+        for (i, a) in attacks.iter().enumerate() {
+            prop_assert_eq!(a.id.0, i as u64);
+            prop_assert!(a.is_consistent());
+            prop_assert!(a.duration_secs >= 30 && a.duration_secs <= 3 * DAY);
+            prop_assert!(a.magnitude() >= 3);
+        }
+
+        // Multistage attacks have a same-target predecessor in the band.
+        let mut per_family: std::collections::HashMap<_, Vec<&ddos_trace::AttackRecord>> =
+            Default::default();
+        for a in attacks {
+            per_family.entry(a.family).or_default().push(a);
+        }
+        for fam_attacks in per_family.values() {
+            for (i, a) in fam_attacks.iter().enumerate() {
+                if a.multistage {
+                    let ok = fam_attacks[..i].iter().rev().any(|p| {
+                        p.target == a.target && {
+                            let gap = a.start.abs_diff(p.start);
+                            (30..DAY).contains(&gap)
+                        }
+                    });
+                    prop_assert!(ok, "{} multistage without band-mate", a.id);
+                }
+            }
+        }
+
+        // IP map agreement on a sample.
+        for a in attacks.iter().take(20) {
+            for b in &a.bots {
+                prop_assert_eq!(corpus.ip_map().lookup(b.ip), Some(b.asn));
+            }
+        }
+    }
+
+    /// The 80/20 split always partitions chronologically, for any split
+    /// fraction in a reasonable range.
+    #[test]
+    fn split_partitions_chronologically(seed in 0u64..1000, frac in 0.5f64..0.95) {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap();
+        let (train, test) = corpus.split(frac).unwrap();
+        prop_assert_eq!(train.len() + test.len(), corpus.len());
+        prop_assert!(!train.is_empty() && !test.is_empty());
+        prop_assert!(train.last().unwrap().start <= test.first().unwrap().start);
+    }
+}

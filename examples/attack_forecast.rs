@@ -1,0 +1,59 @@
+//! Per-target attack forecasting with the spatiotemporal model (§VI).
+//!
+//! A cloud mitigation provider wants to tell each customer *when* the next
+//! attack will land (day and hour), *how big* it will be and *how long* it
+//! will last, from only 10 same-network and 10 recent attack observations.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example attack_forecast
+//! ```
+
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 7).generate()?;
+    println!("corpus: {} attacks / {} days", corpus.len(), corpus.days());
+
+    let pipeline = Pipeline::new(PipelineConfig::fast(), 7);
+    let report = pipeline.run_spatiotemporal(&corpus)?;
+
+    println!("\nevaluated {} per-target prediction instances\n", report.predictions.len());
+    println!("launch-hour RMSE (hours):");
+    println!("  spatial model        {:>6.2}", report.spatial_hour_rmse);
+    println!("  temporal model       {:>6.2}", report.temporal_hour_rmse);
+    println!("  spatiotemporal tree  {:>6.2}", report.st_hour_rmse);
+    println!("launch-day RMSE (days):");
+    println!("  spatial model        {:>6.2}", report.spatial_day_rmse);
+    println!("  spatiotemporal tree  {:>6.2}", report.st_day_rmse);
+
+    println!("\nsample forecasts (first 8 test instances):");
+    println!(
+        "{:>6} {:>6} | {:>6} {:>6} | {:>9} {:>9} | {:>9} {:>9}",
+        "hour*", "hour", "day*", "day", "bots*", "bots", "dur*", "dur"
+    );
+    for p in report.predictions.iter().take(8) {
+        let fc = p.predicted_attack();
+        println!(
+            "{:>6} {:>6.0} | {:>6} {:>6.0} | {:>9.0} {:>9.0} | {:>8.0}s {:>8.0}s",
+            fc.timestamp.hour,
+            p.truth_hour,
+            fc.timestamp.day,
+            p.truth_day,
+            fc.magnitude,
+            p.truth_magnitude,
+            fc.duration_secs,
+            p.truth_duration,
+        );
+    }
+    println!("(* = predicted)");
+
+    let improvement = report.spatial_hour_rmse / report.st_hour_rmse.max(1e-9);
+    println!(
+        "\nthe spatiotemporal model improves hour prediction {improvement:.1}x over the \
+         spatial model alone — the Fig. 3/4 headline result"
+    );
+    Ok(())
+}

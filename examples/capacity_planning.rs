@@ -1,0 +1,67 @@
+//! Prediction-guided capacity provisioning (§VII-B).
+//!
+//! A mitigation provider must decide, for each of the next attacks, how
+//! much scrubbing capacity to stand up. Too little means unabsorbed attack
+//! traffic; too much burns money. This example sizes capacity to the
+//! temporal model's 95% upper prediction band and compares against a
+//! static plan and a last-observed (reactive) plan, with outages costing
+//! 10× idle capacity.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+
+use ddos_adversary::model::features::FeatureExtractor;
+use ddos_adversary::model::provisioning::{CapacityPlanner, Strategy};
+use ddos_adversary::model::temporal::{TemporalConfig, TemporalModel};
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 29).generate()?;
+    let fx = FeatureExtractor::new(&corpus);
+    let family = corpus.catalog().most_active(1)[0];
+    let name = &corpus.catalog().profile(family)?.name;
+
+    let attacks = corpus.family_attacks(family);
+    let horizon = 16usize;
+    let cut = attacks.len() - horizon;
+    let (train, test) = (attacks[..cut].to_vec(), attacks[cut..].to_vec());
+
+    let model = TemporalModel::fit(&fx, family, &train, &TemporalConfig::default())?;
+    let bands = model.forecast_magnitude_interval(horizon, 1.96)?;
+    let actuals = FeatureExtractor::magnitude_series(&test);
+    let last = train.last().expect("nonempty train").magnitude() as f64;
+    let mean_hist: f64 = FeatureExtractor::magnitude_series(&train).iter().sum::<f64>()
+        / train.len() as f64;
+
+    println!("provisioning scrubbing capacity for {name}'s next {horizon} attacks\n");
+    println!("95% interval forecast (first 5 periods):");
+    for (i, (mean, lo, hi)) in bands.iter().take(5).enumerate() {
+        println!("  t+{:<2} mean {mean:>6.1}  band [{lo:>6.1}, {hi:>6.1}]  actual {:>5.0}", i + 1, actuals[i]);
+    }
+
+    let planner = CapacityPlanner::new();
+    let strategies = [
+        ("prediction upper band", Strategy::PredictedUpperBand),
+        ("static (history mean)", Strategy::Static { capacity: mean_hist }),
+        ("last observed", Strategy::LastObserved),
+    ];
+    println!("\n{:<24} {:>9} {:>9} {:>9} {:>10}", "strategy", "shortfall", "excess", "coverage", "cost(10:1)");
+    for (label, strategy) in strategies {
+        let report = planner.score(strategy, &bands, &actuals, last)?;
+        println!(
+            "{label:<24} {:>9.0} {:>9.0} {:>8.0}% {:>10.0}",
+            report.total_shortfall,
+            report.total_excess,
+            report.coverage * 100.0,
+            report.cost(10.0, 1.0)
+        );
+    }
+    println!(
+        "\nthe upper-band plan buys full coverage with bounded idle capacity — the\n\
+         paper's \"better utilization of limited defense resources\""
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The Fig. 5(b) use case: prediction-driven middlebox reordering.
+//!
+//! Normally traffic passes the load balancer before the firewall (best
+//! throughput); when an attack is expected the order flips so packets are
+//! scrubbed first. Flipping takes time and interrupts service, so the
+//! defender wants to flip *just* before the attack: this example compares
+//! a flip scheduled by the spatiotemporal timestamp prediction against a
+//! purely reactive flip triggered by attack detection.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example middlebox_orchestration
+//! ```
+
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::model::usecases::MiddleboxSimulator;
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 13).generate()?;
+    let pipeline = Pipeline::new(PipelineConfig::fast(), 13);
+    let report = pipeline.run_spatiotemporal(&corpus)?;
+    println!("scheduling path flips for {} predicted attacks\n", report.predictions.len());
+
+    let sim = MiddleboxSimulator::default();
+    let mut pro_unprotected = 0.0;
+    let mut rea_unprotected = 0.0;
+    let mut pro_overcaution = 0.0;
+    let mut episodes = 0usize;
+
+    for p in &report.predictions {
+        // Episode timeline in seconds within the attack day: the model
+        // predicts the launch hour; the flip is scheduled before it.
+        let predicted_start = p.st_hour * 3_600.0;
+        let true_start = p.truth_hour * 3_600.0;
+        let (pro, rea) = sim.compare(predicted_start, true_start, p.truth_duration)?;
+        pro_unprotected += pro.unprotected_secs;
+        rea_unprotected += rea.unprotected_secs;
+        pro_overcaution += pro.overcautious_secs;
+        episodes += 1;
+    }
+    let n = episodes as f64;
+    println!("mean unscrubbed attack exposure per episode:");
+    println!("  prediction-scheduled flip  {:>8.0} s", pro_unprotected / n);
+    println!("  reactive flip (detection)  {:>8.0} s", rea_unprotected / n);
+    println!(
+        "\nmean early-flip overhead (firewall-first while idle): {:>6.0} s",
+        pro_overcaution / n
+    );
+
+    if pro_unprotected < rea_unprotected {
+        println!(
+            "\nproactive scheduling cut unscrubbed exposure by {:.0}% — the Fig. 5(b) \
+             motivation",
+            (1.0 - pro_unprotected / rea_unprotected) * 100.0
+        );
+    } else {
+        println!("\nprediction error was too large for proactive flips to pay off here");
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: generate a verified-attack corpus, reproduce the Table I
+//! activity summary, fit the temporal model and predict upcoming attack
+//! magnitudes.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ddos_adversary::model::features::FeatureExtractor;
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::model::temporal::{TemporalConfig, TemporalModel};
+use ddos_adversary::trace::stats::ActivityTable;
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Generate a corpus. `small()` keeps this example fast; swap in
+    //    `CorpusConfig::standard()` for the paper-scale 50k-attack corpus.
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 42).generate()?;
+    println!(
+        "generated {} verified attacks over {} days across {} botnet families\n",
+        corpus.len(),
+        corpus.days(),
+        corpus.catalog().len()
+    );
+
+    // 2. Reproduce Table I: per-family activity levels.
+    let table = ActivityTable::compute(&corpus)?;
+    println!("Table I — activity level of bots:\n{table}");
+
+    // 3. Fit the §IV temporal model on the most active family and predict
+    //    the magnitude of each held-out attack one step ahead.
+    let family = corpus.catalog().most_active(1)[0];
+    let name = &corpus.catalog().profile(family)?.name;
+    let attacks = corpus.family_attacks(family);
+    let cut = (attacks.len() as f64 * 0.8) as usize;
+    let (train, test) = (attacks[..cut].to_vec(), attacks[cut..].to_vec());
+
+    let fx = FeatureExtractor::new(&corpus);
+    let model = TemporalModel::fit(&fx, family, &train, &TemporalConfig::default())?;
+    println!(
+        "fitted {} for {name}'s magnitude series",
+        model.magnitude_model().order()
+    );
+
+    let predictions = model.predict_magnitudes(&test)?;
+    let truth = FeatureExtractor::magnitude_series(&test);
+    println!("\nfirst 10 one-step magnitude predictions ({name}):");
+    println!("{:>10} {:>10} {:>8}", "predicted", "actual", "error");
+    for (p, t) in predictions.iter().zip(&truth).take(10) {
+        println!("{p:>10.1} {t:>10.1} {:>8.1}", p - t);
+    }
+
+    // 4. Or run the whole Fig. 1 experiment in one call.
+    let report = Pipeline::new(PipelineConfig::fast(), 42).run_temporal(&corpus)?;
+    println!("\nFig. 1 summary (rolling one-step magnitude prediction):");
+    for r in &report.per_family {
+        println!(
+            "  {:<12} RMSE {:>7.2} over {} test attacks",
+            r.name,
+            r.magnitudes.rmse,
+            r.magnitudes.len()
+        );
+    }
+    Ok(())
+}

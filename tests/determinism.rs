@@ -1,0 +1,41 @@
+//! Reproducibility: every pipeline stage must be bit-deterministic in its
+//! seed — the property that makes EXPERIMENTS.md regenerable.
+
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+
+#[test]
+fn corpus_generation_is_deterministic() {
+    let a = TraceGenerator::new(CorpusConfig::small(), 555).generate().unwrap();
+    let b = TraceGenerator::new(CorpusConfig::small(), 555).generate().unwrap();
+    assert_eq!(a.attacks(), b.attacks());
+    assert_eq!(a.topology(), b.topology());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = TraceGenerator::new(CorpusConfig::small(), 1).generate().unwrap();
+    let b = TraceGenerator::new(CorpusConfig::small(), 2).generate().unwrap();
+    assert_ne!(a.attacks().len(), b.attacks().len());
+}
+
+#[test]
+fn temporal_experiment_is_reproducible() {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 777).generate().unwrap();
+    let r1 = Pipeline::new(PipelineConfig::fast(), 7).run_temporal(&corpus).unwrap();
+    let r2 = Pipeline::new(PipelineConfig::fast(), 7).run_temporal(&corpus).unwrap();
+    for (a, b) in r1.per_family.iter().zip(&r2.per_family) {
+        assert_eq!(a.magnitudes.predicted, b.magnitudes.predicted);
+        assert_eq!(a.magnitudes.rmse, b.magnitudes.rmse);
+    }
+}
+
+#[test]
+fn spatiotemporal_experiment_is_reproducible() {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 888).generate().unwrap();
+    let r1 = Pipeline::new(PipelineConfig::fast(), 9).run_spatiotemporal(&corpus).unwrap();
+    let r2 = Pipeline::new(PipelineConfig::fast(), 9).run_spatiotemporal(&corpus).unwrap();
+    assert_eq!(r1.st_hour_rmse, r2.st_hour_rmse);
+    assert_eq!(r1.predictions.len(), r2.predictions.len());
+    assert_eq!(r1.predictions[0], r2.predictions[0]);
+}

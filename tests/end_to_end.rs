@@ -1,0 +1,141 @@
+//! End-to-end integration: corpus generation → feature extraction → all
+//! three models → evaluation, asserting the paper's qualitative results
+//! (the "shape") hold on the synthetic corpus.
+
+use ddos_adversary::model::baseline::{predict_rolling, BaselineKind};
+use ddos_adversary::model::features::FeatureExtractor;
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::stats::metrics::rmse;
+use ddos_adversary::trace::stats::ActivityTable;
+use ddos_adversary::trace::{Corpus, CorpusConfig, TraceGenerator};
+
+fn corpus() -> Corpus {
+    TraceGenerator::new(CorpusConfig::small(), 2024).generate().unwrap()
+}
+
+#[test]
+fn table1_shape_holds() {
+    let c = corpus();
+    let table = ActivityTable::compute(&c).unwrap();
+    // DirtJumper dominates activity, as in the paper's Table I.
+    assert_eq!(table.activity_ranking()[0], "DirtJumper");
+    let dj = table.row("DirtJumper").unwrap();
+    let pa = table.row("Pandora").unwrap();
+    assert!(dj.avg_per_day > pa.avg_per_day);
+    assert!(dj.active_days > pa.active_days);
+}
+
+#[test]
+fn fig1_temporal_predictions_beat_always_mean() {
+    let c = corpus();
+    let report = Pipeline::new(PipelineConfig::fast(), 1).run_temporal(&c).unwrap();
+    // Families with a tiny test tail (Pandora's activity window ends early
+    // in the small corpus) are statistically meaningless; skip them.
+    let evaluated: Vec<_> =
+        report.per_family.iter().filter(|f| f.magnitudes.len() >= 30).collect();
+    assert!(!evaluated.is_empty());
+    for fam in evaluated {
+        // Compare against the Always-Mean straw man on the same test tail.
+        let naive_rmse = {
+            let n = fam.magnitudes.truth.len();
+            let mean: f64 = fam.magnitudes.truth.iter().sum::<f64>() / n as f64;
+            let naive: Vec<f64> = vec![mean; n];
+            rmse(&naive, &fam.magnitudes.truth).unwrap()
+        };
+        assert!(
+            fam.magnitudes.rmse <= naive_rmse * 1.25,
+            "{}: temporal RMSE {} should not lose badly to oracle-mean {naive_rmse}",
+            fam.name,
+            fam.magnitudes.rmse
+        );
+    }
+}
+
+#[test]
+fn fig2_spatial_distribution_is_accurate() {
+    let c = corpus();
+    let report =
+        Pipeline::new(PipelineConfig::fast(), 2).run_spatial_distribution(&c).unwrap();
+    let fams: Vec<_> = report.per_family.iter().collect();
+    assert!(!fams.is_empty());
+    // Only the most active family has a test tail large enough for a
+    // stable distribution estimate in the small corpus.
+    for fam in fams.iter().take(1) {
+        // Per-cell share RMSE should be small (the paper reports
+        // near-perfect distribution recovery).
+        assert!(
+            fam.share_rmse < 0.15,
+            "{}: share RMSE {} too high",
+            fam.name,
+            fam.share_rmse
+        );
+        // Predicted mean distribution roughly matches truth on the top AS.
+        let diff = (fam.predicted_mean_shares[0] - fam.truth_mean_shares[0]).abs();
+        assert!(diff < 0.15, "{}: top-AS mean share off by {diff}", fam.name);
+    }
+}
+
+#[test]
+fn fig3_spatiotemporal_beats_spatial_on_days() {
+    let c = corpus();
+    let report = Pipeline::new(PipelineConfig::fast(), 3).run_spatiotemporal(&c).unwrap();
+    // The paper's headline: the combined model improves timestamp
+    // prediction over the spatial model (2.72 vs 5.17 days there).
+    assert!(
+        report.st_day_rmse < report.spatial_day_rmse * 0.8,
+        "ST day RMSE {} should clearly beat spatial {}",
+        report.st_day_rmse,
+        report.spatial_day_rmse
+    );
+    // And never lose badly on hours (seed noise on the small corpus can
+    // swing this a few tenths of an hour either way).
+    assert!(
+        report.st_hour_rmse <= report.spatial_hour_rmse * 1.3,
+        "ST hour RMSE {} should be competitive with spatial {}",
+        report.st_hour_rmse,
+        report.spatial_hour_rmse
+    );
+}
+
+#[test]
+fn comparison_learned_model_wins_majority_of_cells() {
+    let c = corpus();
+    let table = Pipeline::new(PipelineConfig::fast(), 4).run_baseline_comparison(&c).unwrap();
+    let cells: std::collections::BTreeSet<(String, String)> =
+        table.rows().iter().map(|r| (r.scope.clone(), r.feature.clone())).collect();
+    let wins = cells
+        .iter()
+        .filter(|(s, f)| {
+            table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false)
+        })
+        .count();
+    assert!(
+        wins * 2 >= cells.len(),
+        "learned model won only {wins}/{} cells:\n{table}",
+        cells.len()
+    );
+}
+
+#[test]
+fn baselines_are_well_behaved_on_corpus_series() {
+    let c = corpus();
+    let fam = c.catalog().most_active(1)[0];
+    let attacks = c.family_attacks(fam);
+    let mags = FeatureExtractor::magnitude_series(&attacks);
+    let cut = mags.len() * 8 / 10;
+    for kind in [BaselineKind::AlwaysSame, BaselineKind::AlwaysMean] {
+        let preds = predict_rolling(kind, &mags[..cut], &mags[cut..]).unwrap();
+        assert_eq!(preds.len(), mags.len() - cut);
+        assert!(preds.iter().all(|p| p.is_finite()));
+    }
+}
+
+#[test]
+fn split_statistics_match_paper_protocol() {
+    let c = corpus();
+    let (train, test) = c.split(0.8).unwrap();
+    // 80/20 chronological split, test strictly after train.
+    let ratio = train.len() as f64 / c.len() as f64;
+    assert!((ratio - 0.8).abs() < 0.01);
+    assert!(train.last().unwrap().start <= test.first().unwrap().start);
+}
