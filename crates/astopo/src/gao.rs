@@ -157,7 +157,8 @@ pub fn infer(paths: &[AsPath], config: GaoConfig) -> Result<InferredRelationship
 
     // Phase 3: classify every observed edge.
     let mut edges = BTreeMap::new();
-    let observed: BTreeSet<(Asn, Asn)> = provider_votes.keys().map(|(a, b)| ordered(*a, *b)).collect();
+    let observed: BTreeSet<(Asn, Asn)> =
+        provider_votes.keys().map(|(a, b)| ordered(*a, *b)).collect();
     for (a, b) in observed {
         let ab = *provider_votes.get(&(a, b)).unwrap_or(&0); // a provides for b
         let ba = *provider_votes.get(&(b, a)).unwrap_or(&0); // b provides for a
@@ -277,12 +278,10 @@ mod tests {
         let stubs = topo.tier_members(Tier::Stub);
         let few = dump_tables(&topo, &stubs[..2]).unwrap();
         let many = dump_tables(&topo, &stubs[..10]).unwrap();
-        let acc_few = infer(&all_paths(&few), GaoConfig::default())
-            .unwrap()
-            .accuracy_against(&topo);
-        let acc_many = infer(&all_paths(&many), GaoConfig::default())
-            .unwrap()
-            .accuracy_against(&topo);
+        let acc_few =
+            infer(&all_paths(&few), GaoConfig::default()).unwrap().accuracy_against(&topo);
+        let acc_many =
+            infer(&all_paths(&many), GaoConfig::default()).unwrap().accuracy_against(&topo);
         assert!(acc_many + 0.1 >= acc_few, "few {acc_few} vs many {acc_many}");
     }
 
@@ -297,10 +296,7 @@ mod tests {
 
     #[test]
     fn relationship_is_direction_aware() {
-        let paths = vec![
-            vec![Asn(10), Asn(2), Asn(20)],
-            vec![Asn(11), Asn(2), Asn(21)],
-        ];
+        let paths = vec![vec![Asn(10), Asn(2), Asn(20)], vec![Asn(11), Asn(2), Asn(21)]];
         let inf = infer(&paths, GaoConfig::default()).unwrap();
         let fwd = inf.relationship(Asn(2), Asn(10));
         let rev = inf.relationship(Asn(10), Asn(2));

@@ -161,7 +161,8 @@ impl TopologyGenerator {
             for j in (i + 1)..cfg.n_tier2 {
                 let a = Asn(t2_start + i as u32);
                 let b = Asn(t2_start + j as u32);
-                let same_region = g.info(a).expect("exists").region == g.info(b).expect("exists").region;
+                let same_region =
+                    g.info(a).expect("exists").region == g.info(b).expect("exists").region;
                 if same_region && rng.gen_bool(cfg.t2_peering_prob) {
                     g.add_edge(a, b, Relationship::Peer)?;
                 }

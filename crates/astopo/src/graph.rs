@@ -170,18 +170,12 @@ impl AsGraph {
 
     /// The customers of an AS.
     pub fn customers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors(asn)
-            .filter(|(_, r)| *r == Relationship::Customer)
-            .map(|(n, _)| n)
-            .collect()
+        self.neighbors(asn).filter(|(_, r)| *r == Relationship::Customer).map(|(n, _)| n).collect()
     }
 
     /// The providers of an AS.
     pub fn providers(&self, asn: Asn) -> Vec<Asn> {
-        self.neighbors(asn)
-            .filter(|(_, r)| *r == Relationship::Provider)
-            .map(|(n, _)| n)
-            .collect()
+        self.neighbors(asn).filter(|(_, r)| *r == Relationship::Provider).map(|(n, _)| n).collect()
     }
 
     /// The peers of an AS.

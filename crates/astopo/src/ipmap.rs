@@ -216,18 +216,14 @@ impl PrefixAllocator {
     /// `len` is invalid.
     pub fn allocate(&mut self, len: u8) -> Result<Prefix> {
         if len == 0 || len > 32 {
-            return Err(TopoError::InvalidConfig {
-                detail: format!("cannot allocate a /{len}"),
-            });
+            return Err(TopoError::InvalidConfig { detail: format!("cannot allocate a /{len}") });
         }
         let size = 1u64 << (32 - len);
         // Align up.
         let aligned = self.next.div_ceil(size as u32).saturating_mul(size as u32);
         let end = aligned as u64 + size;
         if end > u32::MAX as u64 {
-            return Err(TopoError::InvalidConfig {
-                detail: "address space exhausted".to_string(),
-            });
+            return Err(TopoError::InvalidConfig { detail: "address space exhausted".to_string() });
         }
         self.next = end as u32;
         Prefix::new(aligned, len)

@@ -10,8 +10,8 @@
 //! through customers — the Gao–Rexford export discipline).
 
 use crate::graph::{AsGraph, Asn, Relationship};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::RwLock;
 
 /// Lazily-caching oracle answering hop-distance and path queries over an
 /// [`AsGraph`].
@@ -39,7 +39,10 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 pub struct PathOracle<'g> {
     graph: &'g AsGraph,
     /// Cached uphill BFS results: node → (distance map, parent map).
-    uphill: RefCell<HashMap<Asn, UphillCone>>,
+    /// `RwLock` (not `RefCell`) so one oracle can serve concurrent
+    /// queries from the sharded model-fitting executor; a racing
+    /// recompute inserts the identical cone, so caching stays pure.
+    uphill: RwLock<HashMap<Asn, UphillCone>>,
 }
 
 #[derive(Debug, Clone)]
@@ -63,7 +66,7 @@ impl<'g> PathOracle<'g> {
     /// Creates an oracle over the given graph. Queries cache uphill BFS
     /// cones per endpoint, so reuse one oracle for many queries.
     pub fn new(graph: &'g AsGraph) -> Self {
-        PathOracle { graph, uphill: RefCell::new(HashMap::new()) }
+        PathOracle { graph, uphill: RwLock::new(HashMap::new()) }
     }
 
     /// The underlying graph.
@@ -72,7 +75,7 @@ impl<'g> PathOracle<'g> {
     }
 
     fn cone(&self, start: Asn) -> UphillCone {
-        if let Some(c) = self.uphill.borrow().get(&start) {
+        if let Some(c) = self.uphill.read().expect("uphill cache poisoned").get(&start) {
             return c.clone();
         }
         let mut dist = BTreeMap::new();
@@ -91,7 +94,7 @@ impl<'g> PathOracle<'g> {
             }
         }
         let cone = UphillCone { dist, parent };
-        self.uphill.borrow_mut().insert(start, cone.clone());
+        self.uphill.write().expect("uphill cache poisoned").insert(start, cone.clone());
         cone
     }
 
@@ -537,8 +540,8 @@ mod tests {
         let (kind, path) = o2.preferred_route(Asn(1), Asn(6)).unwrap();
         assert_eq!(kind, RouteKind::Customer);
         assert_eq!(path.len(), 4); // longer than the 4-hop... peer route is 1-2-4-6 (4 nodes) too
-        // The shortest valley-free path ties at 3 hops; preference still
-        // picks the customer route.
+                                   // The shortest valley-free path ties at 3 hops; preference still
+                                   // picks the customer route.
         assert_eq!(o2.hop_distance(Asn(1), Asn(6)), Some(3));
     }
 
@@ -597,12 +600,8 @@ mod tests {
         let o = PathOracle::new(&g);
         let stubs = g.tier_members(Tier::Stub);
         // Same-region stubs vs cross-region stubs.
-        let region0: Vec<Asn> = stubs
-            .iter()
-            .copied()
-            .filter(|s| g.info(*s).unwrap().region == 0)
-            .take(6)
-            .collect();
+        let region0: Vec<Asn> =
+            stubs.iter().copied().filter(|s| g.info(*s).unwrap().region == 0).take(6).collect();
         let mixed: Vec<Asn> = stubs.iter().copied().take(6).collect();
         let d_same = o.mean_pairwise_distance(&region0);
         let d_mixed = o.mean_pairwise_distance(&mixed);

@@ -90,11 +90,7 @@ pub fn dump_tables(graph: &AsGraph, vantages: &[Asn]) -> Result<Vec<RouteTable>>
 /// consumes. Paths shorter than two hops carry no relationship signal and
 /// are dropped.
 pub fn all_paths(tables: &[RouteTable]) -> Vec<AsPath> {
-    tables
-        .iter()
-        .flat_map(|t| t.iter().map(|(_, p)| p.clone()))
-        .filter(|p| p.len() >= 2)
-        .collect()
+    tables.iter().flat_map(|t| t.iter().map(|(_, p)| p.clone())).filter(|p| p.len() >= 2).collect()
 }
 
 #[cfg(test)]
@@ -133,10 +129,7 @@ mod tests {
     #[test]
     fn unknown_vantage_rejected() {
         let g = topo();
-        assert!(matches!(
-            RouteTable::collect(&g, Asn(999_999)),
-            Err(TopoError::UnknownAs(_))
-        ));
+        assert!(matches!(RouteTable::collect(&g, Asn(999_999)), Err(TopoError::UnknownAs(_))));
     }
 
     #[test]

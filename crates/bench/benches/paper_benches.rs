@@ -6,8 +6,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ddos_bench::{corpus, pipeline, Scale};
 use ddos_core::features::FeatureExtractor;
+use ddos_core::pipeline::{Pipeline, PipelineConfig};
 use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
-use ddos_neural::grid::{grid_search, GridSpec};
+use ddos_neural::grid::{grid_search, grid_search_with, GridSpec};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
 use ddos_stats::arima::{Arima, ArimaOrder};
@@ -85,11 +86,8 @@ fn bench_fig4_errors(c: &mut Criterion) {
     );
     c.bench_function("fig4_error_distributions", |b| {
         b.iter(|| {
-            let errs: Vec<f64> = report
-                .predictions
-                .iter()
-                .map(|p| p.st_hour - p.truth_hour)
-                .collect();
+            let errs: Vec<f64> =
+                report.predictions.iter().map(|p| p.st_hour - p.truth_hour).collect();
             ddos_stats::metrics::histogram(black_box(&errs), 16).unwrap()
         })
     });
@@ -176,6 +174,48 @@ fn bench_ablation_nar_grid(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole: serial vs parallel model fitting through the deterministic
+/// sharded executor. Outputs are bit-identical at any worker count (see
+/// `tests/determinism.rs`), so these rows measure pure wall-clock
+/// scaling: on a single-core host serial and parallel are expected to
+/// tie; on an N-core host the parallel rows should approach N× on the
+/// grid search, whose cells dominate the fitting cost.
+fn bench_parallel_executor(c: &mut Criterion) {
+    let series = duration_series();
+    let quick_train = TrainConfig { max_epochs: 150, patience: 15, ..Default::default() };
+    let spec = GridSpec { delays: vec![2, 3, 4], hidden: vec![4, 8], train: quick_train };
+    let corpus = small_corpus();
+    let mut g = c.benchmark_group("parallel_executor");
+    g.sample_size(10);
+    for (name, workers) in [("grid_search_serial_1thread", 1), ("grid_search_parallel_4threads", 4)]
+    {
+        g.bench_function(name, |b| {
+            b.iter(|| grid_search_with(black_box(&series), &spec, 7, Some(workers)).unwrap())
+        });
+    }
+    for (name, workers) in
+        [("pipeline_temporal_serial_1thread", 1), ("pipeline_temporal_parallel_4threads", 4)]
+    {
+        let p = Pipeline::new(
+            PipelineConfig { parallelism: Some(workers), ..PipelineConfig::fast() },
+            42,
+        );
+        g.bench_function(name, |b| b.iter(|| p.run_temporal(black_box(corpus)).unwrap()));
+    }
+    for (name, workers) in
+        [("pipeline_durations_serial_1thread", 1), ("pipeline_durations_parallel_4threads", 4)]
+    {
+        let p = Pipeline::new(
+            PipelineConfig { parallelism: Some(workers), ..PipelineConfig::fast() },
+            42,
+        );
+        g.bench_function(name, |b| {
+            b.iter(|| p.run_spatial_durations(black_box(corpus), 4).unwrap())
+        });
+    }
+    g.finish();
+}
+
 /// Ablation: MLR vs constant model-tree leaves on the ST trees.
 fn bench_ablation_tree_leaves(c: &mut Criterion) {
     let corpus = small_corpus();
@@ -202,7 +242,8 @@ fn bench_ablation_pruning(c: &mut Criterion) {
     let corpus = small_corpus();
     let (train, test) = corpus.split(0.8).unwrap();
     for (name, retention) in [("pruned_088", Some(0.88)), ("unpruned", None)] {
-        let cfg = SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
+        let cfg =
+            SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
         let model = SpatioTemporalModel::fit(corpus, train, &cfg, 5).unwrap();
         let preds = model.predict(train, test).unwrap();
         let truth: Vec<f64> = preds.iter().map(|p| p.truth_hour).collect();
@@ -216,7 +257,8 @@ fn bench_ablation_pruning(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_pruning");
     g.sample_size(10);
     for (name, retention) in [("pruned_088", Some(0.88)), ("unpruned", None)] {
-        let cfg = SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
+        let cfg =
+            SpatioTemporalConfig { prune_retention: retention, ..SpatioTemporalConfig::fast() };
         g.bench_function(name, |b| {
             b.iter(|| SpatioTemporalModel::fit(corpus, black_box(train), &cfg, 5).unwrap())
         });
@@ -237,12 +279,7 @@ fn bench_ablation_source_feature(c: &mut Criterion) {
         b.iter(|| fx.source_distribution_series(black_box(&attacks)).unwrap())
     });
     g.bench_function("naive_as_count", |b| {
-        b.iter(|| {
-            attacks
-                .iter()
-                .map(|a| a.source_asns().len() as f64)
-                .collect::<Vec<f64>>()
-        })
+        b.iter(|| attacks.iter().map(|a| a.source_asns().len() as f64).collect::<Vec<f64>>())
     });
     g.finish();
 }
@@ -335,6 +372,7 @@ criterion_group!(
     bench_usecases,
     bench_ablation_arima_order,
     bench_ablation_nar_grid,
+    bench_parallel_executor,
     bench_ablation_tree_leaves,
     bench_ablation_pruning,
     bench_ablation_source_feature,

@@ -59,11 +59,7 @@ fn main() {
     eprintln!("generating corpus (scale {scale:?}, seed {seed})...");
     let started = std::time::Instant::now();
     let c = corpus(scale, seed);
-    eprintln!(
-        "corpus ready: {} attacks in {:.1?}\n",
-        c.attacks().len(),
-        started.elapsed()
-    );
+    eprintln!("corpus ready: {} attacks in {:.1?}\n", c.attacks().len(), started.elapsed());
 
     let sep = "=".repeat(74);
     let run = |name: &str, text: String| {

@@ -3,14 +3,20 @@
 use ddos_bench::{corpus, pipeline, Scale};
 
 fn main() {
-    println!("{:>5} {:>8} {:>8} {:>8} | {:>8} {:>8}", "seed", "spa_h", "tmp_h", "st_h", "spa_d", "st_d");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} | {:>8} {:>8}",
+        "seed", "spa_h", "tmp_h", "st_h", "spa_d", "st_d"
+    );
     for seed in [7u64, 42, 99, 123, 2024] {
         let c = corpus(Scale::Small, seed);
         let r = pipeline(seed).run_spatiotemporal(&c).unwrap();
         println!(
             "{seed:>5} {:>8.2} {:>8.2} {:>8.2} | {:>8.2} {:>8.2}",
-            r.spatial_hour_rmse, r.temporal_hour_rmse, r.st_hour_rmse,
-            r.spatial_day_rmse, r.st_day_rmse
+            r.spatial_hour_rmse,
+            r.temporal_hour_rmse,
+            r.st_hour_rmse,
+            r.spatial_day_rmse,
+            r.st_day_rmse
         );
     }
 }

@@ -122,13 +122,9 @@ pub fn fig1(corpus: &Corpus, seed: u64) -> String {
 
 /// E3 — Fig. 2: source-ASN share distributions, truth vs prediction.
 pub fn fig2(corpus: &Corpus, seed: u64) -> String {
-    let report =
-        pipeline(seed).run_spatial_distribution(corpus).expect("spatial experiment runs");
+    let report = pipeline(seed).run_spatial_distribution(corpus).expect("spatial experiment runs");
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "FIG. 2 — PREDICTION OF ATTACKING SOURCE DISTRIBUTIONS (spatial/NAR)\n"
-    );
+    let _ = writeln!(out, "FIG. 2 — PREDICTION OF ATTACKING SOURCE DISTRIBUTIONS (spatial/NAR)\n");
     for fam in &report.per_family {
         let _ = writeln!(
             out,
@@ -219,16 +215,11 @@ pub fn comparison(corpus: &Corpus, seed: u64) -> (String, RmseTable) {
     let mut out = String::new();
     let _ = writeln!(out, "§VII-A — TEMPORAL/SPATIAL vs ALWAYS-SAME vs ALWAYS-MEAN (RMSE)\n");
     let _ = write!(out, "{table}");
-    let cells: std::collections::BTreeSet<(String, String)> = table
-        .rows()
-        .iter()
-        .map(|r| (r.scope.clone(), r.feature.clone()))
-        .collect();
+    let cells: std::collections::BTreeSet<(String, String)> =
+        table.rows().iter().map(|r| (r.scope.clone(), r.feature.clone())).collect();
     let wins = cells
         .iter()
-        .filter(|(s, f)| {
-            table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false)
-        })
+        .filter(|(s, f)| table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false))
         .count();
     let _ = writeln!(
         out,

@@ -53,9 +53,7 @@ mod tests {
 
     #[test]
     fn importances_sum_to_one_when_splits_exist() {
-        let xs: Vec<Vec<f64>> = (0..100)
-            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0 + r[1] * 5.0).collect();
         let t = RegressionTree::fit(
             &xs,

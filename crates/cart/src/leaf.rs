@@ -69,12 +69,9 @@ impl LeafModel {
     pub fn predict(&self, x: &[f64]) -> Result<f64> {
         match self {
             LeafModel::Constant { mean } => Ok(*mean),
-            LeafModel::Linear { model } => {
-                model.predict(x).map_err(|_| CartError::FeatureWidthMismatch {
-                    expected: model.n_regressors(),
-                    actual: x.len(),
-                })
-            }
+            LeafModel::Linear { model } => model.predict(x).map_err(|_| {
+                CartError::FeatureWidthMismatch { expected: model.n_regressors(), actual: x.len() }
+            }),
         }
     }
 

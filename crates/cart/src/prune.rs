@@ -127,8 +127,7 @@ fn prune_node_holdout(
             // With no holdout evidence the split is kept (the training fit
             // is all we know); otherwise the subtree must beat the
             // collapsed leaf by the retention margin.
-            let keep = indices.is_empty()
-                || subtree_sse.sqrt() < retention * collapsed_sse.sqrt();
+            let keep = indices.is_empty() || subtree_sse.sqrt() < retention * collapsed_sse.sqrt();
             if keep {
                 return Ok(subtree_sse);
             }
@@ -190,7 +189,8 @@ mod tests {
     fn noise_tree(seed: u64, max_depth: usize) -> RegressionTree {
         // Pure noise: every split is spurious.
         let mut rng = StdRng::seed_from_u64(seed);
-        let xs: Vec<Vec<f64>> = (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let xs: Vec<Vec<f64>> =
+            (0..300).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
         let ys: Vec<f64> = (0..300).map(|_| rng.gen::<f64>()).collect();
         RegressionTree::fit(
             &xs,

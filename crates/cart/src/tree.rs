@@ -202,10 +202,7 @@ fn stats(ys: &[f64], indices: &[usize]) -> (f64, f64, f64) {
 }
 
 fn gather(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
-    (
-        indices.iter().map(|&i| xs[i].clone()).collect(),
-        indices.iter().map(|&i| ys[i]).collect(),
-    )
+    (indices.iter().map(|&i| xs[i].clone()).collect(), indices.iter().map(|&i| ys[i]).collect())
 }
 
 fn grow(
@@ -329,10 +326,8 @@ mod tests {
     fn piecewise_linear_fits_with_mlr_leaves() {
         // y = 2x for x < 0; y = -3x + 10 for x ≥ 0. Two MLR leaves suffice.
         let xs: Vec<Vec<f64>> = (-30..30).map(|i| vec![i as f64 * 0.5]).collect();
-        let ys: Vec<f64> = xs
-            .iter()
-            .map(|r| if r[0] < 0.0 { 2.0 * r[0] } else { -3.0 * r[0] + 10.0 })
-            .collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|r| if r[0] < 0.0 { 2.0 * r[0] } else { -3.0 * r[0] + 10.0 }).collect();
         let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
         assert!((t.predict(&[-5.0]).unwrap() + 10.0).abs() < 0.5);
         assert!((t.predict(&[5.0]).unwrap() + 5.0).abs() < 0.5);

@@ -134,10 +134,8 @@ impl FamilyAttributor {
             });
         }
         let total: usize = hist.iter().map(|(_, n)| n).sum();
-        let attack_shares: BTreeMap<Asn, f64> = hist
-            .into_iter()
-            .map(|(asn, n)| (asn, n as f64 / total as f64))
-            .collect();
+        let attack_shares: BTreeMap<Asn, f64> =
+            hist.into_iter().map(|(asn, n)| (asn, n as f64 / total as f64)).collect();
 
         let mut ranking: Vec<(FamilyId, f64)> = self
             .profiles
@@ -164,9 +162,7 @@ impl FamilyAttributor {
         }
         let correct = test
             .iter()
-            .filter(|a| {
-                self.attribute(a).map(|v| v.best() == a.family).unwrap_or(false)
-            })
+            .filter(|a| self.attribute(a).map(|v| v.best() == a.family).unwrap_or(false))
             .count();
         Ok(correct as f64 / test.len() as f64)
     }

@@ -97,8 +97,8 @@ impl EntropyDetector {
             start += stride;
         }
         let mean = entropies.iter().sum::<f64>() / entropies.len() as f64;
-        let var = entropies.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / entropies.len() as f64;
+        let var =
+            entropies.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / entropies.len() as f64;
         Ok(EntropyDetector {
             config,
             benign_mean: mean,
@@ -147,11 +147,7 @@ impl EntropyDetector {
     /// Runs the detector over a whole stream; returns the indices at which
     /// alarms fired.
     pub fn scan(&mut self, stream: &[Asn]) -> Vec<usize> {
-        stream
-            .iter()
-            .enumerate()
-            .filter_map(|(i, asn)| self.observe(*asn).map(|_| i))
-            .collect()
+        stream.iter().enumerate().filter_map(|(i, asn)| self.observe(*asn).map(|_| i)).collect()
     }
 
     /// Resets the sliding window (keeps the calibration).

@@ -127,7 +127,13 @@ impl RmseTable {
     }
 
     /// Appends a row.
-    pub fn push(&mut self, scope: impl Into<String>, feature: impl Into<String>, model: impl Into<String>, rmse: f64) {
+    pub fn push(
+        &mut self,
+        scope: impl Into<String>,
+        feature: impl Into<String>,
+        model: impl Into<String>,
+        rmse: f64,
+    ) {
         self.rows.push(RmseRow {
             scope: scope.into(),
             feature: feature.into(),

@@ -120,11 +120,8 @@ impl<'c> FeatureExtractor<'c> {
             })
             .sum();
         let asns: Vec<Asn> = hist.iter().map(|(a, _)| *a).collect();
-        let dt = if asns.len() < 2 {
-            1.0
-        } else {
-            self.oracle.mean_pairwise_distance(&asns).max(1.0)
-        };
+        let dt =
+            if asns.len() < 2 { 1.0 } else { self.oracle.mean_pairwise_distance(&asns).max(1.0) };
         Ok(intra / dt)
     }
 
@@ -173,10 +170,8 @@ impl<'c> FeatureExtractor<'c> {
         let durations: Vec<f64> = attacks.iter().map(|a| a.duration_secs as f64).collect();
         let timestamps: Vec<TimestampParts> =
             attacks.iter().map(|a| TimestampParts::from_timestamp(a.start)).collect();
-        let inter_attack_gaps: Vec<f64> = attacks
-            .windows(2)
-            .map(|w| w[1].start.abs_diff(w[0].start) as f64)
-            .collect();
+        let inter_attack_gaps: Vec<f64> =
+            attacks.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
         TargetProfile { location: asn, durations, timestamps, inter_attack_gaps }
     }
 
@@ -184,10 +179,7 @@ impl<'c> FeatureExtractor<'c> {
     /// common source ASes, the fraction of each attack's bots located in
     /// that AS. Returns `(asns, series)` where `series[k]` is chronological
     /// over `attacks`. This is the distribution Fig. 2 predicts.
-    pub fn as_share_series(
-        attacks: &[&AttackRecord],
-        top_k: usize,
-    ) -> (Vec<Asn>, Vec<Vec<f64>>) {
+    pub fn as_share_series(attacks: &[&AttackRecord], top_k: usize) -> (Vec<Asn>, Vec<Vec<f64>>) {
         // Rank source ASes by total bot count.
         let mut totals: BTreeMap<Asn, u64> = BTreeMap::new();
         for a in attacks {
@@ -287,8 +279,7 @@ mod tests {
         let c = corpus();
         let fx = FeatureExtractor::new(&c);
         let fam = c.catalog().most_active(1)[0];
-        let attacks: Vec<&AttackRecord> =
-            c.family_attacks(fam).into_iter().take(30).collect();
+        let attacks: Vec<&AttackRecord> = c.family_attacks(fam).into_iter().take(30).collect();
         let states = fx.botnet_state_series(&attacks).unwrap();
         assert_eq!(states.len(), 30);
         for s in &states {
@@ -332,10 +323,7 @@ mod tests {
     fn family_attacks_errors_for_empty_family() {
         let c = corpus();
         let fx = FeatureExtractor::new(&c);
-        assert!(matches!(
-            fx.family_attacks(FamilyId(99)),
-            Err(ModelError::NoAttacksForFamily(_))
-        ));
+        assert!(matches!(fx.family_attacks(FamilyId(99)), Err(ModelError::NoAttacksForFamily(_))));
         assert!(fx.family_attacks(FamilyId(0)).is_ok());
     }
 
@@ -359,9 +347,6 @@ mod tests {
         }
         let a_conc = fx.source_distribution(&concentrated).unwrap();
         let a_spread = fx.source_distribution(template).unwrap();
-        assert!(
-            a_conc > a_spread,
-            "concentrated {a_conc} should exceed spread {a_spread}"
-        );
+        assert!(a_conc > a_spread, "concentrated {a_conc} should exceed spread {a_spread}");
     }
 }

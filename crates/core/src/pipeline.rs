@@ -20,6 +20,7 @@ use crate::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel, StPredict
 use crate::temporal::{TemporalConfig, TemporalModel};
 use crate::{ModelError, Result};
 use ddos_neural::nar::NarModel;
+use ddos_stats::exec::map_indexed;
 use ddos_stats::metrics::rmse;
 use ddos_trace::{AttackRecord, Corpus, FamilyId};
 use serde::{Deserialize, Serialize};
@@ -39,6 +40,11 @@ pub struct PipelineConfig {
     /// (BlackEnergy, DirtJumper, Pandora) that exist in the catalog, or
     /// the most active ones as a fallback.
     pub families: Option<Vec<FamilyId>>,
+    /// Worker threads for the fitting hot paths (`None` = all available
+    /// cores, `Some(1)` = serial). Execution knob only: every runner
+    /// shards its work deterministically and reduces in canonical order,
+    /// so reports are bit-identical at any value.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +55,7 @@ impl Default for PipelineConfig {
             spatial: SpatialConfig::default(),
             spatiotemporal: SpatioTemporalConfig::default(),
             families: None,
+            parallelism: None,
         }
     }
 }
@@ -62,6 +69,7 @@ impl PipelineConfig {
             spatial: SpatialConfig::fast(),
             spatiotemporal: SpatioTemporalConfig::fast(),
             families: None,
+            parallelism: None,
         }
     }
 }
@@ -206,6 +214,13 @@ impl Pipeline {
         }
     }
 
+    /// The spatial configuration with the pipeline's `parallelism`
+    /// threaded through, so the grid search and per-AS fits inherit the
+    /// same knob.
+    fn spatial_config(&self) -> SpatialConfig {
+        SpatialConfig { parallelism: self.config.parallelism, ..self.config.spatial.clone() }
+    }
+
     fn family_split<'c>(
         &self,
         corpus: &'c Corpus,
@@ -236,25 +251,42 @@ impl Pipeline {
     /// and an error is returned only when *no* family could be evaluated.
     pub fn run_temporal(&self, corpus: &Corpus) -> Result<TemporalReport> {
         let fx = FeatureExtractor::new(corpus);
-        let mut per_family = Vec::new();
-        for family in self.families(corpus) {
-            let Ok((train, test)) = self.family_split(corpus, family) else { continue };
-            if test.is_empty() {
-                continue;
-            }
-            let Ok(model) = TemporalModel::fit(&fx, family, &train, &self.config.temporal) else {
-                continue;
+        let families = self.families(corpus);
+        // Each family's ARIMA stack fits on its own shard; the in-order
+        // reduction below keeps the report (and which error surfaces
+        // first) identical at any worker count.
+        let fitted = map_indexed(&families, self.config.parallelism, |_, &family| {
+            let per_family = || -> Result<Option<FamilyTemporalResult>> {
+                let Ok((train, test)) = self.family_split(corpus, family) else {
+                    return Ok(None);
+                };
+                if test.is_empty() {
+                    return Ok(None);
+                }
+                let Ok(model) = TemporalModel::fit(&fx, family, &train, &self.config.temporal)
+                else {
+                    return Ok(None);
+                };
+                let Ok(mag_pred) = model.predict_magnitudes(&test) else { return Ok(None) };
+                let mag_truth = FeatureExtractor::magnitude_series(&test);
+                let Ok(src_pred) = model.predict_source_dist(&fx, &test) else {
+                    return Ok(None);
+                };
+                let src_truth = fx.source_distribution_series(&test)?;
+                Ok(Some(FamilyTemporalResult {
+                    family,
+                    name: corpus.catalog().profile(family)?.name.clone(),
+                    magnitudes: SeriesEvaluation::new(mag_pred, mag_truth)?,
+                    source_coefficient: SeriesEvaluation::new(src_pred, src_truth)?,
+                }))
             };
-            let Ok(mag_pred) = model.predict_magnitudes(&test) else { continue };
-            let mag_truth = FeatureExtractor::magnitude_series(&test);
-            let Ok(src_pred) = model.predict_source_dist(&fx, &test) else { continue };
-            let src_truth = fx.source_distribution_series(&test)?;
-            per_family.push(FamilyTemporalResult {
-                family,
-                name: corpus.catalog().profile(family)?.name.clone(),
-                magnitudes: SeriesEvaluation::new(mag_pred, mag_truth)?,
-                source_coefficient: SeriesEvaluation::new(src_pred, src_truth)?,
-            });
+            per_family()
+        });
+        let mut per_family = Vec::new();
+        for result in fitted {
+            if let Some(r) = result? {
+                per_family.push(r);
+            }
         }
         if per_family.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -271,42 +303,55 @@ impl Pipeline {
     ///
     /// Same skip-then-fail policy as [`Pipeline::run_temporal`].
     pub fn run_spatial_distribution(&self, corpus: &Corpus) -> Result<SpatialDistReport> {
-        let mut per_family = Vec::new();
-        for family in self.families(corpus) {
-            let Ok((train, test)) = self.family_split(corpus, family) else { continue };
-            if test.is_empty() {
-                continue;
-            }
-            let Ok(model) = SourceDistributionModel::fit(&train, &self.config.spatial, self.seed)
-            else {
-                continue;
-            };
-            let Ok(preds) = model.predict_distribution(&test) else { continue };
-            let truth = model.truth_distribution(&test);
-            let k = model.asns().len();
-            let mut pred_mean = vec![0.0; k];
-            let mut truth_mean = vec![0.0; k];
-            let mut sse = 0.0;
-            let mut n = 0.0f64;
-            for (p, t) in preds.iter().zip(&truth) {
-                for j in 0..k {
-                    pred_mean[j] += p[j];
-                    truth_mean[j] += t[j];
-                    sse += (p[j] - t[j]).powi(2);
-                    n += 1.0;
+        let families = self.families(corpus);
+        let spatial = self.spatial_config();
+        // One shard per family; reduce in family order for a worker-count
+        // independent report.
+        let fitted = map_indexed(&families, self.config.parallelism, |_, &family| {
+            let per_family = || -> Result<Option<FamilySpatialResult>> {
+                let Ok((train, test)) = self.family_split(corpus, family) else {
+                    return Ok(None);
+                };
+                if test.is_empty() {
+                    return Ok(None);
                 }
+                let Ok(model) = SourceDistributionModel::fit(&train, &spatial, self.seed) else {
+                    return Ok(None);
+                };
+                let Ok(preds) = model.predict_distribution(&test) else { return Ok(None) };
+                let truth = model.truth_distribution(&test);
+                let k = model.asns().len();
+                let mut pred_mean = vec![0.0; k];
+                let mut truth_mean = vec![0.0; k];
+                let mut sse = 0.0;
+                let mut n = 0.0f64;
+                for (p, t) in preds.iter().zip(&truth) {
+                    for j in 0..k {
+                        pred_mean[j] += p[j];
+                        truth_mean[j] += t[j];
+                        sse += (p[j] - t[j]).powi(2);
+                        n += 1.0;
+                    }
+                }
+                for v in pred_mean.iter_mut().chain(truth_mean.iter_mut()) {
+                    *v /= preds.len().max(1) as f64;
+                }
+                Ok(Some(FamilySpatialResult {
+                    family,
+                    name: corpus.catalog().profile(family)?.name.clone(),
+                    asns: model.asns().to_vec(),
+                    predicted_mean_shares: pred_mean,
+                    truth_mean_shares: truth_mean,
+                    share_rmse: (sse / n.max(1.0)).sqrt(),
+                }))
+            };
+            per_family()
+        });
+        let mut per_family = Vec::new();
+        for result in fitted {
+            if let Some(r) = result? {
+                per_family.push(r);
             }
-            for v in pred_mean.iter_mut().chain(truth_mean.iter_mut()) {
-                *v /= preds.len().max(1) as f64;
-            }
-            per_family.push(FamilySpatialResult {
-                family,
-                name: corpus.catalog().profile(family)?.name.clone(),
-                asns: model.asns().to_vec(),
-                predicted_mean_shares: pred_mean,
-                truth_mean_shares: truth_mean,
-                share_rmse: (sse / n.max(1.0)).sqrt(),
-            });
         }
         if per_family.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -333,34 +378,48 @@ impl Pipeline {
         let (train_all, test_all) = corpus.split(self.config.split)?;
         let cut_time = test_all.first().expect("nonempty test").start;
         let _ = train_all;
-        let mut per_network = Vec::new();
-        for (asn, _) in corpus.hottest_target_asns(max_networks) {
-            let attacks = corpus.attacks_on_asn(asn);
-            let train: Vec<&AttackRecord> =
-                attacks.iter().copied().filter(|a| a.start < cut_time).collect();
-            let test: Vec<&AttackRecord> =
-                attacks.iter().copied().filter(|a| a.start >= cut_time).collect();
-            if train.len() < self.config.spatial.min_attacks || test.len() < 3 {
-                continue;
-            }
-            let Ok(model) =
-                SpatialModel::fit(asn, &train, &self.config.spatial, self.seed ^ asn.0 as u64)
-            else {
-                continue;
+        let networks = corpus.hottest_target_asns(max_networks);
+        let spatial = self.spatial_config();
+        // One shard per victim network, hottest first; each network's NAR
+        // seed depends only on its ASN, so the fan-out is order-free and
+        // the in-order reduction reproduces the serial report exactly.
+        let fitted = map_indexed(&networks, self.config.parallelism, |_, &(asn, _)| {
+            let per_network = || -> Result<Option<NetworkDurationResult>> {
+                let attacks = corpus.attacks_on_asn(asn);
+                let train: Vec<&AttackRecord> =
+                    attacks.iter().copied().filter(|a| a.start < cut_time).collect();
+                let test: Vec<&AttackRecord> =
+                    attacks.iter().copied().filter(|a| a.start >= cut_time).collect();
+                if train.len() < spatial.min_attacks || test.len() < 3 {
+                    return Ok(None);
+                }
+                let Ok(model) = SpatialModel::fit(asn, &train, &spatial, self.seed ^ asn.0 as u64)
+                else {
+                    return Ok(None);
+                };
+                let Ok(preds) = model.predict_durations(&train, &test) else {
+                    return Ok(None);
+                };
+                let train_d: Vec<f64> = train.iter().map(|a| a.duration_secs as f64).collect();
+                let test_d: Vec<f64> = test.iter().map(|a| a.duration_secs as f64).collect();
+                let same = predict_rolling(BaselineKind::AlwaysSame, &train_d, &test_d)?;
+                let mean_p = predict_rolling(BaselineKind::AlwaysMean, &train_d, &test_d)?;
+                Ok(Some(NetworkDurationResult {
+                    asn,
+                    n_train: train.len(),
+                    n_test: test.len(),
+                    spatial_rmse: rmse(&preds, &test_d)?,
+                    always_same_rmse: rmse(&same, &test_d)?,
+                    always_mean_rmse: rmse(&mean_p, &test_d)?,
+                }))
             };
-            let Ok(preds) = model.predict_durations(&train, &test) else { continue };
-            let train_d: Vec<f64> = train.iter().map(|a| a.duration_secs as f64).collect();
-            let test_d: Vec<f64> = test.iter().map(|a| a.duration_secs as f64).collect();
-            let same = predict_rolling(BaselineKind::AlwaysSame, &train_d, &test_d)?;
-            let mean_p = predict_rolling(BaselineKind::AlwaysMean, &train_d, &test_d)?;
-            per_network.push(NetworkDurationResult {
-                asn,
-                n_train: train.len(),
-                n_test: test.len(),
-                spatial_rmse: rmse(&preds, &test_d)?,
-                always_same_rmse: rmse(&same, &test_d)?,
-                always_mean_rmse: rmse(&mean_p, &test_d)?,
-            });
+            per_network()
+        });
+        let mut per_network = Vec::new();
+        for result in fitted {
+            if let Some(r) = result? {
+                per_network.push(r);
+            }
         }
         if per_network.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -389,9 +448,7 @@ impl Pipeline {
                 actual: 0,
             });
         }
-        let col = |f: fn(&StPrediction) -> f64| -> Vec<f64> {
-            predictions.iter().map(f).collect()
-        };
+        let col = |f: fn(&StPrediction) -> f64| -> Vec<f64> { predictions.iter().map(f).collect() };
         let truth_hour = col(|p| p.truth_hour);
         let truth_day = col(|p| p.truth_day);
         Ok(SpatioTemporalReport {
@@ -575,11 +632,8 @@ mod tests {
         // The learned model must win at least half its cells (the paper
         // reports it always wins; on a small synthetic corpus demand a
         // clear majority).
-        let cells: std::collections::BTreeSet<(String, String)> = table
-            .rows()
-            .iter()
-            .map(|r| (r.scope.clone(), r.feature.clone()))
-            .collect();
+        let cells: std::collections::BTreeSet<(String, String)> =
+            table.rows().iter().map(|r| (r.scope.clone(), r.feature.clone())).collect();
         let mut wins = 0usize;
         for (s, f) in &cells {
             if table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false) {

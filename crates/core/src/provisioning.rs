@@ -150,8 +150,7 @@ mod tests {
         let planner = CapacityPlanner::new();
         let bands = vec![(10.0, 5.0, 15.0), (12.0, 6.0, 18.0)];
         let actuals = vec![14.0, 11.0];
-        let report =
-            planner.score(Strategy::PredictedUpperBand, &bands, &actuals, 10.0).unwrap();
+        let report = planner.score(Strategy::PredictedUpperBand, &bands, &actuals, 10.0).unwrap();
         assert_eq!(report.total_shortfall, 0.0);
         assert_eq!(report.coverage, 1.0);
         assert!(report.total_excess > 0.0);
@@ -161,9 +160,8 @@ mod tests {
     fn static_underprovisioning_shows_shortfall() {
         let planner = CapacityPlanner::new();
         let actuals = vec![100.0, 50.0, 120.0];
-        let report = planner
-            .score(Strategy::Static { capacity: 80.0 }, &[], &actuals, 0.0)
-            .unwrap();
+        let report =
+            planner.score(Strategy::Static { capacity: 80.0 }, &[], &actuals, 0.0).unwrap();
         assert_eq!(report.total_shortfall, 20.0 + 40.0);
         assert_eq!(report.total_excess, 30.0);
         assert!((report.coverage - 1.0 / 3.0).abs() < 1e-12);
@@ -184,13 +182,9 @@ mod tests {
     fn cost_weights_shortfall_against_excess() {
         let planner = CapacityPlanner::new();
         let actuals = vec![100.0];
-        let short = planner
-            .score(Strategy::Static { capacity: 50.0 }, &[], &actuals, 0.0)
-            .unwrap();
+        let short = planner.score(Strategy::Static { capacity: 50.0 }, &[], &actuals, 0.0).unwrap();
         // Shortfall of 50 at 10x cost beats excess of 50 at 1x.
-        let over = planner
-            .score(Strategy::Static { capacity: 150.0 }, &[], &actuals, 0.0)
-            .unwrap();
+        let over = planner.score(Strategy::Static { capacity: 150.0 }, &[], &actuals, 0.0).unwrap();
         assert!(short.cost(10.0, 1.0) > over.cost(10.0, 1.0));
     }
 
@@ -219,12 +213,11 @@ mod tests {
         let last = train.last().unwrap().magnitude() as f64;
 
         let planner = CapacityPlanner::new();
-        let predicted = planner
-            .score(Strategy::PredictedUpperBand, &bands, &actuals, last)
-            .unwrap();
+        let predicted =
+            planner.score(Strategy::PredictedUpperBand, &bands, &actuals, last).unwrap();
         // A deliberately skimpy static plan (mean of history / 2).
-        let mean_hist = FeatureExtractor::magnitude_series(&train).iter().sum::<f64>()
-            / train.len() as f64;
+        let mean_hist =
+            FeatureExtractor::magnitude_series(&train).iter().sum::<f64>() / train.len() as f64;
         let skimpy = planner
             .score(Strategy::Static { capacity: mean_hist / 2.0 }, &[], &actuals, last)
             .unwrap();

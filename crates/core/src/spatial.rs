@@ -10,9 +10,10 @@
 use crate::features::FeatureExtractor;
 use crate::{ModelError, Result};
 use ddos_astopo::Asn;
-use ddos_neural::grid::{grid_search, GridSpec};
+use ddos_neural::grid::{grid_search_with, GridSpec};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
+use ddos_stats::exec::map_indexed;
 use ddos_trace::AttackRecord;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,13 @@ pub struct SpatialConfig {
     pub min_attacks: usize,
     /// How many of the family's source ASes the distribution model tracks.
     pub top_k_ases: usize,
+    /// Worker threads for grid search and per-AS fits (`None` = all
+    /// available cores, `Some(1)` = serial). Execution knob only: fitted
+    /// models are bit-identical at any value. Pipeline runners override
+    /// this with [`PipelineConfig::parallelism`].
+    ///
+    /// [`PipelineConfig::parallelism`]: crate::pipeline::PipelineConfig::parallelism
+    pub parallelism: Option<usize>,
 }
 
 impl Default for SpatialConfig {
@@ -37,6 +45,7 @@ impl Default for SpatialConfig {
             fixed: None,
             min_attacks: 20,
             top_k_ases: 8,
+            parallelism: None,
         }
     }
 }
@@ -59,6 +68,7 @@ impl SpatialConfig {
             }),
             min_attacks: 12,
             top_k_ases: 5,
+            parallelism: None,
         }
     }
 }
@@ -100,13 +110,15 @@ impl SpatialModel {
         // Durations are heavy-tailed (log-normal by nature); the NAR works
         // in log space so min-max scaling does not crush the body of the
         // distribution.
-        let log_durations: Vec<f64> =
-            profile.durations.iter().map(|d| d.max(1.0).ln()).collect();
+        let log_durations: Vec<f64> = profile.durations.iter().map(|d| d.max(1.0).ln()).collect();
 
         let fit_series = |series: &[f64], salt: u64| -> Result<NarModel> {
             match &config.fixed {
                 Some(cfg) => Ok(NarModel::fit(series, *cfg, seed ^ salt)?),
-                None => Ok(grid_search(series, &config.grid, seed ^ salt)?.model),
+                None => {
+                    Ok(grid_search_with(series, &config.grid, seed ^ salt, config.parallelism)?
+                        .model)
+                }
             }
         };
 
@@ -240,15 +252,16 @@ impl SourceDistributionModel {
                 actual: 0,
             });
         }
-        let nar_cfg = config.fixed.unwrap_or(NarConfig {
-            delays: 3,
-            hidden: 6,
-            ..Default::default()
-        });
-        let mut models = Vec::with_capacity(asns.len());
-        for (k, s) in series.iter().enumerate() {
-            models.push(NarModel::fit(s, nar_cfg, seed ^ (k as u64))?);
-        }
+        let nar_cfg =
+            config.fixed.unwrap_or(NarConfig { delays: 3, hidden: 6, ..Default::default() });
+        // One independent NAR per tracked AS (seed salted by its rank):
+        // fan them out on the sharded executor, then collect in rank
+        // order so the first failure reported matches a serial run.
+        let models = map_indexed(&series, config.parallelism, |k, s| {
+            NarModel::fit(s, nar_cfg, seed ^ (k as u64))
+        })
+        .into_iter()
+        .collect::<std::result::Result<Vec<_>, _>>()?;
         Ok(SourceDistributionModel { asns, models, train_shares: series })
     }
 
@@ -319,9 +332,7 @@ impl SourceDistributionModel {
                 let mut row: Vec<f64> = self
                     .asns
                     .iter()
-                    .map(|asn| {
-                        hist.iter().find(|(h, _)| h == asn).map_or(0.0, |(_, n)| *n as f64)
-                    })
+                    .map(|asn| hist.iter().find(|(h, _)| h == asn).map_or(0.0, |(_, n)| *n as f64))
                     .collect();
                 let total: f64 = row.iter().sum();
                 if total > 0.0 {

@@ -54,11 +54,7 @@ impl Default for SpatioTemporalConfig {
 impl SpatioTemporalConfig {
     /// A fast configuration for tests.
     pub fn fast() -> Self {
-        SpatioTemporalConfig {
-            history_per_group: 8,
-            max_spatial_models: 4,
-            ..Default::default()
-        }
+        SpatioTemporalConfig { history_per_group: 8, max_spatial_models: 4, ..Default::default() }
     }
 }
 
@@ -243,8 +239,7 @@ impl SpatioTemporalModel {
         for a in &train_refs {
             per_asn.entry(a.target_asn).or_default().push(a);
         }
-        let mut hot: Vec<(Asn, usize)> =
-            per_asn.iter().map(|(asn, v)| (*asn, v.len())).collect();
+        let mut hot: Vec<(Asn, usize)> = per_asn.iter().map(|(asn, v)| (*asn, v.len())).collect();
         hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut spatial = BTreeMap::new();
         for (asn, _) in hot.into_iter().take(config.max_spatial_models) {
@@ -350,11 +345,8 @@ impl SpatioTemporalModel {
             let asn_history = per_asn.entry(attack.target_asn).or_default();
             if k >= h && asn_history.len() >= h {
                 let recent: Vec<&AttackRecord> = stream[k - h..k].to_vec();
-                let same_as: Vec<&AttackRecord> = asn_history
-                    [asn_history.len() - h..]
-                    .iter()
-                    .map(|&i| stream[i])
-                    .collect();
+                let same_as: Vec<&AttackRecord> =
+                    asn_history[asn_history.len() - h..].iter().map(|&i| stream[i]).collect();
                 if let Some(features) = self.features_for(&recent, &same_as) {
                     out.push((
                         features,
@@ -382,14 +374,12 @@ impl SpatioTemporalModel {
             return None;
         }
         let recent_hours: Vec<f64> = recent.iter().map(|a| a.start.hour() as f64).collect();
-        let recent_days: Vec<f64> =
-            recent.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let recent_days: Vec<f64> = recent.iter().map(|a| a.start.day_of_month() as f64).collect();
         let recent_gaps: Vec<f64> =
             recent.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
         let as_hours: Vec<f64> = same_as.iter().map(|a| a.start.hour() as f64).collect();
         let as_days: Vec<f64> = same_as.iter().map(|a| a.start.day_of_month() as f64).collect();
-        let as_durations: Vec<f64> =
-            same_as.iter().map(|a| a.duration_secs as f64).collect();
+        let as_durations: Vec<f64> = same_as.iter().map(|a| a.duration_secs as f64).collect();
 
         // Temporal component: frozen-ARIMA one-step from the recent group.
         let tmp_hour = self
@@ -414,17 +404,15 @@ impl SpatioTemporalModel {
         // Spatial component: per-AS NAR when available, else window stats.
         let asn = same_as[0].target_asn;
         let (spa_duration, spa_hour) = match self.spatial.get(&asn) {
-            Some(model) => model
-                .forecast_next(same_as)
-                .unwrap_or((mean(&as_durations), mean(&as_hours))),
+            Some(model) => {
+                model.forecast_next(same_as).unwrap_or((mean(&as_durations), mean(&as_hours)))
+            }
             None => (mean(&as_durations), mean(&as_hours)),
         };
         let spa_day = mean(&as_days).clamp(1.0, 31.0);
 
         let last_as_gap = if same_as.len() >= 2 {
-            same_as[same_as.len() - 1]
-                .start
-                .abs_diff(same_as[same_as.len() - 2].start) as f64
+            same_as[same_as.len() - 1].start.abs_diff(same_as[same_as.len() - 2].start) as f64
         } else {
             0.0
         };
@@ -538,11 +526,7 @@ fn median(v: &[f64]) -> f64 {
 
 /// A 1-leaf placeholder tree used during two-phase construction.
 fn trivial_tree() -> Result<RegressionTree> {
-    Ok(RegressionTree::fit(
-        &[vec![0.0; 13], vec![1.0; 13]],
-        &[0.0, 0.0],
-        &TreeConfig::default(),
-    )?)
+    Ok(RegressionTree::fit(&[vec![0.0; 13], vec![1.0; 13]], &[0.0, 0.0], &TreeConfig::default())?)
 }
 
 #[cfg(test)]
@@ -631,10 +615,7 @@ mod tests {
         };
         let row = f.to_row();
         assert_eq!(row.len(), InstanceFeatures::FEATURE_NAMES.len());
-        assert_eq!(
-            row,
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 1.0, 13.0]
-        );
+        assert_eq!(row, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 1.0, 13.0]);
     }
 
     #[test]

@@ -298,10 +298,8 @@ mod tests {
         let fx = FeatureExtractor::new(&c);
         let fam = c.catalog().most_active(1)[0];
         let (train, _) = split_family(&c);
-        let cfg = TemporalConfig {
-            fixed_order: Some(ArimaOrder::new(1, 0, 0)),
-            ..Default::default()
-        };
+        let cfg =
+            TemporalConfig { fixed_order: Some(ArimaOrder::new(1, 0, 0)), ..Default::default() };
         let model = TemporalModel::fit(&fx, fam, &train, &cfg).unwrap();
         assert_eq!(model.magnitude_model().order(), ArimaOrder::new(1, 0, 0));
         assert_eq!(model.activity_model().order(), ArimaOrder::new(1, 0, 0));

@@ -130,7 +130,12 @@ impl MiddleboxSimulator {
     /// Proactive policy: flip at `predicted_start − margin` (clamped to the
     /// episode start at 0), then replay an attack over
     /// `[true_start, true_start + duration]`.
-    pub fn proactive(&self, predicted_start: f64, true_start: f64, duration: f64) -> TraversalOutcome {
+    pub fn proactive(
+        &self,
+        predicted_start: f64,
+        true_start: f64,
+        duration: f64,
+    ) -> TraversalOutcome {
         let flip_at = (predicted_start - self.proactive_margin_secs).max(0.0);
         self.outcome(flip_at, true_start, duration)
     }
@@ -210,8 +215,7 @@ impl TakedownSimulator {
         elapsed_secs: u64,
     ) -> TakedownOutcome {
         let total = attack.magnitude();
-        let removed =
-            attack.bots.iter().filter(|b| taken_down.contains(&b.asn)).count();
+        let removed = attack.bots.iter().filter(|b| taken_down.contains(&b.asn)).count();
         let remaining = total - removed;
         let removed_fraction = if total == 0 { 0.0 } else { removed as f64 / total as f64 };
         let collapses = total > 0 && (remaining as f64) < self.viability_floor * total as f64;
@@ -266,10 +270,8 @@ mod tests {
         let attack = sample_attack();
         let sim = AsFilteringSimulator::new();
         let hist = attack.asn_histogram();
-        let predicted: Vec<(Asn, f64)> = hist
-            .iter()
-            .map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64))
-            .collect();
+        let predicted: Vec<(Asn, f64)> =
+            hist.iter().map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64)).collect();
         let out = sim.apply_predicted(&predicted, predicted.len(), &attack);
         assert!((out.coverage - 1.0).abs() < 1e-12);
         assert_eq!(out.rules_used, predicted.len());
@@ -280,10 +282,8 @@ mod tests {
         let attack = sample_attack();
         let sim = AsFilteringSimulator::new();
         let hist = attack.asn_histogram();
-        let predicted: Vec<(Asn, f64)> = hist
-            .iter()
-            .map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64))
-            .collect();
+        let predicted: Vec<(Asn, f64)> =
+            hist.iter().map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64)).collect();
         let k = 2;
         let predicted_out = sim.apply_predicted(&predicted, k, &attack);
 
@@ -374,10 +374,8 @@ mod tests {
     fn predicted_takedown_matches_manual_ranking() {
         let attack = sample_attack();
         let hist = attack.asn_histogram();
-        let predicted: Vec<(Asn, f64)> = hist
-            .iter()
-            .map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64))
-            .collect();
+        let predicted: Vec<(Asn, f64)> =
+            hist.iter().map(|(a, n)| (*a, *n as f64 / attack.magnitude() as f64)).collect();
         let sim = TakedownSimulator::default();
         let via_predicted = sim.apply_predicted(&predicted, 1, &attack, 0);
         // The top AS by share is the histogram max.
@@ -391,8 +389,11 @@ mod tests {
     fn elapsed_beyond_duration_saves_nothing() {
         let attack = sample_attack();
         let all = attack.source_asns();
-        let out = TakedownSimulator { viability_floor: 1.0 }
-            .apply(&attack, &all, attack.duration_secs + 999);
+        let out = TakedownSimulator { viability_floor: 1.0 }.apply(
+            &attack,
+            &all,
+            attack.duration_secs + 999,
+        );
         assert!(out.attack_collapses);
         assert_eq!(out.seconds_saved, 0);
     }

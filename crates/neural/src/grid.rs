@@ -7,6 +7,7 @@
 use crate::nar::{NarConfig, NarModel};
 use crate::train::TrainConfig;
 use crate::{NeuralError, Result};
+use ddos_stats::exec::map_indexed;
 use serde::{Deserialize, Serialize};
 
 /// The search space.
@@ -48,18 +49,58 @@ pub struct GridOutcome {
     pub model: NarModel,
     /// Every evaluated cell, sorted ascending by RMSE.
     pub table: Vec<GridCell>,
+    /// Cells that could not be scored (fit/prediction failed or produced
+    /// a non-finite RMSE) and therefore do not appear in `table`.
+    pub skipped: usize,
+}
+
+/// How one grid cell's evaluation ended.
+enum CellEval {
+    /// The cell trained and scored with a finite RMSE.
+    Scored(GridCell, Box<NarModel>),
+    /// The cell was infeasible; the cause is kept so a fully-failed grid
+    /// can report *why* instead of a generic "not enough data".
+    Infeasible(NeuralError),
+}
+
+/// Searches the grid with the default worker count (every available
+/// core). See [`grid_search_with`]; the parallel evaluation is
+/// bit-identical to serial, so the worker count never changes the result.
+///
+/// # Errors
+///
+/// * [`NeuralError::InvalidParameter`] for an empty grid.
+/// * [`NeuralError::NotEnoughData`] when the series has no holdout tail.
+/// * When *every* cell is infeasible, the first cell's underlying error
+///   (in grid order) rather than a generic failure.
+pub fn grid_search(series: &[f64], spec: &GridSpec, seed: u64) -> Result<GridOutcome> {
+    grid_search_with(series, spec, seed, None)
 }
 
 /// Searches the grid: each cell trains on the first 80% of the series and
 /// is scored by rolling one-step RMSE on the remaining 20%; the winner is
 /// refit on the whole series.
 ///
+/// Cells are evaluated on up to `parallelism` worker threads (`None` =
+/// all available cores, `Some(1)` = serial). Each cell derives its own
+/// seed (`seed ^ (ci << 32) ^ cj`) and the reduction walks cells in grid
+/// order, so results are bit-identical at any worker count.
+///
+/// Cells that fail to train or score (e.g. too many delays for the
+/// series) are skipped and counted in [`GridOutcome::skipped`].
+///
 /// # Errors
 ///
 /// * [`NeuralError::InvalidParameter`] for an empty grid.
-/// * [`NeuralError::NotEnoughData`] when the series cannot support the
-///   smallest cell.
-pub fn grid_search(series: &[f64], spec: &GridSpec, seed: u64) -> Result<GridOutcome> {
+/// * [`NeuralError::NotEnoughData`] when the series has no holdout tail.
+/// * When *every* cell is infeasible, the first cell's underlying error
+///   (in grid order) rather than a generic failure.
+pub fn grid_search_with(
+    series: &[f64],
+    spec: &GridSpec,
+    seed: u64,
+    parallelism: Option<usize>,
+) -> Result<GridOutcome> {
     if spec.delays.is_empty() || spec.hidden.is_empty() {
         return Err(NeuralError::InvalidParameter {
             name: "spec",
@@ -72,34 +113,59 @@ pub fn grid_search(series: &[f64], spec: &GridSpec, seed: u64) -> Result<GridOut
         return Err(NeuralError::NotEnoughData { required: 10, actual: series.len() });
     }
 
+    // Cells in canonical (row-major) grid order; the index-preserving map
+    // plus an in-order reduction below makes the outcome independent of
+    // the worker count.
+    let cells: Vec<(usize, usize, usize, usize)> = spec
+        .delays
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &delays)| {
+            spec.hidden.iter().enumerate().map(move |(cj, &hidden)| (ci, cj, delays, hidden))
+        })
+        .collect();
+    let evals = map_indexed(&cells, parallelism, |_, &(ci, cj, delays, hidden)| {
+        let config = NarConfig { delays, hidden, train: spec.train, ..Default::default() };
+        let cell_seed = seed ^ ((ci as u64) << 32) ^ (cj as u64);
+        let model = match NarModel::fit(head, config, cell_seed) {
+            Ok(m) => m,
+            Err(e) => return CellEval::Infeasible(e),
+        };
+        let preds = match model.predict_rolling(head, tail) {
+            Ok(p) => p,
+            Err(e) => return CellEval::Infeasible(e),
+        };
+        let sse: f64 = preds.iter().zip(tail).map(|(p, t)| (p - t).powi(2)).sum();
+        let rmse = (sse / tail.len() as f64).sqrt();
+        if !rmse.is_finite() {
+            return CellEval::Infeasible(NeuralError::NonFiniteInput);
+        }
+        CellEval::Scored(GridCell { delays, hidden, rmse }, Box::new(model))
+    });
+
     let mut table = Vec::new();
-    let mut best: Option<(GridCell, NarModel)> = None;
-    for (ci, &delays) in spec.delays.iter().enumerate() {
-        for (cj, &hidden) in spec.hidden.iter().enumerate() {
-            let config = NarConfig {
-                delays,
-                hidden,
-                train: spec.train,
-                ..Default::default()
-            };
-            let cell_seed = seed ^ ((ci as u64) << 32) ^ (cj as u64);
-            let Ok(model) = NarModel::fit(head, config, cell_seed) else { continue };
-            let Ok(preds) = model.predict_rolling(head, tail) else { continue };
-            let sse: f64 = preds.iter().zip(tail).map(|(p, t)| (p - t).powi(2)).sum();
-            let rmse = (sse / tail.len() as f64).sqrt();
-            if !rmse.is_finite() {
-                continue;
+    let mut skipped = 0usize;
+    let mut first_cause: Option<NeuralError> = None;
+    let mut best: Option<(GridCell, Box<NarModel>)> = None;
+    for eval in evals {
+        match eval {
+            CellEval::Scored(cell, model) => {
+                let better = best.as_ref().is_none_or(|(c, _)| cell.rmse < c.rmse);
+                if better {
+                    best = Some((cell.clone(), model));
+                }
+                table.push(cell);
             }
-            let cell = GridCell { delays, hidden, rmse };
-            let better = best.as_ref().is_none_or(|(c, _)| rmse < c.rmse);
-            if better {
-                best = Some((cell.clone(), model));
+            CellEval::Infeasible(cause) => {
+                skipped += 1;
+                first_cause.get_or_insert(cause);
             }
-            table.push(cell);
         }
     }
     let Some((winner, _)) = best else {
-        return Err(NeuralError::NotEnoughData { required: 10, actual: series.len() });
+        // Every cell failed: surface the real cause, not a generic error.
+        return Err(first_cause
+            .unwrap_or(NeuralError::NotEnoughData { required: 10, actual: series.len() }));
     };
     // Refit the winning architecture on the full series.
     let config = NarConfig {
@@ -109,8 +175,8 @@ pub fn grid_search(series: &[f64], spec: &GridSpec, seed: u64) -> Result<GridOut
         ..Default::default()
     };
     let model = NarModel::fit(series, config, seed)?;
-    table.sort_by(|a, b| a.rmse.partial_cmp(&b.rmse).expect("finite rmse"));
-    Ok(GridOutcome { model, table })
+    table.sort_by(|a, b| a.rmse.total_cmp(&b.rmse));
+    Ok(GridOutcome { model, table, skipped })
 }
 
 #[cfg(test)]
@@ -157,6 +223,71 @@ mod tests {
             (out.model.config().delays, out.model.config().hidden),
             (best.delays, best.hidden)
         );
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let s = ar2(220);
+        let spec = GridSpec {
+            delays: vec![1, 2, 3],
+            hidden: vec![2, 4],
+            train: TrainConfig { max_epochs: 120, patience: 15, ..Default::default() },
+        };
+        let serial = grid_search_with(&s, &spec, 77, Some(1)).unwrap();
+        for workers in [2, 4, 8] {
+            let par = grid_search_with(&s, &spec, 77, Some(workers)).unwrap();
+            assert_eq!(par.table, serial.table, "workers={workers}");
+            assert_eq!(par.skipped, serial.skipped);
+            assert_eq!(par.model.config(), serial.model.config());
+            assert_eq!(
+                par.model.predict_next(&s).unwrap().to_bits(),
+                serial.model.predict_next(&s).unwrap().to_bits(),
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_cells_are_counted_not_swallowed() {
+        let s = ar2(60);
+        // delays=50 cannot be trained on a 48-point head; delays=2 can.
+        let spec = GridSpec {
+            delays: vec![2, 50],
+            hidden: vec![2],
+            train: TrainConfig { max_epochs: 60, patience: 10, ..Default::default() },
+        };
+        let out = grid_search(&s, &spec, 9).unwrap();
+        assert_eq!(out.skipped, 1);
+        assert_eq!(out.table.len(), 1);
+        assert_eq!(out.table[0].delays, 2);
+    }
+
+    #[test]
+    fn all_cells_infeasible_reports_underlying_cause() {
+        let s = ar2(60);
+        let spec =
+            GridSpec { delays: vec![50, 55], hidden: vec![2], train: TrainConfig::default() };
+        let err = grid_search(&s, &spec, 9).unwrap_err();
+        // The real cause (cells too large for the head), not a generic
+        // series-level NotEnoughData{required: 10}.
+        match err {
+            NeuralError::NotEnoughData { required, .. } => assert!(required > 10),
+            other => panic!("expected the cell-level cause, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_series_errors_without_panicking() {
+        let mut s = ar2(120);
+        s[40] = f64::NAN;
+        let spec = GridSpec {
+            delays: vec![1, 2],
+            hidden: vec![2],
+            train: TrainConfig { max_epochs: 40, patience: 10, ..Default::default() },
+        };
+        // Every cell sees the NaN and fails; the search must return the
+        // cause instead of panicking in the RMSE sort.
+        assert!(grid_search(&s, &spec, 3).is_err());
     }
 
     #[test]

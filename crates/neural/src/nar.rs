@@ -206,12 +206,9 @@ mod tests {
     #[test]
     fn learns_a_sine_wave() {
         let s = sine(300);
-        let model = NarModel::fit(
-            &s,
-            NarConfig { delays: 4, hidden: 10, ..Default::default() },
-            21,
-        )
-        .unwrap();
+        let model =
+            NarModel::fit(&s, NarConfig { delays: 4, hidden: 10, ..Default::default() }, 21)
+                .unwrap();
         assert!(model.sigma() < 0.8, "sigma {}", model.sigma());
         // One-step prediction continues the wave.
         let next = model.predict_next(&s).unwrap();
@@ -223,19 +220,12 @@ mod tests {
     fn rolling_prediction_tracks_test_set() {
         let s = sine(360);
         let (train_s, test_s) = s.split_at(300);
-        let model = NarModel::fit(
-            train_s,
-            NarConfig { delays: 4, hidden: 10, ..Default::default() },
-            22,
-        )
-        .unwrap();
+        let model =
+            NarModel::fit(train_s, NarConfig { delays: 4, hidden: 10, ..Default::default() }, 22)
+                .unwrap();
         let preds = model.predict_rolling(train_s, test_s).unwrap();
         assert_eq!(preds.len(), test_s.len());
-        let rmse: f64 = (preds
-            .iter()
-            .zip(test_s)
-            .map(|(p, t)| (p - t).powi(2))
-            .sum::<f64>()
+        let rmse: f64 = (preds.iter().zip(test_s).map(|(p, t)| (p - t).powi(2)).sum::<f64>()
             / test_s.len() as f64)
             .sqrt();
         assert!(rmse < 1.2, "rolling RMSE {rmse}");
@@ -244,12 +234,8 @@ mod tests {
     #[test]
     fn recursive_forecast_stays_in_range() {
         let s = sine(300);
-        let model = NarModel::fit(
-            &s,
-            NarConfig { delays: 4, hidden: 8, ..Default::default() },
-            23,
-        )
-        .unwrap();
+        let model = NarModel::fit(&s, NarConfig { delays: 4, hidden: 8, ..Default::default() }, 23)
+            .unwrap();
         let fc = model.forecast(&s, 24).unwrap();
         assert_eq!(fc.len(), 24);
         // Scaled sigmoid output cannot leave the training range by much.

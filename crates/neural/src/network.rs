@@ -106,8 +106,7 @@ impl Mlp {
             let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.b1[h];
             hidden.push(self.hidden_activation.apply(z));
         }
-        let output: f64 =
-            self.w2.iter().zip(&hidden).map(|(w, h)| w * h).sum::<f64>() + self.b2;
+        let output: f64 = self.w2.iter().zip(&hidden).map(|(w, h)| w * h).sum::<f64>() + self.b2;
         Ok(Forward { hidden, output })
     }
 
@@ -120,12 +119,7 @@ impl Mlp {
     /// # Errors
     ///
     /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
-    pub fn accumulate_gradient(
-        &self,
-        input: &[f64],
-        target: f64,
-        grad: &mut [f64],
-    ) -> Result<f64> {
+    pub fn accumulate_gradient(&self, input: &[f64], target: f64, grad: &mut [f64]) -> Result<f64> {
         debug_assert_eq!(grad.len(), self.n_params());
         let fwd = self.forward(input)?;
         let err = fwd.output - target;
@@ -139,9 +133,8 @@ impl Mlp {
         gb2[0] += err;
         // Hidden layer.
         for h in 0..self.hidden_dim {
-            let dh = err
-                * self.w2[h]
-                * self.hidden_activation.derivative_from_output(fwd.hidden[h]);
+            let dh =
+                err * self.w2[h] * self.hidden_activation.derivative_from_output(fwd.hidden[h]);
             for i in 0..self.input_dim {
                 gw1[h * self.input_dim + i] += dh * input[i];
             }

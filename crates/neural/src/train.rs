@@ -75,7 +75,12 @@ pub struct TrainReport {
 /// * [`NeuralError::BadDimensions`] when inputs/targets lengths differ.
 /// * [`NeuralError::InvalidParameter`] for bad config values.
 /// * Propagates width mismatches from the forward pass.
-pub fn train(network: &mut Mlp, inputs: &[Vec<f64>], targets: &[f64], config: &TrainConfig) -> Result<TrainReport> {
+pub fn train(
+    network: &mut Mlp,
+    inputs: &[Vec<f64>],
+    targets: &[f64],
+    config: &TrainConfig,
+) -> Result<TrainReport> {
     if inputs.is_empty() {
         return Err(NeuralError::NotEnoughData { required: 1, actual: 0 });
     }
@@ -96,9 +101,7 @@ pub fn train(network: &mut Mlp, inputs: &[Vec<f64>], targets: &[f64], config: &T
             detail: "must be nonzero".to_string(),
         });
     }
-    if targets.iter().any(|t| !t.is_finite())
-        || inputs.iter().flatten().any(|v| !v.is_finite())
-    {
+    if targets.iter().any(|t| !t.is_finite()) || inputs.iter().flatten().any(|v| !v.is_finite()) {
         return Err(NeuralError::NonFiniteInput);
     }
 
@@ -220,7 +223,12 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &TrainConfig { max_epochs: 500, validation_fraction: 0.0, patience: 100, ..Default::default() },
+            &TrainConfig {
+                max_epochs: 500,
+                validation_fraction: 0.0,
+                patience: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(report.train_mse < 0.01, "train MSE {}", report.train_mse);
@@ -233,12 +241,9 @@ mod tests {
     fn sgd_also_reduces_error() {
         let (xs, ys) = xor_like();
         let mut net = Mlp::new(2, 8, Activation::TanSig, 12).unwrap();
-        let initial_mse: f64 = xs
-            .iter()
-            .zip(&ys)
-            .map(|(x, y)| (net.predict(x).unwrap() - y).powi(2))
-            .sum::<f64>()
-            / xs.len() as f64;
+        let initial_mse: f64 =
+            xs.iter().zip(&ys).map(|(x, y)| (net.predict(x).unwrap() - y).powi(2)).sum::<f64>()
+                / xs.len() as f64;
         let report = train(
             &mut net,
             &xs,
@@ -258,7 +263,8 @@ mod tests {
     fn early_stopping_triggers_on_noise() {
         // Pure noise: validation cannot improve for long.
         let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 * 0.37).sin()]).collect();
-        let ys: Vec<f64> = (0..60).map(|i| ((i * 2654435761u64 % 97) as f64 / 97.0) - 0.5).collect();
+        let ys: Vec<f64> =
+            (0..60).map(|i| ((i * 2654435761u64 % 97) as f64 / 97.0) - 0.5).collect();
         let mut net = Mlp::new(1, 4, Activation::TanSig, 13).unwrap();
         let report = train(
             &mut net,
@@ -297,7 +303,12 @@ mod tests {
             &mut net,
             &xs,
             &ys,
-            &TrainConfig { max_epochs: 300, validation_fraction: 0.25, patience: 30, ..Default::default() },
+            &TrainConfig {
+                max_epochs: 300,
+                validation_fraction: 0.25,
+                patience: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Recompute validation error of the returned network: must equal

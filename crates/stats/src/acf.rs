@@ -42,9 +42,7 @@ pub fn acf(series: &[f64], max_lag: usize) -> Result<Vec<f64>> {
     }
     let mut out = Vec::with_capacity(max_lag + 1);
     for lag in 0..=max_lag {
-        let num: f64 = (0..n - lag)
-            .map(|i| (series[i] - mean) * (series[i + lag] - mean))
-            .sum();
+        let num: f64 = (0..n - lag).map(|i| (series[i] - mean) * (series[i + lag] - mean)).sum();
         out.push(num / denom);
     }
     Ok(out)

@@ -118,7 +118,10 @@ pub fn integrate(history: &[f64], diffed_future: &[f64], d: usize) -> Result<Vec
 /// let series: Vec<f64> = (0..120).map(|i| 10.0 + 0.5 * i as f64).collect();
 /// let model = Arima::fit(&series, ArimaOrder::new(1, 1, 0))?;
 /// let next = model.forecast(3)?;
-/// assert!((next[0] - 70.5).abs() < 1.0);
+/// // The series continues 70.0, 70.5, 71.0; the differenced AR model
+/// // recovers the 0.5 slope essentially exactly.
+/// assert!((next[0] - 70.0).abs() < 1e-6);
+/// assert!((next[2] - 71.0).abs() < 1e-6);
 /// # Ok(())
 /// # }
 /// ```
@@ -180,16 +183,7 @@ impl Arima {
         let eff_n = residuals.len().saturating_sub(p).max(1);
         let sigma2 = residuals.iter().skip(p).map(|e| e * e).sum::<f64>() / eff_n as f64;
 
-        Ok(Arima {
-            order,
-            constant,
-            ar,
-            ma,
-            history: series.to_vec(),
-            work,
-            residuals,
-            sigma2,
-        })
+        Ok(Arima { order, constant, ar, ma, history: series.to_vec(), work, residuals, sigma2 })
     }
 
     /// The model order.
@@ -327,11 +321,7 @@ impl Arima {
     ///
     /// Same conditions as [`Arima::forecast`]; additionally
     /// [`StatsError::InvalidParameter`] for a nonpositive `z`.
-    pub fn forecast_with_interval(
-        &self,
-        horizon: usize,
-        z: f64,
-    ) -> Result<Vec<(f64, f64, f64)>> {
+    pub fn forecast_with_interval(&self, horizon: usize, z: f64) -> Result<Vec<(f64, f64, f64)>> {
         if z <= 0.0 {
             return Err(StatsError::InvalidParameter {
                 name: "z",
@@ -414,10 +404,7 @@ impl Arima {
         let d = self.order.d;
         let p = self.order.p;
         if history.len() < d + p.max(1) {
-            return Err(StatsError::TooShort {
-                required: d + p.max(1),
-                actual: history.len(),
-            });
+            return Err(StatsError::TooShort { required: d + p.max(1), actual: history.len() });
         }
         let w = difference(history, d)?;
         let t = w.len();
@@ -466,9 +453,7 @@ fn fit_ar_ols(work: &[f64], p: usize) -> Result<(f64, Vec<f64>)> {
     if n <= p + 1 {
         return Err(StatsError::TooShort { required: p + 2, actual: n });
     }
-    let xs: Vec<Vec<f64>> = (p..n)
-        .map(|t| (1..=p).map(|j| work[t - j]).collect())
-        .collect();
+    let xs: Vec<Vec<f64>> = (p..n).map(|t| (1..=p).map(|j| work[t - j]).collect()).collect();
     let ys: Vec<f64> = work[p..].to_vec();
     match LinearModel::fit(&xs, &ys) {
         Ok(m) => Ok((m.intercept(), m.coefficients().to_vec())),

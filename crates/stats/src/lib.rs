@@ -17,6 +17,8 @@
 //!   Pareto, categorical, diurnal cycles) used by the trace generator.
 //! * [`smoothing`] — simple and Holt exponential smoothing (the
 //!   middle-ground comparators between the naive baselines and ARIMA).
+//! * [`exec`] — deterministic sharded parallel executor backing the
+//!   model-fitting hot paths (same outputs at any thread count).
 //!
 //! # Example
 //!
@@ -42,6 +44,7 @@ pub mod acf;
 pub mod arima;
 pub mod diagnostics;
 pub mod distributions;
+pub mod exec;
 pub mod matrix;
 pub mod metrics;
 pub mod ols;

@@ -163,9 +163,7 @@ impl Matrix {
                 detail: format!("vector length {} != matrix cols {}", v.len(), self.cols),
             });
         }
-        Ok((0..self.rows)
-            .map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok((0..self.rows).map(|i| self.row(i).iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Matrix–matrix product `self * rhs`.
@@ -471,7 +469,8 @@ impl Matrix {
 
     /// Gram matrix `selfᵀ * self` (used to form normal equations).
     pub fn gram(&self) -> Matrix {
-        let mut g = Matrix { rows: self.cols, cols: self.cols, data: vec![0.0; self.cols * self.cols] };
+        let mut g =
+            Matrix { rows: self.cols, cols: self.cols, data: vec![0.0; self.cols * self.cols] };
         for i in 0..self.cols {
             for j in i..self.cols {
                 let mut s = 0.0;
@@ -555,11 +554,7 @@ impl Mul<f64> for &Matrix {
     type Output = Matrix;
 
     fn mul(self, s: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|a| a * s).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|a| a * s).collect() }
     }
 }
 
@@ -679,12 +674,7 @@ mod tests {
 
     #[test]
     fn qr_orthogonality_and_reconstruction() {
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![3.0, 4.0],
-            vec![5.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         let (q, r) = a.qr().unwrap();
         let qtq = q.transpose().mat_mul(&q).unwrap();
         let eye = Matrix::identity(3).unwrap();
@@ -696,12 +686,7 @@ mod tests {
     #[test]
     fn lstsq_exact_fit() {
         // y = 1 + 2x, exactly representable.
-        let x = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-            vec![1.0, 2.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]]).unwrap();
         let beta = x.lstsq(&[1.0, 3.0, 5.0]).unwrap();
         assert!(close(beta[0], 1.0));
         assert!(close(beta[1], 2.0));
@@ -712,9 +697,8 @@ mod tests {
         // Noisy line; check the residual is orthogonal to the columns.
         let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
         let x = Matrix::from_rows(&rows).unwrap();
-        let y: Vec<f64> = (0..10)
-            .map(|i| 2.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 })
-            .collect();
+        let y: Vec<f64> =
+            (0..10).map(|i| 2.0 + 0.5 * i as f64 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let beta = x.lstsq(&y).unwrap();
         let fitted = x.mat_vec(&beta).unwrap();
         let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
@@ -726,12 +710,7 @@ mod tests {
 
     #[test]
     fn lstsq_detects_rank_deficiency() {
-        let x = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         assert!(x.lstsq(&[1.0, 2.0, 3.0]).is_err());
     }
 

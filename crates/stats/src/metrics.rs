@@ -17,7 +17,8 @@ use crate::{Result, StatsError};
 /// ```
 /// # fn main() -> Result<(), ddos_stats::StatsError> {
 /// let rmse = ddos_stats::metrics::rmse(&[1.0, 2.0], &[1.0, 4.0])?;
-/// assert!((rmse - (2.0f64).sqrt() / (1.0f64)).abs() < 1.5);
+/// // Squared errors are 0 and 4, so the RMSE is sqrt(4 / 2) = sqrt(2).
+/// assert!((rmse - (2.0f64).sqrt()).abs() < 1e-12);
 /// # Ok(())
 /// # }
 /// ```
@@ -357,9 +358,6 @@ mod tests {
 
     #[test]
     fn mismatched_lengths_error() {
-        assert!(matches!(
-            rmse(&[1.0], &[1.0, 2.0]),
-            Err(StatsError::LengthMismatch { .. })
-        ));
+        assert!(matches!(rmse(&[1.0], &[1.0, 2.0]), Err(StatsError::LengthMismatch { .. })));
     }
 }

@@ -193,9 +193,7 @@ mod tests {
 
     #[test]
     fn multivariate_recovers_plane() {
-        let xs: Vec<Vec<f64>> = (0..30)
-            .map(|i| vec![(i % 5) as f64, (i / 5) as f64])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 5) as f64, (i / 5) as f64]).collect();
         let ys: Vec<f64> = xs.iter().map(|r| 1.0 + 2.0 * r[0] - 3.0 * r[1]).collect();
         let m = LinearModel::fit(&xs, &ys).unwrap();
         assert!((m.intercept() - 1.0).abs() < 1e-8);
@@ -208,9 +206,8 @@ mod tests {
     #[test]
     fn noisy_fit_has_reasonable_r2() {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = (0..100)
-            .map(|i| 2.0 * i as f64 + if i % 3 == 0 { 1.0 } else { -0.5 })
-            .collect();
+        let ys: Vec<f64> =
+            (0..100).map(|i| 2.0 * i as f64 + if i % 3 == 0 { 1.0 } else { -0.5 }).collect();
         let m = LinearModel::fit(&xs, &ys).unwrap();
         assert!(m.r_squared() > 0.99);
         assert!(m.residual_std() > 0.0);
@@ -219,10 +216,7 @@ mod tests {
     #[test]
     fn rejects_mismatched_lengths() {
         let xs = vec![vec![1.0], vec![2.0]];
-        assert!(matches!(
-            LinearModel::fit(&xs, &[1.0]),
-            Err(StatsError::LengthMismatch { .. })
-        ));
+        assert!(matches!(LinearModel::fit(&xs, &[1.0]), Err(StatsError::LengthMismatch { .. })));
     }
 
     #[test]
@@ -233,10 +227,7 @@ mod tests {
     #[test]
     fn rejects_underdetermined() {
         let xs = vec![vec![1.0, 2.0]];
-        assert!(matches!(
-            LinearModel::fit(&xs, &[1.0]),
-            Err(StatsError::TooShort { .. })
-        ));
+        assert!(matches!(LinearModel::fit(&xs, &[1.0]), Err(StatsError::TooShort { .. })));
     }
 
     #[test]
@@ -249,10 +240,7 @@ mod tests {
     #[test]
     fn rejects_nan() {
         let xs = vec![vec![1.0], vec![f64::NAN], vec![3.0]];
-        assert!(matches!(
-            LinearModel::fit(&xs, &[1.0, 2.0, 3.0]),
-            Err(StatsError::NonFiniteInput)
-        ));
+        assert!(matches!(LinearModel::fit(&xs, &[1.0, 2.0, 3.0]), Err(StatsError::NonFiniteInput)));
     }
 
     #[test]

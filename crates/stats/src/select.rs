@@ -183,8 +183,8 @@ mod tests {
     fn search_white_noise_prefers_small_model() {
         let mut rng = StdRng::seed_from_u64(4);
         let s: Vec<f64> = (0..1500).map(|_| rng.gen::<f64>()).collect();
-        let out = search(&s, SearchConfig { criterion: Criterion::Bic, ..Default::default() })
-            .unwrap();
+        let out =
+            search(&s, SearchConfig { criterion: Criterion::Bic, ..Default::default() }).unwrap();
         let o = out.model.order();
         assert!(o.p + o.q <= 1, "white noise picked {o}");
     }

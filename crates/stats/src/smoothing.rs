@@ -88,12 +88,7 @@ impl HoltModel {
                 });
             }
         }
-        let mut model = HoltModel {
-            alpha,
-            beta,
-            level: series[0],
-            trend: series[1] - series[0],
-        };
+        let mut model = HoltModel { alpha, beta, level: series[0], trend: series[1] - series[0] };
         for x in &series[1..] {
             model.update(*x);
         }
@@ -115,12 +110,8 @@ impl HoltModel {
                 if series.len() < 3 {
                     continue;
                 }
-                let mut m = HoltModel {
-                    alpha,
-                    beta,
-                    level: series[0],
-                    trend: series[1] - series[0],
-                };
+                let mut m =
+                    HoltModel { alpha, beta, level: series[0], trend: series[1] - series[0] };
                 let mut sse = 0.0;
                 for x in &series[1..] {
                     let f = m.update(*x);
@@ -214,14 +205,11 @@ mod tests {
     fn fit_auto_selects_reasonable_constants() {
         // Noisy trend: auto-tuned Holt should do no worse than a poor
         // hand-picked configuration.
-        let series: Vec<f64> =
-            (0..80).map(|i| 0.5 * i as f64 + ((i * 7) % 5) as f64).collect();
+        let series: Vec<f64> = (0..80).map(|i| 0.5 * i as f64 + ((i * 7) % 5) as f64).collect();
         let (train, test) = series.split_at(60);
         let mut auto = HoltModel::fit_auto(train).unwrap();
         let mut poor = HoltModel::fit(train, 1.0, 1.0).unwrap();
-        let sse = |p: Vec<f64>| -> f64 {
-            p.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum()
-        };
+        let sse = |p: Vec<f64>| -> f64 { p.iter().zip(test).map(|(a, b)| (a - b).powi(2)).sum() };
         let auto_sse = sse(auto.predict_rolling(test));
         let poor_sse = sse(poor.predict_rolling(test));
         assert!(auto_sse <= poor_sse * 1.2, "auto {auto_sse} vs poor {poor_sse}");

@@ -280,10 +280,6 @@ mod tests {
             }
         }
         let trough = hour_counts[10]; // 12h away from the peak
-        assert!(
-            hour_counts[22] > trough * 2,
-            "peak {} vs trough {trough}",
-            hour_counts[22]
-        );
+        assert!(hour_counts[22] > trough * 2, "peak {} vs trough {trough}", hour_counts[22]);
     }
 }

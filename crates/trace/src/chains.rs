@@ -114,11 +114,8 @@ pub fn reconstruct_chains(corpus: &Corpus) -> Result<ChainStats> {
     for c in &chains {
         chained_attacks += c.len();
     }
-    let mean_length = if chains.is_empty() {
-        0.0
-    } else {
-        chained_attacks as f64 / chains.len() as f64
-    };
+    let mean_length =
+        if chains.is_empty() { 0.0 } else { chained_attacks as f64 / chains.len() as f64 };
     Ok(ChainStats {
         max_length: chains.iter().map(Chain::len).max().unwrap_or(0),
         chained_fraction: chained_attacks as f64 / corpus.len() as f64,
@@ -139,11 +136,8 @@ pub fn inter_launch_cdf(corpus: &Corpus, max_points: usize) -> Result<Vec<(f64, 
     if corpus.len() < 2 {
         return Err(TraceError::EmptyCorpus);
     }
-    let mut gaps: Vec<f64> = corpus
-        .attacks()
-        .windows(2)
-        .map(|w| w[1].start.abs_diff(w[0].start) as f64)
-        .collect();
+    let mut gaps: Vec<f64> =
+        corpus.attacks().windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
     gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
     let n = gaps.len();
     let step = n.div_ceil(max_points.max(1)).max(1);
@@ -213,11 +207,7 @@ mod tests {
         let stats = reconstruct_chains(&c).unwrap();
         // The small catalog generates 40-45% multistage follow-ups, so a
         // substantial fraction of attacks must sit in chains.
-        assert!(
-            stats.chained_fraction > 0.3,
-            "chained fraction {}",
-            stats.chained_fraction
-        );
+        assert!(stats.chained_fraction > 0.3, "chained fraction {}", stats.chained_fraction);
         assert!(stats.mean_length >= 2.0);
         assert!(stats.max_length >= 3);
     }

@@ -247,8 +247,7 @@ mod tests {
     #[test]
     fn family_views_partition_the_corpus() {
         let c = corpus();
-        let total: usize =
-            c.catalog().iter().map(|(id, _)| c.family_attacks(id).len()).sum();
+        let total: usize = c.catalog().iter().map(|(id, _)| c.family_attacks(id).len()).sum();
         assert_eq!(total, c.len());
     }
 

@@ -77,9 +77,7 @@ pub fn parse_attacks_csv(csv: &str) -> Result<Vec<AttackRow>> {
     match lines.next() {
         Some(h) if h == ATTACKS_CSV_HEADER => {}
         other => {
-            return Err(TraceError::InvalidConfig {
-                detail: format!("bad CSV header: {other:?}"),
-            })
+            return Err(TraceError::InvalidConfig { detail: format!("bad CSV header: {other:?}") })
         }
     }
     let mut out = Vec::new();
@@ -107,11 +105,11 @@ pub fn parse_attacks_csv(csv: &str) -> Result<Vec<AttackRow>> {
             duration_secs: num(5)?,
             magnitude: num(6)? as u32,
             multistage: num(7)? != 0,
-            vector: *crate::attack::AttackVector::ALL
-                .get(num(8)? as usize)
-                .ok_or_else(|| TraceError::InvalidConfig {
+            vector: *crate::attack::AttackVector::ALL.get(num(8)? as usize).ok_or_else(|| {
+                TraceError::InvalidConfig {
                     detail: format!("row {lineno}: bad vector index {:?}", fields[8]),
-                })?,
+                }
+            })?,
         });
     }
     Ok(out)

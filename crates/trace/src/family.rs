@@ -164,7 +164,10 @@ impl FamilyProfile {
         if self.vector_weights.iter().any(|w| *w < 0.0)
             || self.vector_weights.iter().sum::<f64>() <= 0.0
         {
-            return bad(format!("{}: vector weights must be nonnegative with positive sum", self.name));
+            return bad(format!(
+                "{}: vector weights must be nonnegative with positive sum",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -302,10 +305,7 @@ impl FamilyCatalog {
     /// DirtJumper are the "most stably active" families. Families absent
     /// from this catalog are skipped.
     pub fn figure_families(&self) -> Vec<FamilyId> {
-        ["BlackEnergy", "DirtJumper", "Pandora"]
-            .iter()
-            .filter_map(|n| self.by_name(n))
-            .collect()
+        ["BlackEnergy", "DirtJumper", "Pandora"].iter().filter_map(|n| self.by_name(n)).collect()
     }
 
     /// Finds a family id by name (case-sensitive).
@@ -335,7 +335,8 @@ fn region_affinity(i: usize) -> Vec<f64> {
     let home = i % REGIONS;
     (0..REGIONS)
         .map(|r| {
-            let dist = (r as isize - home as isize).unsigned_abs().min(REGIONS - (r.abs_diff(home)));
+            let dist =
+                (r as isize - home as isize).unsigned_abs().min(REGIONS - (r.abs_diff(home)));
             match dist {
                 0 => 6.0,
                 1 => 2.0,
@@ -371,12 +372,8 @@ mod tests {
     fn most_active_ordering_matches_table1_totals() {
         let c = FamilyCatalog::icdcs2017();
         let top = c.most_active(5);
-        let names: Vec<&str> =
-            top.iter().map(|id| c.profile(*id).unwrap().name.as_str()).collect();
-        assert_eq!(
-            names,
-            vec!["DirtJumper", "Pandora", "Darkshell", "BlackEnergy", "Colddeath"]
-        );
+        let names: Vec<&str> = top.iter().map(|id| c.profile(*id).unwrap().name.as_str()).collect();
+        assert_eq!(names, vec!["DirtJumper", "Pandora", "Darkshell", "BlackEnergy", "Colddeath"]);
         // AldiBot is the least active.
         let all = c.most_active(10);
         assert_eq!(c.profile(*all.last().unwrap()).unwrap().name, "AldiBot");
@@ -385,11 +382,8 @@ mod tests {
     #[test]
     fn figure_families_are_the_paper_trio() {
         let c = FamilyCatalog::icdcs2017();
-        let names: Vec<&str> = c
-            .figure_families()
-            .iter()
-            .map(|id| c.profile(*id).unwrap().name.as_str())
-            .collect();
+        let names: Vec<&str> =
+            c.figure_families().iter().map(|id| c.profile(*id).unwrap().name.as_str()).collect();
         assert_eq!(names, vec!["BlackEnergy", "DirtJumper", "Pandora"]);
         // The small catalog only retains two of them.
         assert_eq!(FamilyCatalog::small().figure_families().len(), 2);
@@ -439,10 +433,7 @@ mod tests {
     #[test]
     fn unknown_family_rejected() {
         let c = FamilyCatalog::small();
-        assert!(matches!(
-            c.profile(FamilyId(99)),
-            Err(TraceError::UnknownFamily(FamilyId(99)))
-        ));
+        assert!(matches!(c.profile(FamilyId(99)), Err(TraceError::UnknownFamily(FamilyId(99)))));
         assert_eq!(c.by_name("NoSuchBot"), None);
     }
 

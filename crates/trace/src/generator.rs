@@ -144,8 +144,8 @@ impl TraceGenerator {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Substrate: Internet, address plan, targets.
-        let topology = TopologyGenerator::new(self.config.topology.clone(), self.seed ^ 0xA5)
-            .generate()?;
+        let topology =
+            TopologyGenerator::new(self.config.topology.clone(), self.seed ^ 0xA5).generate()?;
         let (ipmap, allocations) = PrefixAllocator::new().allocate_for(&topology)?;
         let targets =
             TargetPopulation::spread(&topology, &allocations, self.config.n_targets, &mut rng)?;
@@ -156,8 +156,7 @@ impl TraceGenerator {
         for (family_id, profile) in self.config.catalog.iter() {
             let slot = family_id.0;
             let pool = BotPool::recruit(&topology, &allocations, profile, slot, &mut rng)?;
-            let schedule =
-                ArrivalSchedule::generate(profile, self.config.days, slot, &mut rng)?;
+            let schedule = ArrivalSchedule::generate(profile, self.config.days, slot, &mut rng)?;
 
             // Family-specific Zipf preference over a rotated target order.
             let n_targets = targets.len();
@@ -191,8 +190,7 @@ impl TraceGenerator {
                         start = preferred_launch(start, target_id, profile, &mut rng);
                     }
                     let target = targets.target(target_id)?;
-                    let vector =
-                        crate::attack::AttackVector::ALL[vector_picker.sample(&mut rng)];
+                    let vector = crate::attack::AttackVector::ALL[vector_picker.sample(&mut rng)];
                     let record = self.build_attack(
                         family_id,
                         profile,
@@ -217,7 +215,14 @@ impl TraceGenerator {
         for (i, a) in attacks.iter_mut().enumerate() {
             a.id = AttackId(i as u64);
         }
-        Corpus::new(attacks, self.config.catalog.clone(), topology, ipmap, targets, self.config.days)
+        Corpus::new(
+            attacks,
+            self.config.catalog.clone(),
+            topology,
+            ipmap,
+            targets,
+            self.config.days,
+        )
     }
 
     /// Chooses the victim and (possibly adjusted) launch time. A multistage
@@ -276,8 +281,7 @@ impl TraceGenerator {
         let prev_dev = duration_state.get(&key).copied().unwrap_or(0.0);
         let rho = profile.duration_persistence;
         let innov = profile.duration_sigma * (1.0 - rho * rho).sqrt();
-        let dev = rho * prev_dev
-            + innov * ddos_stats::distributions::standard_normal(rng);
+        let dev = rho * prev_dev + innov * ddos_stats::distributions::standard_normal(rng);
         duration_state.insert(key, dev);
         let mag_factor = (magnitude as f64 / profile.mean_magnitude).powf(0.3);
         let duration = (profile.median_duration_secs * dev.exp() * mag_factor)
@@ -285,9 +289,8 @@ impl TraceGenerator {
 
         // Hourly cumulative snapshots: linear bot ramp-up over the attack.
         let hours = duration.div_ceil(HOUR).max(1) as usize;
-        let hourly_bot_counts: Vec<u32> = (1..=hours)
-            .map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32)
-            .collect();
+        let hourly_bot_counts: Vec<u32> =
+            (1..=hours).map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32).collect();
 
         Ok(AttackRecord {
             id: AttackId(0), // assigned after the global sort
@@ -408,7 +411,8 @@ mod tests {
     fn family_target_preferences_differ() {
         let c = small_corpus(13);
         let top_target = |fam: FamilyId| {
-            let mut h: std::collections::HashMap<TargetId, usize> = std::collections::HashMap::new();
+            let mut h: std::collections::HashMap<TargetId, usize> =
+                std::collections::HashMap::new();
             for a in c.attacks().iter().filter(|a| a.family == fam) {
                 *h.entry(a.target).or_insert(0) += 1;
             }

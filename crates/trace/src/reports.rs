@@ -153,8 +153,7 @@ mod tests {
         let stream = hourly_reports(&c, fam).unwrap();
         // The max 24h attack count must be ≥ the busiest calendar day's
         // count (the sliding window dominates any aligned day).
-        let busiest_day =
-            c.daily_counts(fam).into_iter().fold(0.0f64, f64::max) as u32;
+        let busiest_day = c.daily_counts(fam).into_iter().fold(0.0f64, f64::max) as u32;
         let max_24h = stream.reports.iter().map(|r| r.attacks_24h).max().unwrap();
         assert!(max_24h >= busiest_day, "{max_24h} < busiest day {busiest_day}");
     }

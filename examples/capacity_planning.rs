@@ -33,13 +33,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bands = model.forecast_magnitude_interval(horizon, 1.96)?;
     let actuals = FeatureExtractor::magnitude_series(&test);
     let last = train.last().expect("nonempty train").magnitude() as f64;
-    let mean_hist: f64 = FeatureExtractor::magnitude_series(&train).iter().sum::<f64>()
-        / train.len() as f64;
+    let mean_hist: f64 =
+        FeatureExtractor::magnitude_series(&train).iter().sum::<f64>() / train.len() as f64;
 
     println!("provisioning scrubbing capacity for {name}'s next {horizon} attacks\n");
     println!("95% interval forecast (first 5 periods):");
     for (i, (mean, lo, hi)) in bands.iter().take(5).enumerate() {
-        println!("  t+{:<2} mean {mean:>6.1}  band [{lo:>6.1}, {hi:>6.1}]  actual {:>5.0}", i + 1, actuals[i]);
+        println!(
+            "  t+{:<2} mean {mean:>6.1}  band [{lo:>6.1}, {hi:>6.1}]  actual {:>5.0}",
+            i + 1,
+            actuals[i]
+        );
     }
 
     let planner = CapacityPlanner::new();
@@ -48,7 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("static (history mean)", Strategy::Static { capacity: mean_hist }),
         ("last observed", Strategy::LastObserved),
     ];
-    println!("\n{:<24} {:>9} {:>9} {:>9} {:>10}", "strategy", "shortfall", "excess", "coverage", "cost(10:1)");
+    println!(
+        "\n{:<24} {:>9} {:>9} {:>9} {:>10}",
+        "strategy", "shortfall", "excess", "coverage", "cost(10:1)"
+    );
     for (label, strategy) in strategies {
         let report = planner.score(strategy, &bands, &actuals, last)?;
         println!(

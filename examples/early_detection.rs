@@ -41,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Splice a real attack's bot connections into live benign traffic.
-    let attack = corpus
-        .attacks()
-        .iter()
-        .max_by_key(|a| a.magnitude())
-        .expect("corpus nonempty");
+    let attack = corpus.attacks().iter().max_by_key(|a| a.magnitude()).expect("corpus nonempty");
     println!(
         "\nreplaying {}: {} bots from {} ASes, interleaved 3:1 with benign traffic",
         attack.id,

@@ -39,10 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let fx = FeatureExtractor::new(&corpus);
     let model = TemporalModel::fit(&fx, family, &train, &TemporalConfig::default())?;
-    println!(
-        "fitted {} for {name}'s magnitude series",
-        model.magnitude_model().order()
-    );
+    println!("fitted {} for {name}'s magnitude series", model.magnitude_model().order());
 
     let predictions = model.predict_magnitudes(&test)?;
     let truth = FeatureExtractor::magnitude_series(&test);

@@ -56,11 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stream = hourly_reports(&corpus, family)?;
     println!("\nhourly reports for {name}: {} reports", stream.reports.len());
     println!("peak 24-hour active bots: {}", stream.peak_bots());
-    let busiest = stream
-        .reports
-        .iter()
-        .max_by_key(|r| r.attacks_24h)
-        .expect("stream nonempty");
+    let busiest = stream.reports.iter().max_by_key(|r| r.attacks_24h).expect("stream nonempty");
     println!(
         "busiest 24h window ends hour {}: {} attacks from {} bots in {} ASes",
         busiest.hour, busiest.attacks_24h, busiest.active_bots, busiest.active_asns

@@ -30,6 +30,32 @@ fn temporal_experiment_is_reproducible() {
     }
 }
 
+/// The executor's determinism contract: the `parallelism` knob changes
+/// wall-clock time only. A serial run (1 worker) and a parallel run
+/// (4 workers) of the same seed must produce *identical* reports — every
+/// prediction, RMSE and ordering, compared field by field.
+#[test]
+fn parallel_pipeline_matches_serial_bit_for_bit() {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 999).generate().unwrap();
+    let with_workers = |n: usize| PipelineConfig { parallelism: Some(n), ..PipelineConfig::fast() };
+    let serial = Pipeline::new(with_workers(1), 11);
+    let parallel = Pipeline::new(with_workers(4), 11);
+
+    assert_eq!(serial.run_temporal(&corpus).unwrap(), parallel.run_temporal(&corpus).unwrap());
+    assert_eq!(
+        serial.run_spatial_distribution(&corpus).unwrap(),
+        parallel.run_spatial_distribution(&corpus).unwrap()
+    );
+    assert_eq!(
+        serial.run_spatial_durations(&corpus, 4).unwrap(),
+        parallel.run_spatial_durations(&corpus, 4).unwrap()
+    );
+    assert_eq!(
+        serial.run_baseline_comparison(&corpus).unwrap(),
+        parallel.run_baseline_comparison(&corpus).unwrap()
+    );
+}
+
 #[test]
 fn spatiotemporal_experiment_is_reproducible() {
     let corpus = TraceGenerator::new(CorpusConfig::small(), 888).generate().unwrap();

@@ -31,8 +31,7 @@ fn fig1_temporal_predictions_beat_always_mean() {
     let report = Pipeline::new(PipelineConfig::fast(), 1).run_temporal(&c).unwrap();
     // Families with a tiny test tail (Pandora's activity window ends early
     // in the small corpus) are statistically meaningless; skip them.
-    let evaluated: Vec<_> =
-        report.per_family.iter().filter(|f| f.magnitudes.len() >= 30).collect();
+    let evaluated: Vec<_> = report.per_family.iter().filter(|f| f.magnitudes.len() >= 30).collect();
     assert!(!evaluated.is_empty());
     for fam in evaluated {
         // Compare against the Always-Mean straw man on the same test tail.
@@ -54,8 +53,7 @@ fn fig1_temporal_predictions_beat_always_mean() {
 #[test]
 fn fig2_spatial_distribution_is_accurate() {
     let c = corpus();
-    let report =
-        Pipeline::new(PipelineConfig::fast(), 2).run_spatial_distribution(&c).unwrap();
+    let report = Pipeline::new(PipelineConfig::fast(), 2).run_spatial_distribution(&c).unwrap();
     let fams: Vec<_> = report.per_family.iter().collect();
     assert!(!fams.is_empty());
     // Only the most active family has a test tail large enough for a
@@ -63,12 +61,7 @@ fn fig2_spatial_distribution_is_accurate() {
     for fam in fams.iter().take(1) {
         // Per-cell share RMSE should be small (the paper reports
         // near-perfect distribution recovery).
-        assert!(
-            fam.share_rmse < 0.15,
-            "{}: share RMSE {} too high",
-            fam.name,
-            fam.share_rmse
-        );
+        assert!(fam.share_rmse < 0.15, "{}: share RMSE {} too high", fam.name, fam.share_rmse);
         // Predicted mean distribution roughly matches truth on the top AS.
         let diff = (fam.predicted_mean_shares[0] - fam.truth_mean_shares[0]).abs();
         assert!(diff < 0.15, "{}: top-AS mean share off by {diff}", fam.name);
@@ -105,9 +98,7 @@ fn comparison_learned_model_wins_majority_of_cells() {
         table.rows().iter().map(|r| (r.scope.clone(), r.feature.clone())).collect();
     let wins = cells
         .iter()
-        .filter(|(s, f)| {
-            table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false)
-        })
+        .filter(|(s, f)| table.winner(s, f).map(|w| w.model == "Temporal/Spatial").unwrap_or(false))
         .count();
     assert!(
         wins * 2 >= cells.len(),

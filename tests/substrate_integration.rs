@@ -85,8 +85,7 @@ fn family_geolocation_affinity_is_visible() {
 fn timestamp_decomposition_is_consistent_across_crates() {
     let c = corpus();
     for attack in c.attacks().iter().take(200) {
-        let parts =
-            ddos_adversary::model::variables::TimestampParts::from_timestamp(attack.start);
+        let parts = ddos_adversary::model::variables::TimestampParts::from_timestamp(attack.start);
         assert_eq!(parts.hour, attack.start.hour());
         assert_eq!(parts.day, attack.start.day_of_month());
         assert!(parts.hour < 24);
@@ -99,9 +98,6 @@ fn corpus_magnitudes_match_hourly_snapshots() {
     let c = corpus();
     for attack in c.attacks() {
         assert!(attack.is_consistent(), "{} inconsistent", attack.id);
-        assert_eq!(
-            *attack.hourly_bot_counts.last().unwrap() as usize,
-            attack.magnitude()
-        );
+        assert_eq!(*attack.hourly_bot_counts.last().unwrap() as usize, attack.magnitude());
     }
 }

@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the bench harness uses — [`Criterion`],
+//! [`criterion_group!`], [`criterion_main!`], benchmark groups with
+//! [`BenchmarkGroup::sample_size`], and [`Bencher::iter`] — backed by a
+//! simple wall-clock sampler: per bench, one warmup iteration followed by
+//! `sample_size` timed iterations, reporting min/median/mean.
+//!
+//! Extras understood from the command line (cargo passes benches their
+//! extra args): a positional substring filters bench names; `--test` runs
+//! every bench exactly once without timing (this is what `cargo test`
+//! sends to bench targets). When `BENCH_JSON` is set in the environment,
+//! one JSON line per bench is appended to that file:
+//! `{"name":…,"samples":…,"min_ns":…,"median_ns":…,"mean_ns":…}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--quiet" | "-q" => {}
+                other if !other.starts_with('-') => filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        Criterion { filter, test_mode, json_path: std::env::var("BENCH_JSON").ok() }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size: DEFAULT_SAMPLE_SIZE }
+    }
+
+    fn run<F>(&mut self, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size: if self.test_mode { 1 } else { sample_size },
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+            return;
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_unstable();
+        if sorted.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+        println!(
+            "{id:<50} min {min:>12} | median {median:>12} | mean {mean:>12}",
+            min = format_ns(min),
+            median = format_ns(median),
+            mean = format_ns(mean),
+        );
+        if let Some(path) = &self.json_path {
+            if let Ok(mut file) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\":\"{id}\",\"samples\":{n},\"min_ns\":{min},\"median_ns\":{median},\"mean_ns\":{mean}}}",
+                    n = sorted.len(),
+                );
+            }
+        }
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group (`group/id` naming).
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        let sample_size = self.sample_size;
+        self.criterion.run(&full, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<u128>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Runs the closure once as warmup, then `sample_size` timed times.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        if self.test_mode {
+            return;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { filter: None, test_mode: false, json_path: None };
+        let mut runs = 0u32;
+        c.bench_function("counts_runs", |b| b.iter(|| runs += 1));
+        // one warmup + DEFAULT_SAMPLE_SIZE timed runs
+        assert_eq!(runs, 1 + DEFAULT_SAMPLE_SIZE as u32);
+    }
+
+    #[test]
+    fn group_sample_size_and_filter() {
+        let mut c =
+            Criterion { filter: Some("hit".to_string()), test_mode: false, json_path: None };
+        let mut hits = 0u32;
+        let mut misses = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("hit_me", |b| b.iter(|| hits += 1));
+        g.bench_function("skipped", |b| b.iter(|| misses += 1));
+        g.finish();
+        assert_eq!(hits, 4);
+        assert_eq!(misses, 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { filter: None, test_mode: true, json_path: None };
+        let mut runs = 0u32;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}

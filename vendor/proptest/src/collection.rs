@@ -1,0 +1,48 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing `Vec`s of values from an element strategy, with a
+/// length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+/// Builds a [`VecStrategy`]: each produced vector has a length in `size`
+/// (half-open) and elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        let len = if self.size.start + 1 >= self.size.end {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.element.sample_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case_rng;
+
+    #[test]
+    fn empty_and_singleton_size_ranges() {
+        let mut rng = case_rng("vec_sizes", 0);
+        let s = vec(0u32..5, 0..1);
+        assert!(s.sample_value(&mut rng).is_empty());
+        let s = vec(0u32..5, 4..5);
+        assert_eq!(s.sample_value(&mut rng).len(), 4);
+    }
+}

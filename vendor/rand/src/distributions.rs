@@ -1,0 +1,277 @@
+//! Sampling distributions: `Standard`, uniform ranges and Bernoulli.
+//!
+//! Every algorithm here reproduces the corresponding `rand` 0.8.5 code
+//! path (same bit manipulation, same rejection zones), so a given
+//! [`crate::RngCore`] stream yields the same samples as upstream.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Scale factor used by the upstream `Bernoulli` distribution: 2⁶⁴ as f64.
+pub(crate) const BERNOULLI_SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+
+/// A distribution that can produce values of type `T`.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: full integer range, `[0, 1)` for
+/// floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 effective mantissa bits, multiply-based conversion (upstream).
+        let scale = 1.0 / (1u64 << 53) as f64;
+        (rng.next_u64() >> 11) as f64 * scale
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let scale = 1.0 / (1u32 << 24) as f32;
+        (rng.next_u32() >> 8) as f32 * scale
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        // Upstream uses a sign test on the most significant bit.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int_impl {
+    ($ty:ty, $method:ident) => {
+        impl Distribution<$ty> for Standard {
+            fn sample<R: crate::Rng + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.$method() as $ty
+            }
+        }
+    };
+}
+
+standard_int_impl! { u8, next_u32 }
+standard_int_impl! { u16, next_u32 }
+standard_int_impl! { u32, next_u32 }
+standard_int_impl! { u64, next_u64 }
+standard_int_impl! { i8, next_u32 }
+standard_int_impl! { i16, next_u32 }
+standard_int_impl! { i32, next_u32 }
+standard_int_impl! { i64, next_u64 }
+#[cfg(target_pointer_width = "64")]
+standard_int_impl! { usize, next_u64 }
+#[cfg(target_pointer_width = "32")]
+standard_int_impl! { usize, next_u32 }
+#[cfg(target_pointer_width = "64")]
+standard_int_impl! { isize, next_u64 }
+#[cfg(target_pointer_width = "32")]
+standard_int_impl! { isize, next_u32 }
+
+/// A type that supports uniform sampling from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from the half-open range `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from the closed range `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range types accepted by [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+#[inline]
+fn gen_u32<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+    rng.next_u32()
+}
+
+#[inline]
+fn gen_u64<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+    rng.next_u64()
+}
+
+#[cfg(target_pointer_width = "64")]
+#[inline]
+fn gen_usize<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+    rng.next_u64() as usize
+}
+
+#[cfg(target_pointer_width = "32")]
+#[inline]
+fn gen_usize<R: RngCore + ?Sized>(rng: &mut R) -> usize {
+    rng.next_u32() as usize
+}
+
+// Upstream `UniformInt::sample_single_inclusive`: widening multiply with a
+// rejection zone. Small types (≤ 16 bit) sample a u32 and use the exact
+// modulo zone; wider types use the bit-shift zone approximation.
+macro_rules! uniform_int_impl {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wide:ty, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let range =
+                    (high as $unsigned).wrapping_sub(low as $unsigned).wrapping_add(1) as $u_large;
+                // Range spanning the whole type: every value is fair.
+                if range == 0 {
+                    return $gen(rng) as $ty;
+                }
+                let zone = if (<$unsigned>::MAX as u128) <= (u16::MAX as u128) {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = $gen(rng);
+                    let m = (v as $wide) * (range as $wide);
+                    let lo = m as $u_large;
+                    if lo <= zone {
+                        let hi = (m >> <$u_large>::BITS) as $u_large;
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_impl! { u8, u8, u32, u64, gen_u32 }
+uniform_int_impl! { i8, u8, u32, u64, gen_u32 }
+uniform_int_impl! { u16, u16, u32, u64, gen_u32 }
+uniform_int_impl! { i16, u16, u32, u64, gen_u32 }
+uniform_int_impl! { u32, u32, u32, u64, gen_u32 }
+uniform_int_impl! { i32, u32, u32, u64, gen_u32 }
+uniform_int_impl! { u64, u64, u64, u128, gen_u64 }
+uniform_int_impl! { i64, u64, u64, u128, gen_u64 }
+uniform_int_impl! { usize, usize, usize, u128, gen_usize }
+uniform_int_impl! { isize, usize, usize, u128, gen_usize }
+
+// Upstream `UniformFloat::sample_single`: draw a mantissa in [1, 2),
+// shift to [0, 1), then scale into the range; on (rare) rounding up to
+// `high`, shave one ulp off the scale and retry.
+macro_rules! uniform_float_impl {
+    ($ty:ty, $uty:ty, $bits_to_discard:expr, $exponent_bits:expr, $gen:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(low.is_finite() && high.is_finite(), "bounds must be finite");
+                assert!(low < high, "cannot sample empty range");
+                let mut scale = high - low;
+                loop {
+                    let mantissa = $gen(rng) >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits($exponent_bits | mantissa);
+                    let value0_1 = value1_2 - 1.0;
+                    let res = value0_1 * scale + low;
+                    if res < high {
+                        return res;
+                    }
+                    scale = <$ty>::from_bits(scale.to_bits() - 1);
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                if low == high {
+                    return low;
+                }
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float_impl! { f64, u64, 12u32, 1023u64 << 52, gen_u64 }
+uniform_float_impl! { f32, u32, 9u32, 127u32 << 23, gen_u32 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn full_span_u8_range_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..20_000 {
+            match rng.gen_range(0u8..=255) {
+                0 => lo_seen = true,
+                255 => hi_seen = true,
+                _ => {}
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn signed_ranges_center_correctly() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 40_000;
+        let sum: i64 = (0..n).map(|_| rng.gen_range(-100i64..=100)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!(mean.abs() < 2.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn float_range_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 40_000;
+        let mut below = 0usize;
+        for _ in 0..n {
+            if rng.gen_range(10.0f64..20.0) < 15.0 {
+                below += 1;
+            }
+        }
+        let frac = below as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn inclusive_float_degenerate_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(3.5f64..=3.5), 3.5);
+    }
+
+    #[test]
+    fn standard_u32_u64_consume_expected_words() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let x: u32 = a.gen();
+        assert_eq!(x, b.next_u32());
+        let y: u64 = a.gen();
+        assert_eq!(y, b.next_u64());
+    }
+}

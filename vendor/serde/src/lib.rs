@@ -1,0 +1,31 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace uses serde only as derive annotations on report and
+//! config types (`#[derive(Serialize, Deserialize)]`); nothing serializes
+//! through a `Serializer` yet — there is no `serde_json` in the tree. This
+//! stand-in keeps those annotations compiling without registry access:
+//! the traits exist as markers, and the derives (re-exported from
+//! [`serde_derive`], same layout as the real crate) emit marker impls.
+//!
+//! When a real serialization backend lands, this crate is the single seam
+//! to swap back to upstream serde: the public names match.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// The real trait's `serialize` method is intentionally absent: no code in
+/// this workspace drives a serializer yet, and the marker keeps derive
+/// annotations honest until one exists.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

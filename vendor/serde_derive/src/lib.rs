@@ -1,0 +1,54 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits marker impls for the stand-in `serde` traits. No `syn`/`quote`
+//! (registry is unreachable): a tiny hand-rolled scan finds the type name.
+//! Generic types get no impl (the markers carry no behavior, and nothing
+//! in the workspace bounds on them); every serde-annotated type in this
+//! repository today is non-generic.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum`/`union` being derived and
+/// whether it carries a generic parameter list.
+fn parse_target(input: &TokenStream) -> Option<(String, bool)> {
+    let tokens: Vec<TokenTree> = input.clone().into_iter().collect();
+    for (i, tt) in tokens.iter().enumerate() {
+        let TokenTree::Ident(kw) = tt else { continue };
+        let kw = kw.to_string();
+        if kw != "struct" && kw != "enum" && kw != "union" {
+            continue;
+        }
+        let TokenTree::Ident(name) = tokens.get(i + 1)? else { return None };
+        let generic = matches!(
+            tokens.get(i + 2),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+        );
+        return Some((name.to_string(), generic));
+    }
+    None
+}
+
+fn marker_impl(input: TokenStream, template: &str) -> TokenStream {
+    match parse_target(&input) {
+        Some((name, false)) => {
+            template.replace("__NAME__", &name).parse().expect("generated impl parses")
+        }
+        // Generic targets (none in-tree today) and unparsable inputs get no
+        // marker impl; the traits are inert so nothing downstream notices.
+        _ => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl ::serde::Serialize for __NAME__ {}")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "impl<'de> ::serde::Deserialize<'de> for __NAME__ {}")
+}
