@@ -1,10 +1,12 @@
 //! The annotated AS-level graph: nodes are autonomous systems, edges carry
 //! business relationships (customer–provider or peer–peer).
 
+use crate::dense::DenseTopology;
 use crate::{Result, TopoError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
 /// An autonomous system number.
 ///
@@ -91,10 +93,26 @@ pub struct AsInfo {
 /// Node set plus, for every node, a sorted neighbor map annotated with
 /// relationships. Deterministic iteration order (BTreeMap throughout) keeps
 /// every downstream computation reproducible.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Query-heavy consumers ([`crate::paths::PathOracle`] above all) do not
+/// walk the maps: [`AsGraph::dense`] exposes a lazily-built, cached
+/// [`DenseTopology`] — a `u32`-interned CSR snapshot — that any mutation
+/// invalidates.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AsGraph {
     nodes: BTreeMap<Asn, AsInfo>,
     adj: BTreeMap<Asn, BTreeMap<Asn, Relationship>>,
+    /// Cached dense view; rebuilt on demand after any mutation. Skipped by
+    /// serde (pure derived data) and by `PartialEq` (the maps are the
+    /// source of truth).
+    #[serde(skip)]
+    dense: OnceLock<Arc<DenseTopology>>,
+}
+
+impl PartialEq for AsGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.nodes == other.nodes && self.adj == other.adj
+    }
 }
 
 impl AsGraph {
@@ -108,6 +126,7 @@ impl AsGraph {
     pub fn add_as(&mut self, asn: Asn, tier: Tier, region: u8) {
         self.nodes.insert(asn, AsInfo { tier, region });
         self.adj.entry(asn).or_default();
+        self.dense.take();
     }
 
     /// Adds an edge, expressed as `provider → customer` or as a peering.
@@ -139,7 +158,15 @@ impl AsGraph {
         }
         self.adj.get_mut(&a).expect("node exists").insert(b, rel);
         self.adj.get_mut(&b).expect("node exists").insert(a, rel.reverse());
+        self.dense.take();
         Ok(())
+    }
+
+    /// The dense CSR view of this graph, built on first call and cached
+    /// until the next mutation. Returned behind an `Arc` so long-lived
+    /// consumers (the path oracle, sharded workers) share one snapshot.
+    pub fn dense(&self) -> Arc<DenseTopology> {
+        Arc::clone(self.dense.get_or_init(|| Arc::new(DenseTopology::build(self))))
     }
 
     /// Whether the AS exists.

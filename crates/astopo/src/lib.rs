@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod cone;
+pub mod dense;
 pub mod gao;
 pub mod gen;
 pub mod graph;
@@ -47,6 +48,7 @@ pub mod routing;
 
 mod error;
 
+pub use dense::{DenseTopology, NodeId};
 pub use error::TopoError;
 pub use graph::{AsGraph, Asn, Relationship, Tier};
 

@@ -9,9 +9,13 @@
 //! **valley-free** paths (up through providers, at most one peer hop, down
 //! through customers — the Gao–Rexford export discipline).
 
-use crate::graph::{AsGraph, Asn, Relationship};
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::RwLock;
+use crate::dense::{DenseTopology, NodeId};
+use crate::graph::{AsGraph, Asn};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, RwLock};
+
+/// Sentinel distance/parent value: "not reached by this BFS".
+const UNREACHED: u32 = u32::MAX;
 
 /// Lazily-caching oracle answering hop-distance and path queries over an
 /// [`AsGraph`].
@@ -19,6 +23,12 @@ use std::sync::RwLock;
 /// Internally it runs one BFS per endpoint over *uphill* (customer→provider)
 /// edges and combines the two uphill cones either at a common ancestor or
 /// across a single peering edge — exactly the set of valley-free paths.
+/// All traversal runs over the graph's dense CSR view
+/// ([`AsGraph::dense`]): cones are flat `Vec<u32>` distance/parent arrays
+/// indexed by [`NodeId`], cached behind `Arc` so a cache hit clones a
+/// pointer, never a map. Batch queries ([`PathOracle::pairwise_distances`],
+/// [`PathOracle::mean_pairwise_distance`]) compute each endpoint's cone
+/// exactly once and intersect cones with linear array scans.
 ///
 /// # Example
 ///
@@ -38,17 +48,21 @@ use std::sync::RwLock;
 #[derive(Debug)]
 pub struct PathOracle<'g> {
     graph: &'g AsGraph,
-    /// Cached uphill BFS results: node → (distance map, parent map).
-    /// `RwLock` (not `RefCell`) so one oracle can serve concurrent
-    /// queries from the sharded model-fitting executor; a racing
-    /// recompute inserts the identical cone, so caching stays pure.
-    uphill: RwLock<HashMap<Asn, UphillCone>>,
+    dense: Arc<DenseTopology>,
+    /// Cached uphill BFS results: dense node id → cone. `RwLock` (not
+    /// `RefCell`) so one oracle can serve concurrent queries from the
+    /// sharded model-fitting executor; a racing recompute inserts the
+    /// identical cone, so caching stays pure. Hits clone the `Arc` only.
+    uphill: RwLock<HashMap<u32, Arc<UphillCone>>>,
 }
 
-#[derive(Debug, Clone)]
+/// An uphill BFS cone as flat arrays over dense node ids. `dist[v]` is the
+/// customer→provider hop count from the cone's root to `v` (or
+/// [`UNREACHED`]); `parent[v]` is the BFS predecessor on that path.
+#[derive(Debug)]
 struct UphillCone {
-    dist: BTreeMap<Asn, u32>,
-    parent: BTreeMap<Asn, Asn>,
+    dist: Vec<u32>,
+    parent: Vec<u32>,
 }
 
 /// How a route was learned at the vantage AS (BGP local-preference class).
@@ -66,7 +80,8 @@ impl<'g> PathOracle<'g> {
     /// Creates an oracle over the given graph. Queries cache uphill BFS
     /// cones per endpoint, so reuse one oracle for many queries.
     pub fn new(graph: &'g AsGraph) -> Self {
-        PathOracle { graph, uphill: RwLock::new(HashMap::new()) }
+        let dense = graph.dense();
+        PathOracle { graph, dense, uphill: RwLock::new(HashMap::new()) }
     }
 
     /// The underlying graph.
@@ -74,34 +89,42 @@ impl<'g> PathOracle<'g> {
         self.graph
     }
 
-    fn cone(&self, start: Asn) -> UphillCone {
-        if let Some(c) = self.uphill.read().expect("uphill cache poisoned").get(&start) {
-            return c.clone();
+    fn cone(&self, start: NodeId) -> Arc<UphillCone> {
+        if let Some(c) = self.uphill.read().expect("uphill cache poisoned").get(&start.0) {
+            return Arc::clone(c);
         }
-        let mut dist = BTreeMap::new();
-        let mut parent = BTreeMap::new();
+        let n = self.dense.len();
+        let mut dist = vec![UNREACHED; n];
+        let mut parent = vec![UNREACHED; n];
         let mut queue = VecDeque::new();
-        dist.insert(start, 0u32);
+        dist[start.index()] = 0;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            for (v, rel) in self.graph.neighbors(u) {
-                if rel == Relationship::Provider && !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
-                    parent.insert(v, u);
+            let du = dist[u.index()];
+            for &v in self.dense.providers(u) {
+                if dist[v.index()] == UNREACHED {
+                    dist[v.index()] = du + 1;
+                    parent[v.index()] = u.0;
                     queue.push_back(v);
                 }
             }
         }
-        let cone = UphillCone { dist, parent };
-        self.uphill.write().expect("uphill cache poisoned").insert(start, cone.clone());
+        let cone = Arc::new(UphillCone { dist, parent });
+        self.uphill.write().expect("uphill cache poisoned").insert(start.0, Arc::clone(&cone));
         cone
     }
 
     /// Shortest valley-free hop distance between two ASes, or `None` when
     /// no valley-free path exists (or either AS is unknown).
     pub fn hop_distance(&self, a: Asn, b: Asn) -> Option<u32> {
-        self.shortest(a, b).map(|(d, _)| d)
+        let na = self.dense.node_id(a)?;
+        let nb = self.dense.node_id(b)?;
+        if na == nb {
+            return Some(0);
+        }
+        let ca = self.cone(na);
+        let cb = self.cone(nb);
+        self.cone_distance(&ca, &cb)
     }
 
     /// Shortest valley-free path between two ASes as a sequence of ASNs
@@ -111,60 +134,132 @@ impl<'g> PathOracle<'g> {
     }
 
     fn shortest(&self, a: Asn, b: Asn) -> Option<(u32, Vec<Asn>)> {
-        if !self.graph.contains(a) || !self.graph.contains(b) {
-            return None;
-        }
+        let na = self.dense.node_id(a)?;
+        let nb = self.dense.node_id(b)?;
         if a == b {
             return Some((0, vec![a]));
         }
-        let ca = self.cone(a);
-        let cb = self.cone(b);
+        let ca = self.cone(na);
+        let cb = self.cone(nb);
 
-        let mut best: Option<(u32, Vec<Asn>)> = None;
+        // (distance, meet node in a's cone, peer crossed into b's cone).
+        let mut best: Option<(u32, NodeId, Option<NodeId>)> = None;
 
         // Case 1: meet at a common uphill ancestor (pure up–down path).
-        for (node, da) in &ca.dist {
-            if let Some(db) = cb.dist.get(node) {
-                let total = da + db;
-                if best.as_ref().is_none_or(|(d, _)| total < *d) {
-                    let path = join_paths(&ca, &cb, a, b, *node, None);
-                    best = Some((total, path));
-                }
+        // Dense ids ascend with ASN, so this scan visits candidates in the
+        // same order the map iteration did — ties resolve identically.
+        for (v, (da, db)) in ca.dist.iter().zip(cb.dist.iter()).enumerate() {
+            if *da == UNREACHED || *db == UNREACHED {
+                continue;
+            }
+            let total = da + db;
+            if best.as_ref().is_none_or(|(d, _, _)| total < *d) {
+                best = Some((total, NodeId(v as u32), None));
             }
         }
 
         // Case 2: cross exactly one peering edge between the two cones.
-        for (u, du) in &ca.dist {
-            for (v, rel) in self.graph.neighbors(*u) {
-                if rel != Relationship::Peer {
+        for (v, du) in ca.dist.iter().enumerate() {
+            if *du == UNREACHED {
+                continue;
+            }
+            for &w in self.dense.peers(NodeId(v as u32)) {
+                let dw = cb.dist[w.index()];
+                if dw == UNREACHED {
                     continue;
                 }
-                if let Some(dv) = cb.dist.get(&v) {
-                    let total = du + 1 + dv;
-                    if best.as_ref().is_none_or(|(d, _)| total < *d) {
-                        let path = join_paths(&ca, &cb, a, b, *u, Some(v));
-                        best = Some((total, path));
-                    }
+                let total = du + 1 + dw;
+                if best.as_ref().is_none_or(|(d, _, _)| total < *d) {
+                    best = Some((total, NodeId(v as u32), Some(w)));
+                }
+            }
+        }
+        best.map(|(d, top_a, peer_b)| (d, join_paths(&self.dense, &ca, &cb, na, nb, top_a, peer_b)))
+    }
+
+    /// Shortest valley-free distance between two already-computed cones:
+    /// the minimum over common uphill ancestors and over single peer
+    /// crossings, without path reconstruction.
+    fn cone_distance(&self, ca: &UphillCone, cb: &UphillCone) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for (da, db) in ca.dist.iter().zip(cb.dist.iter()) {
+            if *da != UNREACHED && *db != UNREACHED {
+                let total = da + db;
+                if best.is_none_or(|d| total < d) {
+                    best = Some(total);
+                }
+            }
+        }
+        for (v, du) in ca.dist.iter().enumerate() {
+            if *du == UNREACHED {
+                continue;
+            }
+            for &w in self.dense.peers(NodeId(v as u32)) {
+                let dw = cb.dist[w.index()];
+                if dw == UNREACHED {
+                    continue;
+                }
+                let total = du + 1 + dw;
+                if best.is_none_or(|d| total < d) {
+                    best = Some(total);
                 }
             }
         }
         best
     }
 
-    /// Downhill BFS from `start` over provider→customer edges: distance
-    /// and parent maps of every AS in `start`'s customer cone.
-    fn downhill(&self, start: Asn) -> (BTreeMap<Asn, u32>, BTreeMap<Asn, Asn>) {
-        let mut dist = BTreeMap::new();
-        let mut parent = BTreeMap::new();
+    /// Batched valley-free distances over a set of ASes: computes each
+    /// distinct endpoint's uphill cone exactly once (via the shared cone
+    /// cache) and intersects cones pairwise with linear array scans.
+    ///
+    /// `result[i][j]` equals `hop_distance(asns[i], asns[j])`: the matrix
+    /// is symmetric, the diagonal is `Some(0)` for known ASes, and rows
+    /// and columns of unknown ASes are all `None`. Repeated ASNs are
+    /// memoized per distinct pair, so a `k`-element query costs
+    /// O(k · BFS + k² · n) instead of the O(k² · cone-merge) the per-pair
+    /// loop paid.
+    pub fn pairwise_distances(&self, asns: &[Asn]) -> Vec<Vec<Option<u32>>> {
+        let k = asns.len();
+        let ids: Vec<Option<NodeId>> = asns.iter().map(|a| self.dense.node_id(*a)).collect();
+        let mut out = vec![vec![None; k]; k];
+        let mut memo: HashMap<(u32, u32), Option<u32>> = HashMap::new();
+        for i in 0..k {
+            let Some(ni) = ids[i] else { continue };
+            out[i][i] = Some(0);
+            for j in (i + 1)..k {
+                let Some(nj) = ids[j] else { continue };
+                let d = if ni == nj {
+                    Some(0)
+                } else {
+                    let key = if ni.0 <= nj.0 { (ni.0, nj.0) } else { (nj.0, ni.0) };
+                    *memo.entry(key).or_insert_with(|| {
+                        let ca = self.cone(ni);
+                        let cb = self.cone(nj);
+                        self.cone_distance(&ca, &cb)
+                    })
+                };
+                out[i][j] = d;
+                out[j][i] = d;
+            }
+        }
+        out
+    }
+
+    /// Downhill BFS from `start` over provider→customer edges: flat
+    /// distance and parent arrays covering `start`'s customer cone.
+    fn downhill(&self, start: NodeId) -> (Vec<u32>, Vec<u32>) {
+        let n = self.dense.len();
+        let mut dist = vec![UNREACHED; n];
+        let mut parent = vec![UNREACHED; n];
         let mut queue = VecDeque::new();
-        dist.insert(start, 0u32);
+        dist[start.index()] = 0;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            for (v, rel) in self.graph.neighbors(u) {
-                if rel == Relationship::Customer && !dist.contains_key(&v) {
-                    dist.insert(v, du + 1);
-                    parent.insert(v, u);
+            let du = dist[u.index()];
+            for &v in self.dense.customers(u) {
+                if dist[v.index()] == UNREACHED {
+                    dist[v.index()] = du + 1;
+                    parent[v.index()] = u.0;
                     queue.push_back(v);
                 }
             }
@@ -176,37 +271,33 @@ impl<'g> PathOracle<'g> {
     /// ranks customer routes over peer routes over provider routes
     /// (the Gao–Rexford economic ordering), regardless of length.
     pub fn preferred_route(&self, a: Asn, b: Asn) -> Option<(RouteKind, Vec<Asn>)> {
-        if !self.graph.contains(a) || !self.graph.contains(b) {
-            return None;
-        }
+        let na = self.dense.node_id(a)?;
+        let nb = self.dense.node_id(b)?;
         if a == b {
             return Some((RouteKind::Customer, vec![a]));
         }
         // Customer route: b sits in a's customer cone (pure descent).
-        let (down_dist, down_parent) = self.downhill(a);
-        if down_dist.contains_key(&b) {
-            let mut path = vec![b];
-            let mut cur = b;
-            while cur != a {
-                cur = down_parent[&cur];
-                path.push(cur);
+        let (down_dist, down_parent) = self.downhill(na);
+        if down_dist[nb.index()] != UNREACHED {
+            let mut path = vec![self.dense.asn(nb)];
+            let mut cur = nb;
+            while cur != na {
+                cur = NodeId(down_parent[cur.index()]);
+                path.push(self.dense.asn(cur));
             }
             path.reverse();
             return Some((RouteKind::Customer, path));
         }
         // Peer route: one peer hop, then pure descent from the peer.
         let mut best_peer: Option<Vec<Asn>> = None;
-        for (p, rel) in self.graph.neighbors(a) {
-            if rel != Relationship::Peer {
-                continue;
-            }
+        for &p in self.dense.peers(na) {
             let (pd, pp) = self.downhill(p);
-            if pd.contains_key(&b) {
-                let mut path = vec![b];
-                let mut cur = b;
+            if pd[nb.index()] != UNREACHED {
+                let mut path = vec![self.dense.asn(nb)];
+                let mut cur = nb;
                 while cur != p {
-                    cur = pp[&cur];
-                    path.push(cur);
+                    cur = NodeId(pp[cur.index()]);
+                    path.push(self.dense.asn(cur));
                 }
                 path.push(a);
                 path.reverse();
@@ -226,24 +317,24 @@ impl<'g> PathOracle<'g> {
     /// ASes: plain BFS ignoring business relationships. The baseline for
     /// [`PathOracle::inflation`].
     pub fn unrestricted_distance(&self, a: Asn, b: Asn) -> Option<u32> {
-        if !self.graph.contains(a) || !self.graph.contains(b) {
-            return None;
-        }
-        if a == b {
+        let na = self.dense.node_id(a)?;
+        let nb = self.dense.node_id(b)?;
+        if na == nb {
             return Some(0);
         }
-        let mut dist: BTreeMap<Asn, u32> = BTreeMap::new();
+        let n = self.dense.len();
+        let mut dist = vec![UNREACHED; n];
         let mut queue = VecDeque::new();
-        dist.insert(a, 0);
-        queue.push_back(a);
+        dist[na.index()] = 0;
+        queue.push_back(na);
         while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            for (v, _) in self.graph.neighbors(u) {
-                if v == b {
+            let du = dist[u.index()];
+            for &v in self.dense.neighbors(u) {
+                if v == nb {
                     return Some(du + 1);
                 }
-                if let std::collections::btree_map::Entry::Vacant(e) = dist.entry(v) {
-                    e.insert(du + 1);
+                if dist[v.index()] == UNREACHED {
+                    dist[v.index()] = du + 1;
                     queue.push_back(v);
                 }
             }
@@ -279,17 +370,34 @@ impl<'g> PathOracle<'g> {
     /// Mean pairwise valley-free hop distance over a set of ASes — the
     /// `DT` term of the paper's Eq. 4. Unreachable pairs are skipped;
     /// returns 0.0 when fewer than two distinct reachable ASes are given.
+    ///
+    /// The input collapses to unique ASNs with multiplicities: every
+    /// ordered pair of distinct values `x ≠ y` in the naive `i < j` loop
+    /// contributes `c_x · c_y` occurrences of the same distance, and the
+    /// integer accumulator is order-independent, so the collapsed loop
+    /// reproduces the per-occurrence result bit for bit while computing
+    /// each cone and each distinct-pair intersection exactly once.
     pub fn mean_pairwise_distance(&self, asns: &[Asn]) -> f64 {
+        let mut uniq: Vec<(Asn, u64)> = Vec::new();
+        for a in asns {
+            match uniq.binary_search_by_key(a, |(x, _)| *x) {
+                Ok(i) => uniq[i].1 += 1,
+                Err(i) => uniq.insert(i, (*a, 1)),
+            }
+        }
+        let ids: Vec<Option<NodeId>> = uniq.iter().map(|(a, _)| self.dense.node_id(*a)).collect();
         let mut total = 0u64;
         let mut count = 0u64;
-        for (i, a) in asns.iter().enumerate() {
-            for b in &asns[i + 1..] {
-                if a == b {
-                    continue;
-                }
-                if let Some(d) = self.hop_distance(*a, *b) {
-                    total += d as u64;
-                    count += 1;
+        for i in 0..uniq.len() {
+            let Some(ni) = ids[i] else { continue };
+            let ca = self.cone(ni);
+            for j in (i + 1)..uniq.len() {
+                let Some(nj) = ids[j] else { continue };
+                let cb = self.cone(nj);
+                if let Some(d) = self.cone_distance(&ca, &cb) {
+                    let pairs = uniq[i].1 * uniq[j].1;
+                    total += d as u64 * pairs;
+                    count += pairs;
                 }
             }
         }
@@ -304,30 +412,31 @@ impl<'g> PathOracle<'g> {
 /// Reconstructs the full path from `a` up to `top_a`, optionally across a
 /// peering edge to `top_b`, then down to `b`.
 fn join_paths(
+    dense: &DenseTopology,
     ca: &UphillCone,
     cb: &UphillCone,
-    a: Asn,
-    b: Asn,
-    top_a: Asn,
-    peer_b: Option<Asn>,
+    a: NodeId,
+    b: NodeId,
+    top_a: NodeId,
+    peer_b: Option<NodeId>,
 ) -> Vec<Asn> {
     // Walk from top_a back down to a (the parent pointers point toward a).
     let mut up = Vec::new();
     let mut cur = top_a;
-    up.push(cur);
+    up.push(dense.asn(cur));
     while cur != a {
-        cur = ca.parent[&cur];
-        up.push(cur);
+        cur = NodeId(ca.parent[cur.index()]);
+        up.push(dense.asn(cur));
     }
     up.reverse(); // now a → … → top_a
 
     let top_b = peer_b.unwrap_or(top_a);
     let mut down = Vec::new();
     let mut cur = top_b;
-    down.push(cur);
+    down.push(dense.asn(cur));
     while cur != b {
-        cur = cb.parent[&cur];
-        down.push(cur);
+        cur = NodeId(cb.parent[cur.index()]);
+        down.push(dense.asn(cur));
     }
     // down is top_b → … → b already in order.
     if peer_b.is_some() {
@@ -342,7 +451,7 @@ fn join_paths(
 mod tests {
     use super::*;
     use crate::gen::{TopologyConfig, TopologyGenerator};
-    use crate::graph::Tier;
+    use crate::graph::{Relationship, Tier};
 
     fn diamond() -> AsGraph {
         // t1a -peer- t1b; each has one tier-2 customer; stubs below.

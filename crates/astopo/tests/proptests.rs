@@ -82,6 +82,57 @@ proptest! {
         }
     }
 
+    /// The batched Eq. 4 distance kernel agrees element-wise with the
+    /// per-pair scalar query on arbitrary topologies, including repeated
+    /// and unknown ASNs in the batch.
+    #[test]
+    fn pairwise_distances_matches_per_pair_hop_distance(
+        config in arb_config(),
+        seed in 0u64..500,
+    ) {
+        let topo = TopologyGenerator::new(config, seed).generate().unwrap();
+        let oracle = PathOracle::new(&topo);
+        let mut batch: Vec<Asn> = topo.asns().take(10).collect();
+        // Repeats and an ASN the topology has never seen.
+        if let Some(first) = batch.first().copied() {
+            batch.push(first);
+        }
+        batch.push(Asn(u32::MAX));
+        let matrix = oracle.pairwise_distances(&batch);
+        prop_assert_eq!(matrix.len(), batch.len());
+        for (i, row) in matrix.iter().enumerate() {
+            prop_assert_eq!(row.len(), batch.len());
+            for (j, cell) in row.iter().enumerate() {
+                prop_assert_eq!(*cell, oracle.hop_distance(batch[i], batch[j]));
+            }
+        }
+    }
+
+    /// Concurrent batched queries through the deterministic sharded
+    /// executor return bit-for-bit the same matrices as serial calls:
+    /// the Arc-cached cones behave as pure values under racing recompute.
+    #[test]
+    fn concurrent_batched_queries_match_serial(config in arb_config(), seed in 0u64..200) {
+        let topo = TopologyGenerator::new(config, seed).generate().unwrap();
+        let stubs = topo.tier_members(Tier::Stub);
+        let batches: Vec<Vec<Asn>> = (0..8)
+            .map(|k| stubs.iter().skip(k).step_by(2).copied().take(8).collect())
+            .collect();
+
+        // Serial reference on a fresh oracle (cold cone cache).
+        let serial_oracle = PathOracle::new(&topo);
+        let serial: Vec<_> =
+            batches.iter().map(|b| serial_oracle.pairwise_distances(b)).collect();
+
+        // Concurrent run on another fresh oracle: the shared cone cache is
+        // populated by racing workers.
+        let shared_oracle = PathOracle::new(&topo);
+        let concurrent = ddos_stats::exec::map_indexed(&batches, Some(4), |_, b| {
+            shared_oracle.pairwise_distances(b)
+        });
+        prop_assert_eq!(serial, concurrent);
+    }
+
     /// LPM ignores addresses outside every allocation.
     #[test]
     fn lpm_unallocated_space_is_none(host in 0u32..0xffff) {

@@ -324,6 +324,65 @@ fn bench_entropy_detection(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 3): the flat-memory hot paths. One row per inner loop the
+/// dense-index/zero-clone refactor targets: the Eq. 4 source-distribution
+/// series, the pairwise valley-free distances behind its `DT` term, and a
+/// fixed-epoch NAR training run. Before/after medians are recorded in
+/// `BENCH_features.json`; outputs are bit-identical across the change
+/// (`goldencheck` + the determinism suite are the oracles).
+fn bench_flat_hot_paths(c: &mut Criterion) {
+    let corpus = small_corpus();
+    let fx = FeatureExtractor::new(corpus);
+    let fam = corpus.catalog().most_active(1)[0];
+    let attacks: Vec<&ddos_trace::AttackRecord> =
+        corpus.family_attacks(fam).into_iter().take(100).collect();
+    let oracle = ddos_astopo::paths::PathOracle::new(corpus.topology());
+    let stubs: Vec<ddos_astopo::Asn> =
+        corpus.topology().tier_members(ddos_astopo::Tier::Stub).into_iter().take(32).collect();
+    let mut g = c.benchmark_group("flat_hot_paths");
+    g.sample_size(20);
+    g.bench_function("source_distribution_series_100", |b| {
+        b.iter(|| fx.source_distribution_series(black_box(&attacks)).unwrap())
+    });
+    g.bench_function("mean_pairwise_distance_32asns", |b| {
+        b.iter(|| oracle.mean_pairwise_distance(black_box(&stubs)))
+    });
+    g.bench_function("hop_distance_pair_loop_32asns", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for (i, a) in stubs.iter().enumerate() {
+                for b in stubs.iter().skip(i + 1) {
+                    if let Some(d) = oracle.hop_distance(black_box(*a), *b) {
+                        total += d as u64;
+                    }
+                }
+            }
+            total
+        })
+    });
+    g.bench_function("pairwise_distances_32asns", |b| {
+        b.iter(|| oracle.pairwise_distances(black_box(&stubs)))
+    });
+    let durations = duration_series();
+    let fixed_epochs = TrainConfig {
+        max_epochs: 120,
+        patience: 120,
+        validation_fraction: 0.2,
+        ..Default::default()
+    };
+    g.bench_function("nar_train_120_epochs", |b| {
+        b.iter(|| {
+            NarModel::fit(
+                black_box(&durations),
+                NarConfig { delays: 3, hidden: 8, train: fixed_epochs, ..Default::default() },
+                7,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
 /// Ablation: exponential smoothing as the middle comparator between the
 /// naive baselines and ARIMA on the magnitude series.
 fn bench_ablation_smoothing(c: &mut Criterion) {
@@ -376,6 +435,7 @@ criterion_group!(
     bench_ablation_tree_leaves,
     bench_ablation_pruning,
     bench_ablation_source_feature,
+    bench_flat_hot_paths,
     bench_attribution,
     bench_entropy_detection,
     bench_ablation_smoothing,

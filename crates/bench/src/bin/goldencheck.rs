@@ -1,0 +1,154 @@
+//! Bit-exact output fingerprints for every hot path the flat-memory
+//! optimizations touch.
+//!
+//! Prints one FNV-1a hash line per subsystem, folding the `f64::to_bits`
+//! of every value in the subsystem's output. Run it before and after a
+//! perf refactor and diff the output: identical lines prove the refactor
+//! is observationally pure on these paths (the complement of the
+//! determinism suite, which only compares worker counts within one
+//! build).
+//!
+//! ```sh
+//! cargo run --release -p ddos-bench --bin goldencheck > /tmp/fingerprint.txt
+//! ```
+
+use ddos_bench::{corpus, pipeline, Scale};
+use ddos_core::attribution::FamilyAttributor;
+use ddos_core::features::FeatureExtractor;
+use ddos_neural::nar::{NarConfig, NarModel};
+use ddos_neural::train::TrainConfig;
+use ddos_stats::arima::{Arima, ArimaOrder};
+use ddos_trace::AttackRecord;
+
+/// FNV-1a over a stream of u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn f64(&mut self, v: f64) {
+        self.word(v.to_bits());
+    }
+    fn done(self, name: &str) {
+        println!("{name:<28} {:016x}", self.0);
+    }
+}
+
+fn main() {
+    let c = corpus(Scale::Small, 42);
+    let fx = FeatureExtractor::new(&c);
+    let fam = c.catalog().most_active(1)[0];
+    let attacks: Vec<&AttackRecord> = c.family_attacks(fam).into_iter().take(120).collect();
+
+    // Eq. 4 source-distribution series.
+    let mut h = Fnv::new();
+    for v in fx.source_distribution_series(&attacks).unwrap() {
+        h.f64(v);
+    }
+    h.done("source_distribution_series");
+
+    // Valley-free distances, paths and inflation over stub pairs.
+    let oracle = ddos_astopo::paths::PathOracle::new(c.topology());
+    let stubs: Vec<ddos_astopo::Asn> =
+        c.topology().tier_members(ddos_astopo::Tier::Stub).into_iter().take(24).collect();
+    let mut h = Fnv::new();
+    h.f64(oracle.mean_pairwise_distance(&stubs));
+    for (i, a) in stubs.iter().enumerate() {
+        for b in stubs.iter().skip(i + 1) {
+            h.word(oracle.hop_distance(*a, *b).map(u64::from).unwrap_or(u64::MAX));
+        }
+    }
+    h.done("pairwise_hop_distances");
+
+    let mut h = Fnv::new();
+    for (i, a) in stubs.iter().enumerate().take(8) {
+        for b in stubs.iter().skip(i + 1).take(8) {
+            for asn in oracle.path(*a, *b).unwrap() {
+                h.word(asn.0 as u64);
+            }
+            let (kind, route) = oracle.preferred_route(*a, *b).unwrap();
+            h.word(kind as u64);
+            for asn in route {
+                h.word(asn.0 as u64);
+            }
+            h.f64(oracle.inflation(*a, *b).unwrap());
+        }
+    }
+    h.done("paths_routes_inflation");
+
+    // Per-AS share series (Fig. 2 input).
+    let (asns, series) = FeatureExtractor::as_share_series(&attacks, 8);
+    let mut h = Fnv::new();
+    for a in &asns {
+        h.word(a.0 as u64);
+    }
+    for s in &series {
+        for v in s {
+            h.f64(*v);
+        }
+    }
+    h.done("as_share_series");
+
+    // NAR fit + rolling prediction.
+    let durations: Vec<f64> = attacks.iter().map(|a| a.duration_secs as f64).collect();
+    let cut = durations.len() * 8 / 10;
+    let train = TrainConfig { max_epochs: 120, patience: 120, ..Default::default() };
+    let model = NarModel::fit(
+        &durations[..cut],
+        NarConfig { delays: 3, hidden: 6, train, ..Default::default() },
+        7,
+    )
+    .unwrap();
+    let mut h = Fnv::new();
+    h.f64(model.sigma());
+    for v in model.predict_rolling(&durations[..cut], &durations[cut..]).unwrap() {
+        h.f64(v);
+    }
+    for v in model.forecast(&durations[..cut], 12).unwrap() {
+        h.f64(v);
+    }
+    h.done("nar_fit_rolling_forecast");
+
+    // ARIMA rolling prediction.
+    let mags = FeatureExtractor::magnitude_series(&attacks);
+    let m = Arima::fit(&mags[..cut], ArimaOrder::new(2, 1, 1)).unwrap();
+    let mut h = Fnv::new();
+    for v in m.predict_rolling(&mags[cut..]).unwrap() {
+        h.f64(v);
+    }
+    h.done("arima_predict_rolling");
+
+    // Pipeline reports (temporal + spatial distribution + attribution).
+    let t = pipeline(42).run_temporal(&c).unwrap();
+    let mut h = Fnv::new();
+    for f in &t.per_family {
+        h.f64(f.magnitudes.rmse);
+        for v in &f.magnitudes.predicted {
+            h.f64(*v);
+        }
+    }
+    h.done("pipeline_temporal");
+
+    let s = pipeline(42).run_spatial_distribution(&c).unwrap();
+    let mut h = Fnv::new();
+    for f in &s.per_family {
+        h.f64(f.share_rmse);
+        for v in f.predicted_mean_shares.iter().chain(&f.truth_mean_shares) {
+            h.f64(*v);
+        }
+    }
+    h.done("pipeline_spatial_dist");
+
+    let (train_a, test_a) = c.split(0.8).unwrap();
+    let at = FamilyAttributor::fit(train_a).unwrap();
+    let mut h = Fnv::new();
+    h.f64(at.accuracy(test_a).unwrap());
+    h.done("attribution_accuracy");
+}

@@ -93,8 +93,8 @@ impl FamilyAttributor {
         for attack in train {
             let entry = counts.entry(attack.family).or_default();
             entry.1 += 1;
-            for (asn, n) in attack.asn_histogram() {
-                *entry.0.entry(asn).or_insert(0) += n as u64;
+            for &(asn, n) in attack.asn_histogram() {
+                *entry.0.entry(asn).or_insert(0) += u64::from(n);
             }
         }
         let profiles = counts
@@ -133,9 +133,9 @@ impl FamilyAttributor {
                 actual: 0,
             });
         }
-        let total: usize = hist.iter().map(|(_, n)| n).sum();
+        let total: u64 = hist.iter().map(|&(_, n)| u64::from(n)).sum();
         let attack_shares: BTreeMap<Asn, f64> =
-            hist.into_iter().map(|(asn, n)| (asn, n as f64 / total as f64)).collect();
+            hist.iter().map(|&(asn, n)| (asn, n as f64 / total as f64)).collect();
 
         let mut ranking: Vec<(FamilyId, f64)> = self
             .profiles
@@ -249,7 +249,7 @@ mod tests {
         let at = FamilyAttributor::fit(train).unwrap();
         assert!(at.accuracy(&[]).is_err());
         let mut botless = train[0].clone();
-        botless.bots.clear();
+        botless.bots_mut().clear();
         assert!(at.attribute(&botless).is_err());
     }
 }

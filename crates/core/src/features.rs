@@ -179,39 +179,33 @@ impl<'c> FeatureExtractor<'c> {
     /// common source ASes, the fraction of each attack's bots located in
     /// that AS. Returns `(asns, series)` where `series[k]` is chronological
     /// over `attacks`. This is the distribution Fig. 2 predicts.
+    ///
+    /// One pass per attack: each attack's (memoized) histogram is fetched
+    /// once and every tracked AS is looked up by binary search, instead of
+    /// rescanning the histogram per `(AS, attack)` pair.
     pub fn as_share_series(attacks: &[&AttackRecord], top_k: usize) -> (Vec<Asn>, Vec<Vec<f64>>) {
         // Rank source ASes by total bot count.
         let mut totals: BTreeMap<Asn, u64> = BTreeMap::new();
         for a in attacks {
-            for (asn, n) in a.asn_histogram() {
-                *totals.entry(asn).or_insert(0) += n as u64;
+            for &(asn, n) in a.asn_histogram() {
+                *totals.entry(asn).or_insert(0) += u64::from(n);
             }
         }
         let mut ranked: Vec<(Asn, u64)> = totals.into_iter().collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let asns: Vec<Asn> = ranked.into_iter().take(top_k).map(|(a, _)| a).collect();
 
-        let series: Vec<Vec<f64>> = asns
-            .iter()
-            .map(|target_asn| {
-                attacks
-                    .iter()
-                    .map(|a| {
-                        let total = a.magnitude() as f64;
-                        let here = a
-                            .asn_histogram()
-                            .iter()
-                            .find(|(asn, _)| asn == target_asn)
-                            .map_or(0.0, |(_, n)| *n as f64);
-                        if total > 0.0 {
-                            here / total
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect()
-            })
-            .collect();
+        let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(attacks.len()); asns.len()];
+        for a in attacks {
+            let hist = a.asn_histogram();
+            let total = a.magnitude() as f64;
+            for (k, target_asn) in asns.iter().enumerate() {
+                let here = hist
+                    .binary_search_by_key(target_asn, |(asn, _)| *asn)
+                    .map_or(0.0, |i| f64::from(hist[i].1));
+                series[k].push(if total > 0.0 { here / total } else { 0.0 });
+            }
+        }
         (asns, series)
     }
 
@@ -320,6 +314,28 @@ mod tests {
     }
 
     #[test]
+    fn as_share_series_matches_naive_per_pair_scan() {
+        // The one-histogram-per-attack pass must reproduce the naive
+        // per-(AS, attack) linear rescan bit for bit.
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks: Vec<&AttackRecord> = c.family_attacks(fam).into_iter().take(40).collect();
+        let (asns, series) = FeatureExtractor::as_share_series(&attacks, 7);
+        for (k, target_asn) in asns.iter().enumerate() {
+            for (i, a) in attacks.iter().enumerate() {
+                let total = a.magnitude() as f64;
+                let here = a
+                    .asn_histogram()
+                    .iter()
+                    .find(|(asn, _)| asn == target_asn)
+                    .map_or(0.0, |(_, n)| f64::from(*n));
+                let expected = if total > 0.0 { here / total } else { 0.0 };
+                assert_eq!(series[k][i].to_bits(), expected.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn family_attacks_errors_for_empty_family() {
         let c = corpus();
         let fx = FeatureExtractor::new(&c);
@@ -341,8 +357,8 @@ mod tests {
             .expect("some attack spans several ASes");
 
         let mut concentrated = (*template).clone();
-        let first_asn = concentrated.bots[0].asn;
-        for b in &mut concentrated.bots {
+        let first_asn = concentrated.bots()[0].asn;
+        for b in concentrated.bots_mut() {
             b.asn = first_asn;
         }
         let a_conc = fx.source_distribution(&concentrated).unwrap();

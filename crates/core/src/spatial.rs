@@ -287,11 +287,10 @@ impl SourceDistributionModel {
                     test.iter()
                         .map(|a| {
                             let total = a.magnitude() as f64;
-                            let here = a
-                                .asn_histogram()
-                                .iter()
-                                .find(|(asn, _)| asn == target_asn)
-                                .map_or(0.0, |(_, n)| *n as f64);
+                            let hist = a.asn_histogram();
+                            let here = hist
+                                .binary_search_by_key(target_asn, |(asn, _)| *asn)
+                                .map_or(0.0, |i| f64::from(hist[i].1));
                             if total > 0.0 {
                                 here / total
                             } else {
@@ -332,7 +331,10 @@ impl SourceDistributionModel {
                 let mut row: Vec<f64> = self
                     .asns
                     .iter()
-                    .map(|asn| hist.iter().find(|(h, _)| h == asn).map_or(0.0, |(_, n)| *n as f64))
+                    .map(|asn| {
+                        hist.binary_search_by_key(asn, |(h, _)| *h)
+                            .map_or(0.0, |i| f64::from(hist[i].1))
+                    })
                     .collect();
                 let total: f64 = row.iter().sum();
                 if total > 0.0 {

@@ -77,7 +77,7 @@ impl AsFilteringSimulator {
     /// Replays an attack against explicit rules.
     pub fn replay(&self, rules: &[Asn], attack: &AttackRecord) -> FilteringOutcome {
         let total = attack.magnitude().max(1) as f64;
-        let caught = attack.bots.iter().filter(|b| rules.contains(&b.asn)).count() as f64;
+        let caught = attack.bots().iter().filter(|b| rules.contains(&b.asn)).count() as f64;
         FilteringOutcome {
             filtered_asns: rules.to_vec(),
             coverage: caught / total,
@@ -215,7 +215,7 @@ impl TakedownSimulator {
         elapsed_secs: u64,
     ) -> TakedownOutcome {
         let total = attack.magnitude();
-        let removed = attack.bots.iter().filter(|b| taken_down.contains(&b.asn)).count();
+        let removed = attack.bots().iter().filter(|b| taken_down.contains(&b.asn)).count();
         let remaining = total - removed;
         let removed_fraction = if total == 0 { 0.0 } else { removed as f64 / total as f64 };
         let collapses = total > 0 && (remaining as f64) < self.viability_floor * total as f64;

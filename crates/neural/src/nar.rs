@@ -81,8 +81,9 @@ impl NarModel {
 
         // Residual σ on the original scale.
         let mut sse = 0.0;
+        let mut hidden = Vec::with_capacity(network.hidden_dim());
         for (x, y) in inputs.iter().zip(&targets) {
-            let pred = scaler.inverse(network.predict(x)?);
+            let pred = scaler.inverse(network.forward_into(x, &mut hidden)?);
             let truth = scaler.inverse(*y);
             sse += (pred - truth).powi(2);
         }
@@ -133,13 +134,28 @@ impl NarModel {
     ///
     /// # Errors
     ///
-    /// Propagates [`NarModel::predict_next`] errors; `history` must hold at
-    /// least `delays` values.
+    /// Returns [`NeuralError::NotEnoughData`] when `history` is shorter
+    /// than the delay count.
+    ///
+    /// The loop is allocation-free per step: the growing history is
+    /// preallocated for `history + test`, and one lag-window plus one
+    /// hidden-activation buffer are reused across all steps.
     pub fn predict_rolling(&self, history: &[f64], test: &[f64]) -> Result<Vec<f64>> {
-        let mut h = history.to_vec();
+        let q = self.config.delays;
+        if history.len() < q {
+            return Err(NeuralError::NotEnoughData { required: q, actual: history.len() });
+        }
+        let mut h = Vec::with_capacity(history.len() + test.len());
+        h.extend_from_slice(history);
+        let mut window = vec![0.0; q];
+        let mut hidden = Vec::with_capacity(self.network.hidden_dim());
         let mut out = Vec::with_capacity(test.len());
         for &truth in test {
-            out.push(self.predict_next(&h)?);
+            // input order: T_j, T_{j-1}, …, T_{j-q+1} (as in predict_next).
+            for (j, w) in window.iter_mut().enumerate() {
+                *w = self.scaler.transform(h[h.len() - 1 - j]);
+            }
+            out.push(self.scaler.inverse(self.network.forward_into(&window, &mut hidden)?));
             h.push(truth);
         }
         Ok(out)
@@ -229,6 +245,22 @@ mod tests {
             / test_s.len() as f64)
             .sqrt();
         assert!(rmse < 1.2, "rolling RMSE {rmse}");
+    }
+
+    #[test]
+    fn rolling_matches_stepwise_predict_next_bitwise() {
+        let s = sine(360);
+        let (train_s, test_s) = s.split_at(300);
+        let model =
+            NarModel::fit(train_s, NarConfig { delays: 4, hidden: 10, ..Default::default() }, 22)
+                .unwrap();
+        let fast = model.predict_rolling(train_s, test_s).unwrap();
+        let mut h = train_s.to_vec();
+        for (p, &truth) in fast.iter().zip(test_s) {
+            let expected = model.predict_next(&h).unwrap();
+            assert_eq!(p.to_bits(), expected.to_bits());
+            h.push(truth);
+        }
     }
 
     #[test]

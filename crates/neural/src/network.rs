@@ -94,20 +94,130 @@ impl Mlp {
     ///
     /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
     pub fn forward(&self, input: &[f64]) -> Result<Forward> {
+        let mut hidden = Vec::with_capacity(self.hidden_dim);
+        let output = self.forward_into(input, &mut hidden)?;
+        Ok(Forward { hidden, output })
+    }
+
+    /// Forward pass writing the hidden activations into a caller-owned
+    /// scratch buffer (cleared first) and returning the output. Hot loops
+    /// — training epochs, rolling prediction — reuse one buffer across
+    /// samples instead of allocating a `Vec` per forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
+    pub fn forward_into(&self, input: &[f64], hidden: &mut Vec<f64>) -> Result<f64> {
         if input.len() != self.input_dim {
             return Err(NeuralError::InputWidthMismatch {
                 expected: self.input_dim,
                 actual: input.len(),
             });
         }
-        let mut hidden = Vec::with_capacity(self.hidden_dim);
+        hidden.clear();
+        hidden.extend(self.w1.chunks_exact(self.input_dim).zip(&self.b1).map(|(row, b)| {
+            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
+            self.hidden_activation.apply(z)
+        }));
+        Ok(self.w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2)
+    }
+
+    /// Writes the column-major (input-major) transpose of the hidden
+    /// weights into `w1t`, for the training fast path: with columns
+    /// contiguous, the per-unit pre-activation recurrences run in lockstep
+    /// across hidden units and vectorize, while each unit still sees its
+    /// float ops in exactly the row-major order.
+    pub(crate) fn transpose_w1_into(&self, w1t: &mut [f64]) {
+        debug_assert_eq!(w1t.len(), self.w1.len());
         for h in 0..self.hidden_dim {
-            let row = &self.w1[h * self.input_dim..(h + 1) * self.input_dim];
-            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + self.b1[h];
-            hidden.push(self.hidden_activation.apply(z));
+            for i in 0..self.input_dim {
+                w1t[i * self.hidden_dim + h] = self.w1[h * self.input_dim + i];
+            }
         }
-        let output: f64 = self.w2.iter().zip(&hidden).map(|(w, h)| w * h).sum::<f64>() + self.b2;
-        Ok(Forward { hidden, output })
+    }
+
+    /// Forward pass over a transposed weight copy (see
+    /// [`Mlp::transpose_w1_into`]). `z` must have length `hidden_dim`.
+    /// Bit-identical to [`Mlp::forward_into`]: per hidden unit the
+    /// pre-activation is accumulated in the same input order, starting
+    /// from 0.0, with the bias added last.
+    pub(crate) fn forward_transposed(
+        &self,
+        w1t: &[f64],
+        input: &[f64],
+        z: &mut [f64],
+        hidden: &mut Vec<f64>,
+    ) -> f64 {
+        z.fill(0.0);
+        for (col, &x) in w1t.chunks_exact(self.hidden_dim).zip(input) {
+            for (zh, &w) in z.iter_mut().zip(col) {
+                *zh += w * x;
+            }
+        }
+        hidden.clear();
+        hidden.extend(z.iter().zip(&self.b1).map(|(zh, b)| self.hidden_activation.apply(zh + b)));
+        self.w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2
+    }
+
+    /// [`Mlp::accumulate_gradient_scratch`] over a transposed weight copy —
+    /// the allocation-free training epoch's inner step.
+    ///
+    /// The `w1` gradient is accumulated into the column-major scratch
+    /// `gw1t` (so the per-input update runs in lockstep across hidden
+    /// units and vectorizes); the `b1, w2, b2` parts go into the canonical
+    /// `grad` tail as usual, and `grad`'s `w1` region is left untouched.
+    /// Call [`Mlp::fold_transposed_grad`] once per epoch to write the
+    /// accumulated `gw1t` back into `grad` — a pure permutation copy, so
+    /// every parameter sees exactly the float ops of
+    /// [`Mlp::accumulate_gradient_scratch`], in the same sample order.
+    ///
+    /// After the call, `z` holds the per-unit backpropagated deltas (it is
+    /// reused as scratch once the pre-activations are consumed).
+    #[allow(clippy::too_many_arguments)] // scratch-buffer plumbing, internal only
+    pub(crate) fn accumulate_gradient_transposed(
+        &self,
+        w1t: &[f64],
+        input: &[f64],
+        target: f64,
+        grad: &mut [f64],
+        gw1t: &mut [f64],
+        z: &mut [f64],
+        hidden: &mut Vec<f64>,
+    ) -> f64 {
+        let output = self.forward_transposed(w1t, input, z, hidden);
+        let err = output - target;
+        let (_, rest) = grad.split_at_mut(self.w1.len());
+        let (gb1, rest) = rest.split_at_mut(self.b1.len());
+        let (gw2, gb2) = rest.split_at_mut(self.w2.len());
+        for (g, h) in gw2.iter_mut().zip(hidden.iter()) {
+            *g += err * h;
+        }
+        gb2[0] += err;
+        // Per-unit deltas, in lockstep across units (z is free scratch now).
+        for ((d, &h), &w2) in z.iter_mut().zip(hidden.iter()).zip(self.w2.iter()) {
+            *d = err * w2 * self.hidden_activation.derivative_from_output(h);
+        }
+        for (gb, &d) in gb1.iter_mut().zip(z.iter()) {
+            *gb += d;
+        }
+        for (col, &x) in gw1t.chunks_exact_mut(self.hidden_dim).zip(input) {
+            for (g, &d) in col.iter_mut().zip(z.iter()) {
+                *g += d * x;
+            }
+        }
+        err * err
+    }
+
+    /// Writes the column-major `w1` gradient accumulated by
+    /// [`Mlp::accumulate_gradient_transposed`] into `grad`'s row-major
+    /// `w1` region (plain copies, no arithmetic).
+    pub(crate) fn fold_transposed_grad(&self, gw1t: &[f64], grad: &mut [f64]) {
+        debug_assert_eq!(gw1t.len(), self.w1.len());
+        for h in 0..self.hidden_dim {
+            for i in 0..self.input_dim {
+                grad[h * self.input_dim + i] = gw1t[i * self.hidden_dim + h];
+            }
+        }
     }
 
     /// Accumulates the gradient of the squared error `½(out − target)²`
@@ -120,25 +230,47 @@ impl Mlp {
     ///
     /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
     pub fn accumulate_gradient(&self, input: &[f64], target: f64, grad: &mut [f64]) -> Result<f64> {
+        let mut hidden = Vec::with_capacity(self.hidden_dim);
+        self.accumulate_gradient_scratch(input, target, grad, &mut hidden)
+    }
+
+    /// [`Mlp::accumulate_gradient`] with a caller-owned hidden-activation
+    /// scratch buffer, for allocation-free training loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::InputWidthMismatch`] for wrong-width input.
+    pub fn accumulate_gradient_scratch(
+        &self,
+        input: &[f64],
+        target: f64,
+        grad: &mut [f64],
+        hidden: &mut Vec<f64>,
+    ) -> Result<f64> {
         debug_assert_eq!(grad.len(), self.n_params());
-        let fwd = self.forward(input)?;
-        let err = fwd.output - target;
+        let output = self.forward_into(input, hidden)?;
+        let err = output - target;
         // Output layer.
         let (gw1, rest) = grad.split_at_mut(self.w1.len());
         let (gb1, rest) = rest.split_at_mut(self.b1.len());
         let (gw2, gb2) = rest.split_at_mut(self.w2.len());
-        for (g, h) in gw2.iter_mut().zip(&fwd.hidden) {
+        for (g, h) in gw2.iter_mut().zip(hidden.iter()) {
             *g += err * h;
         }
         gb2[0] += err;
-        // Hidden layer.
-        for h in 0..self.hidden_dim {
-            let dh =
-                err * self.w2[h] * self.hidden_activation.derivative_from_output(fwd.hidden[h]);
-            for i in 0..self.input_dim {
-                gw1[h * self.input_dim + i] += dh * input[i];
+        // Hidden layer (chunked iteration keeps the loop free of bounds
+        // checks; the per-unit float-op order is unchanged).
+        for (((grow, gb), &h), &w2) in gw1
+            .chunks_exact_mut(self.input_dim)
+            .zip(gb1.iter_mut())
+            .zip(hidden.iter())
+            .zip(self.w2.iter())
+        {
+            let dh = err * w2 * self.hidden_activation.derivative_from_output(h);
+            for (g, &x) in grow.iter_mut().zip(input) {
+                *g += dh * x;
             }
-            gb1[h] += dh;
+            *gb += dh;
         }
         Ok(err * err)
     }
@@ -231,6 +363,71 @@ mod tests {
             idx_check += 1;
         }
         assert_eq!(idx_check, m.n_params());
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        let m = Mlp::new(3, 5, Activation::TanSig, 9).unwrap();
+        let mut scratch = Vec::new();
+        for k in 0..10 {
+            let x = [k as f64 * 0.3 - 1.0, (k as f64).sin(), 0.25 * k as f64];
+            let fwd = m.forward(&x).unwrap();
+            let out = m.forward_into(&x, &mut scratch).unwrap();
+            assert_eq!(out.to_bits(), fwd.output.to_bits());
+            assert_eq!(scratch, fwd.hidden);
+        }
+        assert!(m.forward_into(&[1.0], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn transposed_paths_match_row_major_bitwise() {
+        let m = Mlp::new(3, 5, Activation::TanSig, 17).unwrap();
+        let mut w1t = vec![0.0; 3 * 5];
+        m.transpose_w1_into(&mut w1t);
+        let mut z = vec![0.0; 5];
+        let mut hidden_a = Vec::new();
+        let mut hidden_b = Vec::new();
+        for k in 0..10 {
+            let x = [k as f64 * 0.4 - 2.0, (k as f64 * 0.9).cos(), 0.1 * k as f64];
+            let target = (k as f64 * 0.2).sin();
+            let out_a = m.forward_into(&x, &mut hidden_a).unwrap();
+            let out_b = m.forward_transposed(&w1t, &x, &mut z, &mut hidden_b);
+            assert_eq!(out_a.to_bits(), out_b.to_bits());
+            assert_eq!(hidden_a, hidden_b);
+            let mut g1 = vec![0.0; m.n_params()];
+            let mut g2 = vec![0.0; m.n_params()];
+            let mut gw1t = vec![0.0; 3 * 5];
+            let se1 = m.accumulate_gradient_scratch(&x, target, &mut g1, &mut hidden_a).unwrap();
+            let se2 = m.accumulate_gradient_transposed(
+                &w1t,
+                &x,
+                target,
+                &mut g2,
+                &mut gw1t,
+                &mut z,
+                &mut hidden_b,
+            );
+            m.fold_transposed_grad(&gw1t, &mut g2);
+            assert_eq!(se1.to_bits(), se2.to_bits());
+            for (a, b) in g1.iter().zip(&g2) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_gradient_matches_allocating_gradient() {
+        let m = Mlp::new(2, 4, Activation::TanSig, 10).unwrap();
+        let x = [0.4, -0.9];
+        let mut g1 = vec![0.0; m.n_params()];
+        let mut g2 = vec![0.0; m.n_params()];
+        let mut scratch = vec![99.0; 32]; // dirty scratch must not leak in
+        let se1 = m.accumulate_gradient(&x, 0.7, &mut g1).unwrap();
+        let se2 = m.accumulate_gradient_scratch(&x, 0.7, &mut g2, &mut scratch).unwrap();
+        assert_eq!(se1.to_bits(), se2.to_bits());
+        for (a, b) in g1.iter().zip(&g2) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -110,11 +110,32 @@ pub fn train(
     // Never train on zero samples; fold a too-small split back in.
     let (n_train, n_val) = if n_train == 0 { (inputs.len(), 0) } else { (n_train, n_val) };
 
+    // Flatten the design into one contiguous row-major matrix so the epoch
+    // loops stream through memory instead of chasing a pointer per row.
+    let dim = network.input_dim();
+    let mut flat = Vec::with_capacity(inputs.len() * dim);
+    for row in inputs {
+        if row.len() != dim {
+            return Err(NeuralError::InputWidthMismatch { expected: dim, actual: row.len() });
+        }
+        flat.extend_from_slice(row);
+    }
+
     let n_params = network.n_params();
+    // All per-epoch scratch is hoisted out of the loop: the epoch body
+    // performs no heap allocation (gradient reads are per-index, so no
+    // snapshot copies are needed either).
     let mut grad = vec![0.0; n_params];
     let mut prev_grad = vec![0.0; n_params];
     let mut step = vec![0.05f64; n_params]; // RPROP initial step
     let mut velocity = vec![0.0; n_params];
+    let mut moves = vec![0.0; n_params];
+    let mut hidden = Vec::with_capacity(network.hidden_dim());
+    // Transposed hidden-weight copy: refreshed whenever the weights move,
+    // so the forward recurrences vectorize across hidden units.
+    let mut w1t = vec![0.0; dim * network.hidden_dim()];
+    let mut gw1t = vec![0.0; dim * network.hidden_dim()];
+    let mut z = vec![0.0; network.hidden_dim()];
 
     let mut best = network.clone();
     let mut best_val = f64::INFINITY;
@@ -127,9 +148,20 @@ pub fn train(
         epochs_run = epoch + 1;
         grad.iter_mut().for_each(|g| *g = 0.0);
         let mut sse = 0.0;
-        for (x, y) in inputs[..n_train].iter().zip(&targets[..n_train]) {
-            sse += network.accumulate_gradient(x, *y, &mut grad)?;
+        network.transpose_w1_into(&mut w1t);
+        gw1t.iter_mut().for_each(|g| *g = 0.0);
+        for (x, y) in flat[..n_train * dim].chunks_exact(dim).zip(&targets[..n_train]) {
+            sse += network.accumulate_gradient_transposed(
+                &w1t,
+                x,
+                *y,
+                &mut grad,
+                &mut gw1t,
+                &mut z,
+                &mut hidden,
+            );
         }
+        network.fold_transposed_grad(&gw1t, &mut grad);
         train_mse = sse / n_train as f64;
 
         match config.optimizer {
@@ -140,22 +172,20 @@ pub fn train(
                 const ETA_MINUS: f64 = 0.5;
                 const STEP_MAX: f64 = 5.0;
                 const STEP_MIN: f64 = 1e-9;
-                let g = grad.clone();
-                let pg = prev_grad.clone();
-                let mut moves = vec![0.0; n_params];
                 for i in 0..n_params {
-                    let prod = g[i] * pg[i];
+                    let g = grad[i];
+                    let prod = g * prev_grad[i];
                     if prod > 0.0 {
                         step[i] = (step[i] * ETA_PLUS).min(STEP_MAX);
-                        moves[i] = -g[i].signum() * step[i];
-                        prev_grad[i] = g[i];
+                        moves[i] = -g.signum() * step[i];
+                        prev_grad[i] = g;
                     } else if prod < 0.0 {
                         step[i] = (step[i] * ETA_MINUS).max(STEP_MIN);
                         moves[i] = 0.0;
                         prev_grad[i] = 0.0;
                     } else {
-                        moves[i] = -g[i].signum() * step[i];
-                        prev_grad[i] = g[i];
+                        moves[i] = -g.signum() * step[i];
+                        prev_grad[i] = g;
                     }
                 }
                 network.apply_update(|i, v| v + moves[i]);
@@ -172,8 +202,9 @@ pub fn train(
         // Validation / early stopping.
         let val_mse = if n_val > 0 {
             let mut sse = 0.0;
-            for (x, y) in inputs[n_train..].iter().zip(&targets[n_train..]) {
-                let e = network.predict(x)? - y;
+            network.transpose_w1_into(&mut w1t);
+            for (x, y) in flat[n_train * dim..].chunks_exact(dim).zip(&targets[n_train..]) {
+                let e = network.forward_transposed(&w1t, x, &mut z, &mut hidden) - y;
                 sse += e * e;
             }
             sse / n_val as f64
@@ -182,7 +213,9 @@ pub fn train(
         };
         if val_mse < best_val - 1e-12 {
             best_val = val_mse;
-            best = network.clone();
+            // clone_from reuses `best`'s weight buffers instead of
+            // allocating a fresh network on every improvement.
+            best.clone_from(network);
             stall = 0;
         } else {
             stall += 1;
@@ -193,7 +226,7 @@ pub fn train(
         }
     }
 
-    *network = best;
+    std::mem::swap(network, &mut best);
     Ok(TrainReport { epochs: epochs_run, train_mse, validation_mse: best_val, stopped_early })
 }
 

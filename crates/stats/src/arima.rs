@@ -359,9 +359,15 @@ impl Arima {
             return Err(StatsError::EmptyInput);
         }
         let d = self.order.d;
-        let mut full = self.history.clone();
-        let mut w = self.work.clone();
-        let mut e = self.residuals.clone();
+        // Preallocate for the full rolling horizon up front: each absorbed
+        // observation pushes one element onto all three series, so sizing
+        // them now keeps the loop free of reallocation.
+        let mut full = Vec::with_capacity(self.history.len() + test.len());
+        full.extend_from_slice(&self.history);
+        let mut w = Vec::with_capacity(self.work.len() + test.len());
+        w.extend_from_slice(&self.work);
+        let mut e = Vec::with_capacity(self.residuals.len() + test.len());
+        e.extend_from_slice(&self.residuals);
         let mut preds = Vec::with_capacity(test.len());
         for &obs in test {
             // One-step mean forecast at differenced level.

@@ -13,6 +13,7 @@ use ddos_astopo::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// The traffic mechanism an attack uses — the paper's introduction calls
 /// out "the attack traffic mechanisms utilized to launch the attacks" as
@@ -79,7 +80,12 @@ pub struct BotObservation {
 }
 
 /// A verified DDoS attack record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The bot list is private behind [`AttackRecord::bots`] /
+/// [`AttackRecord::bots_mut`] so the per-AS histogram — the hottest
+/// derived quantity in the spatial models — can be memoized safely:
+/// mutation through `bots_mut` drops the cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct AttackRecord {
     /// Unique attack identifier.
     pub id: AttackId,
@@ -94,7 +100,7 @@ pub struct AttackRecord {
     /// Attack duration in seconds (the paper's `Duration` attribute / `T^d`).
     pub duration_secs: u64,
     /// Distinct bots observed over the attack's lifetime.
-    pub bots: Vec<BotObservation>,
+    bots: Vec<BotObservation>,
     /// Hourly snapshots of the *cumulative* number of distinct bots seen by
     /// the end of each hour of the attack (at least one snapshot).
     pub hourly_bot_counts: Vec<u32>,
@@ -103,9 +109,70 @@ pub struct AttackRecord {
     pub multistage: bool,
     /// The traffic mechanism used.
     pub vector: AttackVector,
+    /// Memoized bots-per-AS histogram, sorted ascending by ASN. Pure
+    /// derived data: skipped by serde and `PartialEq`, invalidated by
+    /// [`AttackRecord::bots_mut`].
+    #[serde(skip)]
+    hist: OnceLock<Vec<(Asn, u32)>>,
+}
+
+impl PartialEq for AttackRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.family == other.family
+            && self.target == other.target
+            && self.target_asn == other.target_asn
+            && self.start == other.start
+            && self.duration_secs == other.duration_secs
+            && self.bots == other.bots
+            && self.hourly_bot_counts == other.hourly_bot_counts
+            && self.multistage == other.multistage
+            && self.vector == other.vector
+    }
 }
 
 impl AttackRecord {
+    /// Assembles a record from its observed fields.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: AttackId,
+        family: FamilyId,
+        target: TargetId,
+        target_asn: Asn,
+        start: Timestamp,
+        duration_secs: u64,
+        bots: Vec<BotObservation>,
+        hourly_bot_counts: Vec<u32>,
+        multistage: bool,
+        vector: AttackVector,
+    ) -> Self {
+        AttackRecord {
+            id,
+            family,
+            target,
+            target_asn,
+            start,
+            duration_secs,
+            bots,
+            hourly_bot_counts,
+            multistage,
+            vector,
+            hist: OnceLock::new(),
+        }
+    }
+
+    /// The distinct bots observed over the attack's lifetime.
+    pub fn bots(&self) -> &[BotObservation] {
+        &self.bots
+    }
+
+    /// Mutable access to the bot list; drops the memoized histogram so
+    /// derived queries stay consistent.
+    pub fn bots_mut(&mut self) -> &mut Vec<BotObservation> {
+        self.hist.take();
+        &mut self.bots
+    }
+
     /// Magnitude of the attack: number of distinct participating bots
     /// (the paper measures attack magnitude by bot count, after Mao et al.).
     pub fn magnitude(&self) -> usize {
@@ -123,13 +190,17 @@ impl AttackRecord {
         set.into_iter().collect()
     }
 
-    /// Histogram of bots per source AS, ascending by ASN.
-    pub fn asn_histogram(&self) -> Vec<(Asn, usize)> {
-        let mut counts: std::collections::BTreeMap<Asn, usize> = std::collections::BTreeMap::new();
-        for b in &self.bots {
-            *counts.entry(b.asn).or_insert(0) += 1;
-        }
-        counts.into_iter().collect()
+    /// Histogram of bots per source AS, ascending by ASN. Computed once
+    /// per record and memoized; lookups can `binary_search` by ASN.
+    pub fn asn_histogram(&self) -> &[(Asn, u32)] {
+        self.hist.get_or_init(|| {
+            let mut counts: std::collections::BTreeMap<Asn, u32> =
+                std::collections::BTreeMap::new();
+            for b in &self.bots {
+                *counts.entry(b.asn).or_insert(0) += 1;
+            }
+            counts.into_iter().collect()
+        })
     }
 
     /// Internal consistency check used by generator tests and property
@@ -155,22 +226,22 @@ mod tests {
     use super::*;
 
     fn sample() -> AttackRecord {
-        AttackRecord {
-            id: AttackId(7),
-            family: FamilyId(0),
-            target: TargetId(3),
-            target_asn: Asn(500),
-            start: Timestamp::from_day_hour(2, 10),
-            duration_secs: 5_400, // 1.5 h → 2 snapshots
-            bots: vec![
+        AttackRecord::new(
+            AttackId(7),
+            FamilyId(0),
+            TargetId(3),
+            Asn(500),
+            Timestamp::from_day_hour(2, 10),
+            5_400, // 1.5 h → 2 snapshots
+            vec![
                 BotObservation { ip: 1, asn: Asn(10) },
                 BotObservation { ip: 2, asn: Asn(10) },
                 BotObservation { ip: 3, asn: Asn(20) },
             ],
-            hourly_bot_counts: vec![2, 3],
-            multistage: false,
-            vector: AttackVector::SynFlood,
-        }
+            vec![2, 3],
+            false,
+            AttackVector::SynFlood,
+        )
     }
 
     #[test]
@@ -191,7 +262,17 @@ mod tests {
 
     #[test]
     fn asn_histogram_counts() {
-        assert_eq!(sample().asn_histogram(), vec![(Asn(10), 2), (Asn(20), 1)]);
+        assert_eq!(sample().asn_histogram(), &[(Asn(10), 2), (Asn(20), 1)]);
+    }
+
+    #[test]
+    fn histogram_cache_invalidated_by_mutation() {
+        let mut a = sample();
+        assert_eq!(a.asn_histogram(), &[(Asn(10), 2), (Asn(20), 1)]);
+        a.bots_mut().push(BotObservation { ip: 4, asn: Asn(20) });
+        assert_eq!(a.asn_histogram(), &[(Asn(10), 2), (Asn(20), 2)]);
+        a.hourly_bot_counts = vec![2, 4];
+        assert!(a.is_consistent());
     }
 
     #[test]

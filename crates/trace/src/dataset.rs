@@ -10,6 +10,7 @@ use ddos_astopo::ipmap::IpAsnMap;
 use ddos_astopo::Asn;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 /// A complete verified-attack corpus.
 ///
@@ -17,7 +18,7 @@ use std::collections::BTreeMap;
 /// Internet they were generated on, the IP→ASN mapping, the target
 /// population and the family catalog — everything the feature extractors
 /// in `ddos-core` need.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Corpus {
     attacks: Vec<AttackRecord>,
     catalog: FamilyCatalog,
@@ -25,6 +26,22 @@ pub struct Corpus {
     ipmap: IpAsnMap,
     targets: TargetPopulation,
     days: u32,
+    /// Memoized target-AS → attack-position index. Derived data: skipped
+    /// by serde and `PartialEq`; the attack list is immutable after
+    /// construction, so the index never goes stale.
+    #[serde(skip)]
+    by_target_asn: OnceLock<BTreeMap<Asn, Vec<u32>>>,
+}
+
+impl PartialEq for Corpus {
+    fn eq(&self, other: &Self) -> bool {
+        self.attacks == other.attacks
+            && self.catalog == other.catalog
+            && self.topology == other.topology
+            && self.ipmap == other.ipmap
+            && self.targets == other.targets
+            && self.days == other.days
+    }
 }
 
 impl Corpus {
@@ -50,7 +67,15 @@ impl Corpus {
                 detail: "attacks must be chronologically sorted".to_string(),
             });
         }
-        Ok(Corpus { attacks, catalog, topology, ipmap, targets, days })
+        Ok(Corpus {
+            attacks,
+            catalog,
+            topology,
+            ipmap,
+            targets,
+            days,
+            by_target_asn: OnceLock::new(),
+        })
     }
 
     /// All attacks, chronological.
@@ -100,9 +125,21 @@ impl Corpus {
 
     /// Chronological attacks on targets inside one AS (the spatial model's
     /// grouping: "all target-related variables characterize DDoS attacks in
-    /// the same network region (AS-level)", §V).
+    /// the same network region (AS-level)", §V). Served from a memoized
+    /// per-AS index built on first use, so repeated queries stop
+    /// rescanning the whole corpus.
     pub fn attacks_on_asn(&self, asn: Asn) -> Vec<&AttackRecord> {
-        self.attacks.iter().filter(|a| a.target_asn == asn).collect()
+        let index = self.by_target_asn.get_or_init(|| {
+            let mut index: BTreeMap<Asn, Vec<u32>> = BTreeMap::new();
+            for (i, a) in self.attacks.iter().enumerate() {
+                index.entry(a.target_asn).or_default().push(i as u32);
+            }
+            index
+        });
+        index
+            .get(&asn)
+            .map(|ix| ix.iter().map(|i| &self.attacks[*i as usize]).collect())
+            .unwrap_or_default()
     }
 
     /// Chronological attacks on one target.
@@ -187,7 +224,7 @@ impl Corpus {
             if !self.topology.contains(a.target_asn) {
                 return bad(format!("attack {} targets unknown {}", a.id, a.target_asn));
             }
-            for b in &a.bots {
+            for b in a.bots() {
                 if self.ipmap.lookup(b.ip) != Some(b.asn) {
                     return bad(format!(
                         "attack {}: bot {} does not resolve to {}",
@@ -343,7 +380,7 @@ mod tests {
 
         // Corrupt a bot's ASN.
         let mut attacks: Vec<AttackRecord> = c.attacks().to_vec();
-        attacks[0].bots[0].asn = ddos_astopo::Asn(999_999);
+        attacks[0].bots_mut()[0].asn = ddos_astopo::Asn(999_999);
         let broken = Corpus::new(
             attacks,
             c.catalog().clone(),

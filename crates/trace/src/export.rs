@@ -118,7 +118,7 @@ pub fn parse_attacks_csv(csv: &str) -> Result<Vec<AttackRow>> {
 /// Serializes one attack's per-bot observations (`attack_id,ip,asn`).
 pub fn bots_to_csv(attack: &AttackRecord) -> String {
     let mut out = String::from("attack_id,ip,asn\n");
-    for b in &attack.bots {
+    for b in attack.bots() {
         let _ = writeln!(out, "{},{},{}", attack.id.0, b.ip, b.asn.0);
     }
     out

@@ -292,18 +292,19 @@ impl TraceGenerator {
         let hourly_bot_counts: Vec<u32> =
             (1..=hours).map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32).collect();
 
-        Ok(AttackRecord {
-            id: AttackId(0), // assigned after the global sort
+        // id 0 here; the real id is assigned after the global sort.
+        Ok(AttackRecord::new(
+            AttackId(0),
             family,
             target,
             target_asn,
             start,
-            duration_secs: duration,
+            duration,
             bots,
             hourly_bot_counts,
             multistage,
             vector,
-        })
+        ))
     }
 }
 
@@ -401,7 +402,7 @@ mod tests {
     fn bots_resolve_through_ip_map() {
         let c = small_corpus(12);
         for a in c.attacks().iter().take(50) {
-            for b in &a.bots {
+            for b in a.bots() {
                 assert_eq!(c.ip_map().lookup(b.ip), Some(b.asn), "IP map mismatch");
             }
         }

@@ -76,7 +76,7 @@ pub fn hourly_reports(corpus: &Corpus, family: FamilyId) -> Result<ReportStream>
         *per_hour_attacks.entry(first).or_insert(0) += 1;
         for h in first..=last {
             let bucket = per_hour_bots.entry(h).or_default();
-            for b in &attack.bots {
+            for b in attack.bots() {
                 bucket.insert((b.ip, b.asn));
             }
         }

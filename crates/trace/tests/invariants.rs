@@ -48,7 +48,7 @@ proptest! {
 
         // IP map agreement on a sample.
         for a in attacks.iter().take(20) {
-            for b in &a.bots {
+            for b in a.bots() {
                 prop_assert_eq!(corpus.ip_map().lookup(b.ip), Some(b.asn));
             }
         }

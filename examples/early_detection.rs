@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if i % 4 == 0 {
             stream.push(stubs[rng.gen_range(0..stubs.len())]);
         } else {
-            let bot = &attack.bots[rng.gen_range(0..attack.bots.len())];
+            let bot = &attack.bots()[rng.gen_range(0..attack.bots().len())];
             stream.push(bot.asn);
         }
     }

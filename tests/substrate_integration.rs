@@ -31,7 +31,7 @@ fn gao_pipeline_recovers_relationships_end_to_end() {
 fn corpus_bots_resolve_and_sit_in_stub_ases() {
     let c = corpus();
     for attack in c.attacks().iter().take(100) {
-        for bot in &attack.bots {
+        for bot in attack.bots() {
             // The commercial-mapping stand-in must agree with the record.
             assert_eq!(c.ip_map().lookup(bot.ip), Some(bot.asn));
             // Bots live in stub networks.
@@ -72,7 +72,7 @@ fn family_geolocation_affinity_is_visible() {
     let top_as = |fam| {
         let mut counts: std::collections::BTreeMap<_, usize> = Default::default();
         for a in c.family_attacks(fam) {
-            for b in &a.bots {
+            for b in a.bots() {
                 *counts.entry(b.asn).or_insert(0) += 1;
             }
         }
