@@ -383,6 +383,54 @@ fn bench_flat_hot_paths(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 4): presorted CART growth. One row per leaf kind on the
+/// standard spatiotemporal training design (the real §VI workload), plus
+/// a larger synthetic design that exposes the O(n log n)-per-node sort
+/// the presorted grower removes. Before/after medians are recorded in
+/// `BENCH_features.json`; outputs are bit-identical across the change
+/// (the `cart_fit_*` / `pipeline_spatiotemporal` goldencheck lines are
+/// the oracle).
+fn bench_cart_fit(c: &mut Criterion) {
+    use ddos_cart::tree::{RegressionTree, TreeConfig};
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let st_cfg = SpatioTemporalConfig::fast();
+    let (xs, labels) = SpatioTemporalModel::training_design(train, &st_cfg, 5).unwrap();
+    let hours: Vec<f64> = labels.iter().map(|l| l[0]).collect();
+    eprintln!("[cart_fit] spatiotemporal design: {} rows x {} features", xs.len(), xs[0].len());
+    let mut g = c.benchmark_group("cart_fit");
+    g.sample_size(20);
+    for (name, kind) in [
+        ("st_design_mlr_leaves", ddos_cart::leaf::LeafKind::Linear),
+        ("st_design_constant_leaves", ddos_cart::leaf::LeafKind::Constant),
+    ] {
+        let cfg = TreeConfig { leaf_kind: kind, ..st_cfg.tree };
+        g.bench_function(name, |b| {
+            b.iter(|| RegressionTree::fit(black_box(&xs), black_box(&hours), &cfg).unwrap())
+        });
+    }
+    // Synthetic 4000×13 design: same width as the spatiotemporal one but
+    // deep enough that per-node work dominates setup.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let big_xs: Vec<Vec<f64>> =
+        (0..4000).map(|_| (0..13).map(|_| rng.gen::<f64>() * 24.0).collect()).collect();
+    let big_ys: Vec<f64> = big_xs
+        .iter()
+        .map(|r| r[0].sin() * 6.0 + r[4] * 0.5 + if r[7] > 12.0 { 9.0 } else { 0.0 })
+        .collect();
+    for (name, kind) in [
+        ("synthetic_4000x13_mlr_leaves", ddos_cart::leaf::LeafKind::Linear),
+        ("synthetic_4000x13_constant_leaves", ddos_cart::leaf::LeafKind::Constant),
+    ] {
+        let cfg = TreeConfig { leaf_kind: kind, ..st_cfg.tree };
+        g.bench_function(name, |b| {
+            b.iter(|| RegressionTree::fit(black_box(&big_xs), black_box(&big_ys), &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
 /// Ablation: exponential smoothing as the middle comparator between the
 /// naive baselines and ARIMA on the magnitude series.
 fn bench_ablation_smoothing(c: &mut Criterion) {
@@ -436,6 +484,7 @@ criterion_group!(
     bench_ablation_pruning,
     bench_ablation_source_feature,
     bench_flat_hot_paths,
+    bench_cart_fit,
     bench_attribution,
     bench_entropy_detection,
     bench_ablation_smoothing,

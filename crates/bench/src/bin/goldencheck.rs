@@ -1,5 +1,5 @@
-//! Bit-exact output fingerprints for every hot path the flat-memory
-//! optimizations touch.
+//! Bit-exact output fingerprints for every hot path the flat-memory and
+//! presorted-CART optimizations touch.
 //!
 //! Prints one FNV-1a hash line per subsystem, folding the `f64::to_bits`
 //! of every value in the subsystem's output. Run it before and after a
@@ -11,44 +11,135 @@
 //! ```sh
 //! cargo run --release -p ddos-bench --bin goldencheck > /tmp/fingerprint.txt
 //! ```
+//!
+//! With `--check <file>` the computed fingerprints are compared against a
+//! recorded golden file (one `name hash` pair per line) and the process
+//! exits non-zero on any mismatch — this is the CI bit-identity gate:
+//!
+//! ```sh
+//! cargo run --release -p ddos-bench --bin goldencheck -- \
+//!     --check crates/bench/golden/fingerprints.txt
+//! ```
 
 use ddos_bench::{corpus, pipeline, Scale};
+use ddos_cart::importance::feature_importances;
+use ddos_cart::leaf::LeafKind;
+use ddos_cart::prune::{prune, prune_holdout};
+use ddos_cart::tree::{RegressionTree, TreeConfig};
 use ddos_core::attribution::FamilyAttributor;
 use ddos_core::features::FeatureExtractor;
+use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
 use ddos_stats::arima::{Arima, ArimaOrder};
 use ddos_trace::AttackRecord;
 
-/// FNV-1a over a stream of u64 words.
-struct Fnv(u64);
+/// Collected `(name, hash)` lines, printed at the end (and optionally
+/// diffed against a golden file).
+struct Report {
+    lines: Vec<(String, u64)>,
+}
 
-impl Fnv {
-    fn new() -> Self {
-        Fnv(0xcbf2_9ce4_8422_2325)
+/// FNV-1a over a stream of u64 words.
+struct Fnv<'a> {
+    hash: u64,
+    report: &'a mut Report,
+}
+
+impl<'a> Fnv<'a> {
+    fn new(report: &'a mut Report) -> Self {
+        Fnv { hash: 0xcbf2_9ce4_8422_2325, report }
     }
     fn word(&mut self, w: u64) {
         for byte in w.to_le_bytes() {
-            self.0 ^= byte as u64;
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+            self.hash ^= byte as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
     fn f64(&mut self, v: f64) {
         self.word(v.to_bits());
     }
     fn done(self, name: &str) {
-        println!("{name:<28} {:016x}", self.0);
+        println!("{name:<28} {:016x}", self.hash);
+        self.report.lines.push((name.to_string(), self.hash));
+    }
+}
+
+/// Fingerprints the full observable surface of a fitted tree: shape,
+/// root statistics, importances, and predictions over the training rows
+/// plus an off-grid probe lattice.
+fn hash_tree(h: &mut Fnv<'_>, tree: &RegressionTree, xs: &[Vec<f64>]) {
+    h.word(tree.n_leaves() as u64);
+    h.word(tree.depth() as u64);
+    h.f64(tree.root_std_dev());
+    for v in feature_importances(tree) {
+        h.f64(v);
+    }
+    for row in xs {
+        h.f64(tree.predict(row).unwrap());
+    }
+    let width = tree.n_features();
+    for step in 0..16 {
+        let probe: Vec<f64> =
+            (0..width).map(|f| (step as f64 - 8.0) * 1.7 + f as f64 * 0.33).collect();
+        h.f64(tree.predict(&probe).unwrap());
     }
 }
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let check_path = match args.next().as_deref() {
+        Some("--check") => {
+            Some(args.next().unwrap_or_else(|| panic!("--check requires a golden file path")))
+        }
+        Some(other) => panic!("unknown argument {other:?}; usage: goldencheck [--check <file>]"),
+        None => None,
+    };
+    let mut report = Report { lines: Vec::new() };
+    run(&mut report);
+    if let Some(path) = check_path {
+        let golden = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read golden file {path}: {e}"));
+        let mut failures = 0;
+        let mut expected = std::collections::BTreeMap::new();
+        for line in golden.lines().filter(|l| !l.trim().is_empty() && !l.starts_with('#')) {
+            let mut it = line.split_whitespace();
+            let (name, hash) = (it.next().unwrap(), it.next().expect("golden line: name hash"));
+            expected.insert(name.to_string(), hash.to_string());
+        }
+        for (name, hash) in &report.lines {
+            match expected.remove(name) {
+                Some(want) if want == format!("{hash:016x}") => {}
+                Some(want) => {
+                    eprintln!("MISMATCH {name}: computed {hash:016x}, golden {want}");
+                    failures += 1;
+                }
+                None => {
+                    eprintln!("MISSING golden entry for {name} (computed {hash:016x})");
+                    failures += 1;
+                }
+            }
+        }
+        for (name, _) in expected {
+            eprintln!("STALE golden entry {name} no longer computed");
+            failures += 1;
+        }
+        if failures > 0 {
+            eprintln!("goldencheck: {failures} fingerprint failure(s)");
+            std::process::exit(1);
+        }
+        eprintln!("goldencheck: all {} fingerprints match", report.lines.len());
+    }
+}
+
+fn run(report: &mut Report) {
     let c = corpus(Scale::Small, 42);
     let fx = FeatureExtractor::new(&c);
     let fam = c.catalog().most_active(1)[0];
     let attacks: Vec<&AttackRecord> = c.family_attacks(fam).into_iter().take(120).collect();
 
     // Eq. 4 source-distribution series.
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for v in fx.source_distribution_series(&attacks).unwrap() {
         h.f64(v);
     }
@@ -58,7 +149,7 @@ fn main() {
     let oracle = ddos_astopo::paths::PathOracle::new(c.topology());
     let stubs: Vec<ddos_astopo::Asn> =
         c.topology().tier_members(ddos_astopo::Tier::Stub).into_iter().take(24).collect();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     h.f64(oracle.mean_pairwise_distance(&stubs));
     for (i, a) in stubs.iter().enumerate() {
         for b in stubs.iter().skip(i + 1) {
@@ -67,7 +158,7 @@ fn main() {
     }
     h.done("pairwise_hop_distances");
 
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for (i, a) in stubs.iter().enumerate().take(8) {
         for b in stubs.iter().skip(i + 1).take(8) {
             for asn in oracle.path(*a, *b).unwrap() {
@@ -85,7 +176,7 @@ fn main() {
 
     // Per-AS share series (Fig. 2 input).
     let (asns, series) = FeatureExtractor::as_share_series(&attacks, 8);
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for a in &asns {
         h.word(a.0 as u64);
     }
@@ -106,7 +197,7 @@ fn main() {
         7,
     )
     .unwrap();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     h.f64(model.sigma());
     for v in model.predict_rolling(&durations[..cut], &durations[cut..]).unwrap() {
         h.f64(v);
@@ -119,7 +210,7 @@ fn main() {
     // ARIMA rolling prediction.
     let mags = FeatureExtractor::magnitude_series(&attacks);
     let m = Arima::fit(&mags[..cut], ArimaOrder::new(2, 1, 1)).unwrap();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for v in m.predict_rolling(&mags[cut..]).unwrap() {
         h.f64(v);
     }
@@ -127,7 +218,7 @@ fn main() {
 
     // Pipeline reports (temporal + spatial distribution + attribution).
     let t = pipeline(42).run_temporal(&c).unwrap();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for f in &t.per_family {
         h.f64(f.magnitudes.rmse);
         for v in &f.magnitudes.predicted {
@@ -137,7 +228,7 @@ fn main() {
     h.done("pipeline_temporal");
 
     let s = pipeline(42).run_spatial_distribution(&c).unwrap();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     for f in &s.per_family {
         h.f64(f.share_rmse);
         for v in f.predicted_mean_shares.iter().chain(&f.truth_mean_shares) {
@@ -148,7 +239,64 @@ fn main() {
 
     let (train_a, test_a) = c.split(0.8).unwrap();
     let at = FamilyAttributor::fit(train_a).unwrap();
-    let mut h = Fnv::new();
+    let mut h = Fnv::new(report);
     h.f64(at.accuracy(test_a).unwrap());
     h.done("attribution_accuracy");
+
+    // CART growth on the standard spatiotemporal training set (§VI): the
+    // real design the four trees train on, fit with both leaf kinds,
+    // pruned both ways. These lines are the bit-identity oracle for the
+    // presorted grower.
+    let st_cfg = SpatioTemporalConfig::fast();
+    let (st_xs, st_labels) = SpatioTemporalModel::training_design(train_a, &st_cfg, 5).unwrap();
+    let mut h = Fnv::new(report);
+    for (row, labels) in st_xs.iter().zip(&st_labels) {
+        for v in row.iter().chain(labels.iter()) {
+            h.f64(*v);
+        }
+    }
+    h.done("spatiotemporal_design");
+
+    let hour_labels: Vec<f64> = st_labels.iter().map(|l| l[0]).collect();
+    let duration_labels: Vec<f64> = st_labels.iter().map(|l| l[3]).collect();
+    let grow_n = st_xs.len() * 85 / 100;
+    for (name, kind) in [
+        ("cart_fit_mlr_leaves", LeafKind::Linear),
+        ("cart_fit_constant_leaves", LeafKind::Constant),
+    ] {
+        let cfg = TreeConfig { leaf_kind: kind, ..st_cfg.tree };
+        let mut h = Fnv::new(report);
+        for labels in [&hour_labels, &duration_labels] {
+            let tree = RegressionTree::fit(&st_xs, labels, &cfg).unwrap();
+            hash_tree(&mut h, &tree, &st_xs);
+            // Both pruning modes on a fresh fit: prune statistics
+            // (collapsed leaf models and residual stds) are part of the
+            // grower's observable surface.
+            let mut retained =
+                RegressionTree::fit(&st_xs[..grow_n], &labels[..grow_n], &cfg).unwrap();
+            let collapsed =
+                prune_holdout(&mut retained, &st_xs[grow_n..], &labels[grow_n..], 0.88).unwrap();
+            h.word(collapsed as u64);
+            hash_tree(&mut h, &retained, &st_xs);
+            let mut sd = RegressionTree::fit(&st_xs, labels, &cfg).unwrap();
+            h.word(prune(&mut sd, 0.88).unwrap() as u64);
+            hash_tree(&mut h, &sd, &st_xs);
+        }
+        h.done(name);
+    }
+
+    // The full spatiotemporal pipeline (fit + predict over the test
+    // stream): every tree output that reaches the Fig. 3–4 experiments.
+    let st = pipeline(42).run_spatiotemporal(&c).unwrap();
+    let mut h = Fnv::new(report);
+    h.f64(st.st_hour_rmse);
+    h.f64(st.temporal_hour_rmse);
+    h.f64(st.spatial_hour_rmse);
+    for p in &st.predictions {
+        h.f64(p.st_hour);
+        h.f64(p.st_day);
+        h.f64(p.st_magnitude);
+        h.f64(p.st_duration);
+    }
+    h.done("pipeline_spatiotemporal");
 }

@@ -61,6 +61,38 @@ impl LeafModel {
         }
     }
 
+    /// Fits a leaf on the cell described by `indices` into the full
+    /// `(xs, ys)` training set, without materializing the cell.
+    ///
+    /// Bit-identical to gathering the indexed rows and calling
+    /// [`LeafModel::fit`] (the mean reduction and the MLR design are both
+    /// assembled in `indices` order) — this view API is what lets tree
+    /// growth fit one leaf model per node with zero row clones.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::EmptyTrainingSet`] for empty `indices`.
+    /// Indices must be in range for both `xs` and `ys`; out-of-range
+    /// indices panic.
+    pub fn fit_indexed(
+        kind: LeafKind,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        indices: &[usize],
+    ) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        let mean = indices.iter().map(|&i| ys[i]).sum::<f64>() / indices.len() as f64;
+        match kind {
+            LeafKind::Constant => Ok(LeafModel::Constant { mean }),
+            LeafKind::Linear => match LinearModel::fit_indexed(xs, ys, indices) {
+                Ok(model) => Ok(LeafModel::Linear { model }),
+                Err(_) => Ok(LeafModel::Constant { mean }),
+            },
+        }
+    }
+
     /// Predicts for one feature row.
     ///
     /// # Errors
@@ -124,6 +156,24 @@ mod tests {
     fn empty_cell_rejected() {
         assert!(matches!(
             LeafModel::fit(LeafKind::Constant, &[], &[]),
+            Err(CartError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn fit_indexed_matches_gathered_fit() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, ((i * 7) % 5) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - r[1] + 1.0).collect();
+        let indices = vec![2, 4, 8, 16, 3, 9, 27, 1];
+        let gathered_x: Vec<Vec<f64>> = indices.iter().map(|&i| xs[i].clone()).collect();
+        let gathered_y: Vec<f64> = indices.iter().map(|&i| ys[i]).collect();
+        for kind in [LeafKind::Constant, LeafKind::Linear] {
+            let direct = LeafModel::fit(kind, &gathered_x, &gathered_y).unwrap();
+            let indexed = LeafModel::fit_indexed(kind, &xs, &ys, &indices).unwrap();
+            assert_eq!(direct, indexed);
+        }
+        assert!(matches!(
+            LeafModel::fit_indexed(LeafKind::Linear, &xs, &ys, &[]),
             Err(CartError::EmptyTrainingSet)
         ));
     }

@@ -8,9 +8,11 @@
 //! multivariate-linear-regression leaves (Eq. 8–10).
 //!
 //! * [`leaf`] — leaf models: constant mean or MLR with constant fallback;
-//! * [`tree`] — tree growth and prediction;
+//! * [`tree`] — presorted, allocation-free tree growth and prediction;
 //! * [`prune`] — bottom-up standard-deviation-retention pruning;
-//! * [`importance`] — per-feature variance-reduction importances.
+//! * [`importance`] — per-feature variance-reduction importances;
+//! * [`reference`] — the original per-node-sort grower, retained as the
+//!   bit-identity oracle for the property-based suite.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@
 pub mod importance;
 pub mod leaf;
 pub mod prune;
+pub mod reference;
 pub mod tree;
 
 mod error;

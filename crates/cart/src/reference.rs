@@ -1,0 +1,133 @@
+//! The pre-presorting CART grower, retained as a bit-identity oracle.
+//!
+//! This is the original per-node-sort implementation: every node clones
+//! its cell (`gather`), re-sorts the cell's indices per feature, and fits
+//! the fallback leaf model separately from the node's own leaf. It is
+//! kept verbatim — minus the two crash paths the presorted grower also
+//! guards (the `partial_cmp(...).expect` on the sort and the
+//! `len - min_samples_leaf` underflow, both unreachable for inputs that
+//! pass [`crate::tree::validate`]) — so the property-based suite can
+//! assert that [`RegressionTree::fit`] produces structurally identical
+//! trees with bit-equal predictions. It is **not** part of the supported
+//! API surface; use [`RegressionTree::fit`].
+
+use crate::leaf::LeafModel;
+use crate::tree::{residual_std_indexed, validate, Node, RegressionTree, TreeConfig};
+use crate::Result;
+
+/// Grows a tree with the reference (per-node sorting, cell-cloning)
+/// algorithm. Same inputs, same outputs, same errors as
+/// [`RegressionTree::fit`] — only slower.
+///
+/// # Errors
+///
+/// Identical to [`RegressionTree::fit`].
+pub fn fit_reference(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<RegressionTree> {
+    let width = validate(xs, ys, config)?;
+    let indices: Vec<usize> = (0..xs.len()).collect();
+    let root = grow(xs, ys, &indices, config, 0)?;
+    Ok(RegressionTree { root, n_features: width, config: *config })
+}
+
+fn stats(ys: &[f64], indices: &[usize]) -> (f64, f64) {
+    let n = indices.len() as f64;
+    let sum: f64 = indices.iter().map(|&i| ys[i]).sum();
+    let mean = sum / n;
+    let sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
+    (sse, (sse / n).sqrt())
+}
+
+fn gather(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
+    (indices.iter().map(|&i| xs[i].clone()).collect(), indices.iter().map(|&i| ys[i]).collect())
+}
+
+fn grow(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+    config: &TreeConfig,
+    depth: usize,
+) -> Result<Node> {
+    let (node_sse, node_std) = stats(ys, indices);
+    let (cell_x, cell_y) = gather(xs, ys, indices);
+    let leaf_here = || -> Result<Node> {
+        let model = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
+        let all: Vec<usize> = (0..cell_y.len()).collect();
+        let resid_std = residual_std_indexed(&model, &cell_x, &cell_y, &all)?;
+        Ok(Node::Leaf { model, n: indices.len(), std_dev: node_std, resid_std })
+    };
+
+    if depth >= config.max_depth
+        || indices.len() < config.min_samples_split
+        || node_sse <= f64::EPSILON
+        // The original expression `total_n - min_samples_leaf` below
+        // underflowed here; an impossible cut range is a leaf.
+        || config.min_samples_leaf.saturating_mul(2) > indices.len()
+    {
+        return leaf_here();
+    }
+
+    // Exhaustive best-split scan, re-sorting the cell per feature.
+    let width = xs[0].len();
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, child_sse)
+    #[allow(clippy::needless_range_loop)] // `feature` indexes rows of `xs`, not one slice
+    for feature in 0..width {
+        let mut order: Vec<usize> = indices.to_vec();
+        order.sort_by(|&a, &b| {
+            xs[a][feature].partial_cmp(&xs[b][feature]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Prefix sums over the sorted order for O(n) threshold scan.
+        let vals: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
+        let mut prefix_sum = vec![0.0; vals.len() + 1];
+        let mut prefix_sq = vec![0.0; vals.len() + 1];
+        for (i, v) in vals.iter().enumerate() {
+            prefix_sum[i + 1] = prefix_sum[i] + v;
+            prefix_sq[i + 1] = prefix_sq[i] + v * v;
+        }
+        let total_n = vals.len();
+        for cut in config.min_samples_leaf..=(total_n - config.min_samples_leaf) {
+            let fv_left = xs[order[cut - 1]][feature];
+            let fv_right = xs[order[cut]][feature];
+            if fv_left == fv_right {
+                continue; // cannot split between equal values
+            }
+            let nl = cut as f64;
+            let nr = (total_n - cut) as f64;
+            let sse_left = prefix_sq[cut] - prefix_sum[cut].powi(2) / nl;
+            let sum_r = prefix_sum[total_n] - prefix_sum[cut];
+            let sq_r = prefix_sq[total_n] - prefix_sq[cut];
+            let sse_right = sq_r - sum_r.powi(2) / nr;
+            let child_sse = sse_left + sse_right;
+            if best.as_ref().is_none_or(|(_, _, s)| child_sse < *s) {
+                best = Some((feature, (fv_left + fv_right) / 2.0, child_sse));
+            }
+        }
+    }
+
+    let Some((feature, threshold, child_sse)) = best else {
+        return leaf_here();
+    };
+    let decrease = node_sse - child_sse;
+    if decrease < config.min_impurity_decrease * node_sse.max(f64::EPSILON) {
+        return leaf_here();
+    }
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| xs[i][feature] <= threshold);
+    let left = grow(xs, ys, &left_idx, config, depth + 1)?;
+    let right = grow(xs, ys, &right_idx, config, depth + 1)?;
+    let collapsed = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
+    let all: Vec<usize> = (0..cell_y.len()).collect();
+    let collapsed_resid_std = residual_std_indexed(&collapsed, &cell_x, &cell_y, &all)?;
+    Ok(Node::Internal {
+        feature,
+        threshold,
+        left: Box::new(left),
+        right: Box::new(right),
+        n: indices.len(),
+        std_dev: node_std,
+        collapsed_resid_std,
+        impurity_decrease: decrease,
+        collapsed,
+    })
+}

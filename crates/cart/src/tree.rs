@@ -3,8 +3,19 @@
 //! Splits minimize the total sum of squared errors of the two children
 //! (equivalently, maximize variance reduction), scanning every feature and
 //! every midpoint between consecutive sorted values — the exact CART
-//! procedure, feasible because the spatiotemporal model's designs are
-//! small (tens of features, thousands of rows at most).
+//! procedure.
+//!
+//! Growth is the classic *presorted* CART algorithm: each feature column
+//! is sorted once at the root, and recursion threads per-feature sorted
+//! index segments downward via stable partitions, so split search is
+//! O(n·width) per node instead of O(n log n·width), with zero per-node
+//! allocations (one shared scratch arena) and zero row clones (leaf
+//! models fit through `(xs, ys, indices)` views). The grower is
+//! bit-identical to the retained reference implementation in
+//! [`crate::reference`]: stable partitions preserve the reference's
+//! stable-sort tie order, and every floating-point reduction (node
+//! statistics, prefix-sum threshold scan, leaf fits) runs in the same
+//! order over the same values. See DESIGN.md §10 for the full argument.
 
 use crate::leaf::{LeafKind, LeafModel};
 use crate::{CartError, Result};
@@ -93,37 +104,10 @@ impl RegressionTree {
     /// * [`CartError::NonFiniteInput`] for NaN/∞ values.
     /// * [`CartError::InvalidParameter`] for degenerate configuration.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<Self> {
-        if xs.is_empty() || ys.is_empty() {
-            return Err(CartError::EmptyTrainingSet);
-        }
-        if xs.len() != ys.len() {
-            return Err(CartError::ShapeMismatch {
-                detail: format!("{} rows vs {} targets", xs.len(), ys.len()),
-            });
-        }
-        let width = xs[0].len();
-        if width == 0 {
-            return Err(CartError::ShapeMismatch { detail: "zero-width features".to_string() });
-        }
-        for (i, row) in xs.iter().enumerate() {
-            if row.len() != width {
-                return Err(CartError::ShapeMismatch {
-                    detail: format!("row {i} has width {}, expected {width}", row.len()),
-                });
-            }
-        }
-        if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
-            return Err(CartError::NonFiniteInput);
-        }
-        if config.min_samples_leaf == 0 {
-            return Err(CartError::InvalidParameter {
-                name: "min_samples_leaf",
-                detail: "must be at least 1".to_string(),
-            });
-        }
-
-        let indices: Vec<usize> = (0..xs.len()).collect();
-        let root = grow(xs, ys, &indices, config, 0)?;
+        let width = validate(xs, ys, config)?;
+        let ctx = GrowCtx { xs, ys, config };
+        let mut scratch = Scratch::new(xs, width);
+        let root = grow(&ctx, &mut scratch, 0, xs.len(), 0)?;
         Ok(RegressionTree { root, n_features: width, config: *config })
     }
 
@@ -193,115 +177,283 @@ impl RegressionTree {
     }
 }
 
-fn stats(ys: &[f64], indices: &[usize]) -> (f64, f64, f64) {
+/// Validates configuration and training data, returning the feature
+/// width. Shared by the presorted grower and [`crate::reference`], so
+/// both accept and reject exactly the same inputs.
+pub(crate) fn validate(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<usize> {
+    if config.max_depth < 1 {
+        return Err(CartError::InvalidParameter {
+            name: "max_depth",
+            detail: "must be at least 1 (a depth-0 tree cannot split)".to_string(),
+        });
+    }
+    if config.min_samples_split < 2 {
+        return Err(CartError::InvalidParameter {
+            name: "min_samples_split",
+            detail: "must be at least 2 (a split needs two children)".to_string(),
+        });
+    }
+    if config.min_samples_leaf < 1 {
+        return Err(CartError::InvalidParameter {
+            name: "min_samples_leaf",
+            detail: "must be at least 1".to_string(),
+        });
+    }
+    if !(config.min_impurity_decrease >= 0.0 && config.min_impurity_decrease.is_finite()) {
+        return Err(CartError::InvalidParameter {
+            name: "min_impurity_decrease",
+            detail: format!(
+                "must be finite and non-negative, got {}",
+                config.min_impurity_decrease
+            ),
+        });
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return Err(CartError::EmptyTrainingSet);
+    }
+    if xs.len() != ys.len() {
+        return Err(CartError::ShapeMismatch {
+            detail: format!("{} rows vs {} targets", xs.len(), ys.len()),
+        });
+    }
+    let width = xs[0].len();
+    if width == 0 {
+        return Err(CartError::ShapeMismatch { detail: "zero-width features".to_string() });
+    }
+    for (i, row) in xs.iter().enumerate() {
+        if row.len() != width {
+            return Err(CartError::ShapeMismatch {
+                detail: format!("row {i} has width {}, expected {width}", row.len()),
+            });
+        }
+    }
+    if xs.iter().flatten().any(|v| !v.is_finite()) || ys.iter().any(|v| !v.is_finite()) {
+        return Err(CartError::NonFiniteInput);
+    }
+    Ok(width)
+}
+
+/// Borrowed growth inputs, threaded through the recursion.
+struct GrowCtx<'a> {
+    xs: &'a [Vec<f64>],
+    ys: &'a [f64],
+    config: &'a TreeConfig,
+}
+
+/// The presorted-growth arena, allocated once per [`RegressionTree::fit`].
+///
+/// A node owns the segment `[lo, hi)` of `idx` and of every feature's
+/// region of `sorted`; splitting stable-partitions those segments in
+/// place, so recursion never allocates.
+struct Scratch {
+    /// Row count of the training set (stride of `cols` and `sorted`).
+    n: usize,
+    /// Column-major copy of the features: `cols[f * n + i] = xs[i][f]`.
+    /// Split search touches one feature at a time; the transposed layout
+    /// makes both the threshold scan and the partition predicate walk
+    /// contiguous memory instead of chasing per-row `Vec` pointers.
+    cols: Vec<f64>,
+    /// Per-feature sort orders (feature-major segments of length `n`):
+    /// `sorted[f * n..][..n]` holds row indices ordered by feature `f`,
+    /// ties by ascending row index — exactly the order the reference
+    /// grower's per-node stable sort produces, maintained under recursion
+    /// by stable partitioning.
+    sorted: Vec<usize>,
+    /// Node sample indices in ascending row order (the reference grower's
+    /// `indices` list); leaf fits and node statistics iterate this to
+    /// keep reduction order identical.
+    idx: Vec<usize>,
+    /// Spill buffer for the stable partitions.
+    spill: Vec<usize>,
+    /// Prefix sums of targets over a node's sorted order (`len + 1` used).
+    prefix_sum: Vec<f64>,
+    /// Prefix sums of squared targets.
+    prefix_sq: Vec<f64>,
+}
+
+impl Scratch {
+    fn new(xs: &[Vec<f64>], width: usize) -> Self {
+        let n = xs.len();
+        let mut cols = vec![0.0; width * n];
+        for (i, row) in xs.iter().enumerate() {
+            for (f, v) in row.iter().enumerate() {
+                cols[f * n + i] = *v;
+            }
+        }
+        let mut sorted = vec![0usize; width * n];
+        for f in 0..width {
+            let col = &cols[f * n..(f + 1) * n];
+            let seg = &mut sorted[f * n..(f + 1) * n];
+            for (k, s) in seg.iter_mut().enumerate() {
+                *s = k;
+            }
+            // Stable sort by feature value; ties keep ascending row index.
+            // `partial_cmp` cannot observe NaN (inputs are validated
+            // finite), and unlike `total_cmp` it keeps -0.0 == 0.0 as a
+            // tie, matching the reference sort order exactly.
+            seg.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        Scratch {
+            n,
+            cols,
+            sorted,
+            idx: (0..n).collect(),
+            spill: vec![0; n],
+            prefix_sum: vec![0.0; n + 1],
+            prefix_sq: vec![0.0; n + 1],
+        }
+    }
+}
+
+/// Node target statistics `(sse, std_dev)` over the ascending index view
+/// (same reduction order as the reference grower's `stats`).
+fn node_stats(ys: &[f64], indices: &[usize]) -> (f64, f64) {
     let n = indices.len() as f64;
     let sum: f64 = indices.iter().map(|&i| ys[i]).sum();
     let mean = sum / n;
     let sse: f64 = indices.iter().map(|&i| (ys[i] - mean).powi(2)).sum();
-    (mean, sse, (sse / n).sqrt())
+    (sse, (sse / n).sqrt())
 }
 
-fn gather(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> (Vec<Vec<f64>>, Vec<f64>) {
-    (indices.iter().map(|&i| xs[i].clone()).collect(), indices.iter().map(|&i| ys[i]).collect())
+/// Stable in-place partition of `seg` by `pred` (true-goers first, both
+/// sides keeping their relative order) using `spill` as the bounce
+/// buffer. Returns the number of true-goers.
+fn stable_partition(seg: &mut [usize], spill: &mut [usize], pred: impl Fn(usize) -> bool) -> usize {
+    let mut kept = 0;
+    let mut spilled = 0;
+    for k in 0..seg.len() {
+        let i = seg[k];
+        if pred(i) {
+            seg[kept] = i;
+            kept += 1;
+        } else {
+            spill[spilled] = i;
+            spilled += 1;
+        }
+    }
+    seg[kept..].copy_from_slice(&spill[..spilled]);
+    kept
 }
 
+/// Grows the node owning segment `[lo, hi)` of the scratch arena.
 fn grow(
-    xs: &[Vec<f64>],
-    ys: &[f64],
-    indices: &[usize],
-    config: &TreeConfig,
+    ctx: &GrowCtx<'_>,
+    scratch: &mut Scratch,
+    lo: usize,
+    hi: usize,
     depth: usize,
 ) -> Result<Node> {
-    let (_, node_sse, node_std) = stats(ys, indices);
-    let (cell_x, cell_y) = gather(xs, ys, indices);
-    let leaf_here = || -> Result<Node> {
-        let model = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
-        let resid_std = residual_std(&model, &cell_x, &cell_y)?;
-        Ok(Node::Leaf { model, n: indices.len(), std_dev: node_std, resid_std })
-    };
+    let config = ctx.config;
+    let len = hi - lo;
+    let (node_sse, node_std) = node_stats(ctx.ys, &scratch.idx[lo..hi]);
+    // One leaf model per node, fit up front: it becomes the node's own
+    // model if growth stops here and the pruning fallback (`collapsed`)
+    // if the node splits — the reference grower fits exactly one of the
+    // two on the same cell, so the work and the result are identical.
+    let model = LeafModel::fit_indexed(config.leaf_kind, ctx.xs, ctx.ys, &scratch.idx[lo..hi])?;
+    let resid_std = residual_std_indexed(&model, ctx.xs, ctx.ys, &scratch.idx[lo..hi])?;
 
+    let msl = config.min_samples_leaf;
     if depth >= config.max_depth
-        || indices.len() < config.min_samples_split
+        || len < config.min_samples_split
         || node_sse <= f64::EPSILON
+        // No cut can give both children `min_samples_leaf` samples. This
+        // also guards the `len - min_samples_leaf` underflow the
+        // pre-presorting grower hit when `min_samples_leaf > len`.
+        || msl.saturating_mul(2) > len
     {
-        return leaf_here();
+        return Ok(Node::Leaf { model, n: len, std_dev: node_std, resid_std });
     }
 
-    // Exhaustive best-split scan.
-    let width = xs[0].len();
+    // Exhaustive best-split scan over the presorted per-feature orders.
+    let n = scratch.n;
+    let width = ctx.xs[0].len();
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, child_sse)
-    #[allow(clippy::needless_range_loop)] // `feature` indexes rows of `xs`, not one slice
-    for feature in 0..width {
-        let mut order: Vec<usize> = indices.to_vec();
-        order.sort_by(|&a, &b| {
-            xs[a][feature].partial_cmp(&xs[b][feature]).expect("finite features")
-        });
-        // Prefix sums over the sorted order for O(n) threshold scan.
-        let vals: Vec<f64> = order.iter().map(|&i| ys[i]).collect();
-        let mut prefix_sum = vec![0.0; vals.len() + 1];
-        let mut prefix_sq = vec![0.0; vals.len() + 1];
-        for (i, v) in vals.iter().enumerate() {
-            prefix_sum[i + 1] = prefix_sum[i] + v;
-            prefix_sq[i + 1] = prefix_sq[i] + v * v;
-        }
-        let total_n = vals.len();
-        for cut in config.min_samples_leaf..=(total_n - config.min_samples_leaf) {
-            if cut == 0 || cut == total_n {
-                continue;
+    {
+        let Scratch { cols, sorted, prefix_sum, prefix_sq, .. } = &mut *scratch;
+        for feature in 0..width {
+            let col = &cols[feature * n..(feature + 1) * n];
+            let order = &sorted[feature * n + lo..feature * n + hi];
+            // Prefix sums over the sorted order for the O(n) threshold
+            // scan, accumulated in the reference order (index 0 stays 0.0
+            // from allocation; entries past `len` are stale but unread).
+            for (k, &i) in order.iter().enumerate() {
+                let v = ctx.ys[i];
+                prefix_sum[k + 1] = prefix_sum[k] + v;
+                prefix_sq[k + 1] = prefix_sq[k] + v * v;
             }
-            let fv_left = xs[order[cut - 1]][feature];
-            let fv_right = xs[order[cut]][feature];
-            if fv_left == fv_right {
-                continue; // cannot split between equal values
-            }
-            let nl = cut as f64;
-            let nr = (total_n - cut) as f64;
-            let sse_left = prefix_sq[cut] - prefix_sum[cut].powi(2) / nl;
-            let sum_r = prefix_sum[total_n] - prefix_sum[cut];
-            let sq_r = prefix_sq[total_n] - prefix_sq[cut];
-            let sse_right = sq_r - sum_r.powi(2) / nr;
-            let child_sse = sse_left + sse_right;
-            if best.as_ref().is_none_or(|(_, _, s)| child_sse < *s) {
-                best = Some((feature, (fv_left + fv_right) / 2.0, child_sse));
+            for cut in msl..=(len - msl) {
+                let fv_left = col[order[cut - 1]];
+                let fv_right = col[order[cut]];
+                if fv_left == fv_right {
+                    continue; // cannot split between equal values
+                }
+                let nl = cut as f64;
+                let nr = (len - cut) as f64;
+                let sse_left = prefix_sq[cut] - prefix_sum[cut].powi(2) / nl;
+                let sum_r = prefix_sum[len] - prefix_sum[cut];
+                let sq_r = prefix_sq[len] - prefix_sq[cut];
+                let sse_right = sq_r - sum_r.powi(2) / nr;
+                let child_sse = sse_left + sse_right;
+                if best.as_ref().is_none_or(|(_, _, s)| child_sse < *s) {
+                    best = Some((feature, (fv_left + fv_right) / 2.0, child_sse));
+                }
             }
         }
     }
 
     let Some((feature, threshold, child_sse)) = best else {
-        return leaf_here();
+        return Ok(Node::Leaf { model, n: len, std_dev: node_std, resid_std });
     };
     let decrease = node_sse - child_sse;
     if decrease < config.min_impurity_decrease * node_sse.max(f64::EPSILON) {
-        return leaf_here();
+        return Ok(Node::Leaf { model, n: len, std_dev: node_std, resid_std });
     }
 
-    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-        indices.iter().partition(|&&i| xs[i][feature] <= threshold);
-    let left = grow(xs, ys, &left_idx, config, depth + 1)?;
-    let right = grow(xs, ys, &right_idx, config, depth + 1)?;
-    let collapsed = LeafModel::fit(config.leaf_kind, &cell_x, &cell_y)?;
-    let collapsed_resid_std = residual_std(&collapsed, &cell_x, &cell_y)?;
+    // Stable partition of the ascending index list and of every feature's
+    // sorted segment: both sides keep their relative order, so each child
+    // inherits exactly the orders a per-node stable sort would rebuild.
+    let n_left = {
+        let Scratch { cols, sorted, idx, spill, .. } = &mut *scratch;
+        let col = &cols[feature * n..(feature + 1) * n];
+        let n_left = stable_partition(&mut idx[lo..hi], spill, |i| col[i] <= threshold);
+        for f in 0..width {
+            let seg = &mut sorted[f * n + lo..f * n + hi];
+            let nl = stable_partition(seg, spill, |i| col[i] <= threshold);
+            debug_assert_eq!(nl, n_left, "inconsistent partition across sort orders");
+        }
+        n_left
+    };
+    let left = grow(ctx, scratch, lo, lo + n_left, depth + 1)?;
+    let right = grow(ctx, scratch, lo + n_left, hi, depth + 1)?;
     Ok(Node::Internal {
         feature,
         threshold,
         left: Box::new(left),
         right: Box::new(right),
-        n: indices.len(),
+        n: len,
         std_dev: node_std,
-        collapsed_resid_std,
+        collapsed_resid_std: resid_std,
         impurity_decrease: decrease,
-        collapsed,
+        collapsed: model,
     })
 }
 
-/// Residual standard deviation of a fitted leaf model on its cell.
-fn residual_std(model: &LeafModel, xs: &[Vec<f64>], ys: &[f64]) -> Result<f64> {
+/// Residual standard deviation of a fitted leaf model on the cell
+/// described by `indices` (same reduction order as evaluating a gathered
+/// cell).
+pub(crate) fn residual_std_indexed(
+    model: &LeafModel,
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    indices: &[usize],
+) -> Result<f64> {
     let mut sse = 0.0;
-    for (x, y) in xs.iter().zip(ys) {
-        let e = model.predict(x)? - y;
+    for &i in indices {
+        let e = model.predict(&xs[i])? - ys[i];
         sse += e * e;
     }
-    Ok((sse / ys.len() as f64).sqrt())
+    Ok((sse / indices.len() as f64).sqrt())
 }
 
 #[cfg(test)]
@@ -423,6 +575,73 @@ mod tests {
         let batch = t.predict_many(&xs).unwrap();
         for (x, b) in xs.iter().zip(batch) {
             assert_eq!(t.predict(x).unwrap(), b);
+        }
+    }
+
+    #[test]
+    fn non_finite_features_error_instead_of_panicking() {
+        // Regression: the pre-presorting grower sorted with
+        // `partial_cmp(...).expect("finite features")` and panicked on the
+        // first NaN cell it compared. Non-finite cells anywhere in the
+        // design (or targets) must now surface as a typed error.
+        let cfg = TreeConfig::default();
+        let mut xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        xs[13][1] = f64::NAN; // mid-row, mid-set — past the shape checks
+        assert!(matches!(RegressionTree::fit(&xs, &ys, &cfg), Err(CartError::NonFiniteInput)));
+        xs[13][1] = f64::INFINITY;
+        assert!(matches!(RegressionTree::fit(&xs, &ys, &cfg), Err(CartError::NonFiniteInput)));
+        xs[13][1] = 1.0;
+        let mut bad_ys = ys.clone();
+        bad_ys[7] = f64::NAN;
+        assert!(matches!(RegressionTree::fit(&xs, &bad_ys, &cfg), Err(CartError::NonFiniteInput)));
+        bad_ys[7] = f64::NEG_INFINITY;
+        assert!(matches!(RegressionTree::fit(&xs, &bad_ys, &cfg), Err(CartError::NonFiniteInput)));
+    }
+
+    #[test]
+    fn oversized_min_samples_leaf_yields_single_leaf() {
+        // Regression: `min_samples_leaf > n` made the cut-range expression
+        // `total_n - min_samples_leaf` underflow `usize` and panic. An
+        // unsatisfiable leaf minimum now simply stops growth at the root.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let cfg = TreeConfig {
+            min_samples_leaf: 20,
+            min_samples_split: 2,
+            leaf_kind: LeafKind::Constant,
+            ..Default::default()
+        };
+        let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        assert_eq!(t.n_leaves(), 1);
+        assert_eq!(t.predict(&[3.0]).unwrap(), 4.5);
+        // Also unsatisfiable without underflowing: 2 * msl > n = 10.
+        let cfg = TreeConfig { min_samples_leaf: 6, ..cfg };
+        assert_eq!(RegressionTree::fit(&xs, &ys, &cfg).unwrap().n_leaves(), 1);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected_up_front() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let cases: [(TreeConfig, &str); 5] = [
+            (TreeConfig { max_depth: 0, ..Default::default() }, "max_depth"),
+            (TreeConfig { min_samples_split: 1, ..Default::default() }, "min_samples_split"),
+            (TreeConfig { min_samples_leaf: 0, ..Default::default() }, "min_samples_leaf"),
+            (
+                TreeConfig { min_impurity_decrease: f64::NAN, ..Default::default() },
+                "min_impurity_decrease",
+            ),
+            (
+                TreeConfig { min_impurity_decrease: -0.5, ..Default::default() },
+                "min_impurity_decrease",
+            ),
+        ];
+        for (cfg, expected) in cases {
+            match RegressionTree::fit(&xs, &ys, &cfg) {
+                Err(CartError::InvalidParameter { name, .. }) => assert_eq!(name, expected),
+                other => panic!("expected InvalidParameter({expected}), got {other:?}"),
+            }
         }
     }
 

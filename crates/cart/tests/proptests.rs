@@ -2,6 +2,7 @@
 
 use ddos_cart::leaf::LeafKind;
 use ddos_cart::prune::{prune, prune_holdout};
+use ddos_cart::reference::fit_reference;
 use ddos_cart::tree::{RegressionTree, TreeConfig};
 use proptest::prelude::*;
 
@@ -25,9 +26,11 @@ proptest! {
             leaf_kind: LeafKind::Constant,
             ..Default::default()
         }).unwrap();
+        // A root-only stump: an unsatisfiable split bar keeps the tree at
+        // one leaf (depth-0 configs are now rejected up front).
         let stump = RegressionTree::fit(&rows, &ys, &TreeConfig {
             leaf_kind: LeafKind::Constant,
-            max_depth: 0,
+            min_samples_split: usize::MAX,
             ..Default::default()
         }).unwrap();
         let sse = |t: &RegressionTree| -> f64 {
@@ -60,6 +63,92 @@ proptest! {
         for x in rows.iter().take(8) {
             prop_assert!(t2.predict(x).unwrap().is_finite());
         }
+    }
+
+    /// The presorted grower is bit-identical to the retained reference
+    /// grower: structurally equal trees (same splits, thresholds, leaf
+    /// models, and node statistics — `RegressionTree` derives a full
+    /// structural `PartialEq`) and bit-equal predictions, across random
+    /// designs (including a low-cardinality feature that forces sort
+    /// ties) and random growth configurations.
+    #[test]
+    fn presorted_grow_matches_reference_grow(
+        points in proptest::collection::vec(
+            (-50.0f64..50.0, -50.0f64..50.0, 0u8..4), 8..64),
+        max_depth in 1usize..7,
+        min_samples_split in 2usize..12,
+        min_samples_leaf in 1usize..6,
+        min_impurity_decrease in 0.0f64..0.05,
+        mlr in 0u8..2,
+    ) {
+        let rows: Vec<Vec<f64>> =
+            points.iter().map(|(a, b, c)| vec![*a, *b, *c as f64]).collect();
+        let ys: Vec<f64> = points
+            .iter()
+            .map(|(a, b, c)| if *a < 0.0 { a * 2.0 + b } else { 10.0 - b + *c as f64 })
+            .collect();
+        let cfg = TreeConfig {
+            max_depth,
+            min_samples_split,
+            min_samples_leaf,
+            min_impurity_decrease,
+            leaf_kind: if mlr == 1 { LeafKind::Linear } else { LeafKind::Constant },
+        };
+        let presorted = RegressionTree::fit(&rows, &ys, &cfg).unwrap();
+        let reference = fit_reference(&rows, &ys, &cfg).unwrap();
+        prop_assert_eq!(&presorted, &reference);
+        for row in &rows {
+            prop_assert_eq!(
+                presorted.predict(row).unwrap().to_bits(),
+                reference.predict(row).unwrap().to_bits()
+            );
+        }
+        for probe in [-75.0, -1.0, 0.0, 3.5, 60.0] {
+            let p = vec![probe, -probe * 0.7, 2.0];
+            prop_assert_eq!(
+                presorted.predict(&p).unwrap().to_bits(),
+                reference.predict(&p).unwrap().to_bits()
+            );
+        }
+    }
+
+    /// Pruning (both the std-retention rule and holdout reduced-error
+    /// pruning) collapses exactly the same nodes on a presorted tree as
+    /// on the reference tree: the prune statistics (`collapsed` models
+    /// and residual stds) are part of the bit-identity contract.
+    #[test]
+    fn prune_after_fit_matches_reference(
+        points in proptest::collection::vec(
+            (-30.0f64..30.0, 0u8..6), 16..72),
+        retention in 0.5f64..1.0,
+        mlr in 0u8..2,
+    ) {
+        let rows: Vec<Vec<f64>> = points.iter().map(|(a, c)| vec![*a, *c as f64]).collect();
+        let ys: Vec<f64> = points
+            .iter()
+            .map(|(a, c)| (*c as f64) * 3.0 + if *a < 0.0 { -5.0 } else { 5.0 })
+            .collect();
+        let cfg = TreeConfig {
+            min_impurity_decrease: 0.0,
+            leaf_kind: if mlr == 1 { LeafKind::Linear } else { LeafKind::Constant },
+            ..Default::default()
+        };
+        let mut presorted = RegressionTree::fit(&rows, &ys, &cfg).unwrap();
+        let mut reference = fit_reference(&rows, &ys, &cfg).unwrap();
+        let collapsed_p = prune(&mut presorted, retention).unwrap();
+        let collapsed_r = prune(&mut reference, retention).unwrap();
+        prop_assert_eq!(collapsed_p, collapsed_r);
+        prop_assert_eq!(&presorted, &reference);
+
+        let mut presorted_h = RegressionTree::fit(&rows, &ys, &cfg).unwrap();
+        let mut reference_h = fit_reference(&rows, &ys, &cfg).unwrap();
+        let holdout_n = rows.len() / 3;
+        let collapsed_p = prune_holdout(
+            &mut presorted_h, &rows[..holdout_n], &ys[..holdout_n], retention).unwrap();
+        let collapsed_r = prune_holdout(
+            &mut reference_h, &rows[..holdout_n], &ys[..holdout_n], retention).unwrap();
+        prop_assert_eq!(collapsed_p, collapsed_r);
+        prop_assert_eq!(&presorted_h, &reference_h);
     }
 
     /// Every training point routes to exactly one leaf — predictions are

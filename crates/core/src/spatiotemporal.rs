@@ -181,6 +181,14 @@ impl StPrediction {
     }
 }
 
+/// The spatiotemporal training design: one feature row per instance plus
+/// its `[hour, day, magnitude, duration]` label vector.
+pub type TrainingDesign = (Vec<Vec<f64>>, Vec<[f64; 4]>);
+
+/// One training instance before flattening: structured features plus the
+/// `[hour, day, magnitude, duration]` labels.
+type Instance = (InstanceFeatures, [f64; 4]);
+
 /// The fitted spatiotemporal model.
 pub struct SpatioTemporalModel {
     config: SpatioTemporalConfig,
@@ -213,57 +221,7 @@ impl SpatioTemporalModel {
         config: &SpatioTemporalConfig,
         seed: u64,
     ) -> Result<Self> {
-        let train_refs: Vec<&AttackRecord> = train.iter().collect();
-        let h = config.history_per_group;
-        if train_refs.len() < h * 4 {
-            return Err(ModelError::NotEnoughHistory {
-                context: "spatiotemporal training stream".to_string(),
-                required: h * 4,
-                actual: train_refs.len(),
-            });
-        }
-
-        // Global temporal components. Fixed small AR orders keep this
-        // robust on arbitrary corpora; the per-family temporal model of
-        // §IV handles order search.
-        let hours: Vec<f64> = train_refs.iter().map(|a| a.start.hour() as f64).collect();
-        let days: Vec<f64> = train_refs.iter().map(|a| a.start.day_of_month() as f64).collect();
-        let gaps: Vec<f64> =
-            train_refs.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
-        let hour_arima = Arima::fit(&hours, ArimaOrder::new(2, 0, 1))?;
-        let day_arima = Arima::fit(&days, ArimaOrder::new(2, 0, 0))?;
-        let gap_arima = Arima::fit(&gaps, ArimaOrder::new(2, 0, 1))?;
-
-        // Spatial components for the hottest victim ASes (within train).
-        let mut per_asn: BTreeMap<Asn, Vec<&AttackRecord>> = BTreeMap::new();
-        for a in &train_refs {
-            per_asn.entry(a.target_asn).or_default().push(a);
-        }
-        let mut hot: Vec<(Asn, usize)> = per_asn.iter().map(|(asn, v)| (*asn, v.len())).collect();
-        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let mut spatial = BTreeMap::new();
-        for (asn, _) in hot.into_iter().take(config.max_spatial_models) {
-            if let Ok(model) =
-                SpatialModel::fit(asn, &per_asn[&asn], &config.spatial, seed ^ asn.0 as u64)
-            {
-                spatial.insert(asn, model);
-            }
-        }
-
-        // Training instances.
-        let mut shell = SpatioTemporalModel {
-            config: config.clone(),
-            hour_arima,
-            day_arima,
-            gap_arima,
-            spatial,
-            // Placeholder trees, replaced below.
-            hour_tree: trivial_tree()?,
-            day_tree: trivial_tree()?,
-            magnitude_tree: trivial_tree()?,
-            duration_tree: trivial_tree()?,
-        };
-        let instances = shell.build_instances(&train_refs, h);
+        let (mut shell, instances) = Self::fitted_components(train, config, seed)?;
         if instances.len() < 30 {
             return Err(ModelError::NotEnoughHistory {
                 context: "spatiotemporal training instances".to_string(),
@@ -314,6 +272,89 @@ impl SpatioTemporalModel {
         shell.duration_tree = fit_tree(&label(3))?;
         let _ = corpus; // corpus-level context reserved for future features
         Ok(shell)
+    }
+
+    /// The raw tree design the model trains on: one `(features, labels)`
+    /// row per training instance with sufficient history, where labels are
+    /// `[hour, day, magnitude, duration]` of the predicted attack. This is
+    /// the "standard spatiotemporal training set" the CART benches and the
+    /// goldencheck fingerprints run against.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpatioTemporalModel::fit`], except the minimum
+    /// instance count is not enforced (an empty design is returned as-is).
+    pub fn training_design(
+        train: &[AttackRecord],
+        config: &SpatioTemporalConfig,
+        seed: u64,
+    ) -> Result<TrainingDesign> {
+        let (_, instances) = Self::fitted_components(train, config, seed)?;
+        let xs = instances.iter().map(|(f, _)| f.to_row()).collect();
+        let labels = instances.iter().map(|(_, l)| *l).collect();
+        Ok((xs, labels))
+    }
+
+    /// Fits the temporal and spatial components, returning a shell model
+    /// (placeholder trees) plus the training instances its components
+    /// generate.
+    fn fitted_components(
+        train: &[AttackRecord],
+        config: &SpatioTemporalConfig,
+        seed: u64,
+    ) -> Result<(Self, Vec<Instance>)> {
+        let train_refs: Vec<&AttackRecord> = train.iter().collect();
+        let h = config.history_per_group;
+        if train_refs.len() < h * 4 {
+            return Err(ModelError::NotEnoughHistory {
+                context: "spatiotemporal training stream".to_string(),
+                required: h * 4,
+                actual: train_refs.len(),
+            });
+        }
+
+        // Global temporal components. Fixed small AR orders keep this
+        // robust on arbitrary corpora; the per-family temporal model of
+        // §IV handles order search.
+        let hours: Vec<f64> = train_refs.iter().map(|a| a.start.hour() as f64).collect();
+        let days: Vec<f64> = train_refs.iter().map(|a| a.start.day_of_month() as f64).collect();
+        let gaps: Vec<f64> =
+            train_refs.windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
+        let hour_arima = Arima::fit(&hours, ArimaOrder::new(2, 0, 1))?;
+        let day_arima = Arima::fit(&days, ArimaOrder::new(2, 0, 0))?;
+        let gap_arima = Arima::fit(&gaps, ArimaOrder::new(2, 0, 1))?;
+
+        // Spatial components for the hottest victim ASes (within train).
+        let mut per_asn: BTreeMap<Asn, Vec<&AttackRecord>> = BTreeMap::new();
+        for a in &train_refs {
+            per_asn.entry(a.target_asn).or_default().push(a);
+        }
+        let mut hot: Vec<(Asn, usize)> = per_asn.iter().map(|(asn, v)| (*asn, v.len())).collect();
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut spatial = BTreeMap::new();
+        for (asn, _) in hot.into_iter().take(config.max_spatial_models) {
+            if let Ok(model) =
+                SpatialModel::fit(asn, &per_asn[&asn], &config.spatial, seed ^ asn.0 as u64)
+            {
+                spatial.insert(asn, model);
+            }
+        }
+
+        // Training instances.
+        let shell = SpatioTemporalModel {
+            config: config.clone(),
+            hour_arima,
+            day_arima,
+            gap_arima,
+            spatial,
+            // Placeholder trees, replaced by the caller.
+            hour_tree: trivial_tree()?,
+            day_tree: trivial_tree()?,
+            magnitude_tree: trivial_tree()?,
+            duration_tree: trivial_tree()?,
+        };
+        let instances = shell.build_instances(&train_refs, h);
+        Ok((shell, instances))
     }
 
     /// The configuration used at fit time.

@@ -77,17 +77,69 @@ impl LinearModel {
             return Err(StatsError::NonFiniteInput);
         }
 
-        // Design matrix with leading column of ones.
-        let rows: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|r| {
-                let mut row = Vec::with_capacity(p);
-                row.push(1.0);
-                row.extend_from_slice(r);
-                row
-            })
-            .collect();
-        let design = Matrix::from_rows(&rows)?;
+        // Design matrix with leading column of ones, assembled row-major
+        // straight into the flat buffer (no per-row Vec).
+        let mut data = Vec::with_capacity(xs.len() * p);
+        for r in xs {
+            data.push(1.0);
+            data.extend_from_slice(r);
+        }
+        let design = Matrix::from_vec(xs.len(), p, data)?;
+        Self::fit_design(design, ys, p)
+    }
+
+    /// Fits on the observation subset `indices` of `(xs, ys)` without
+    /// materializing the subset: bit-identical to
+    /// `fit(&gather(xs, indices), &gather(ys, indices))` (the design
+    /// matrix rows are assembled in `indices` order and every reduction
+    /// runs in the same order), but with one less row-clone pass. This is
+    /// the CART leaf-fit hot path: tree growth fits one local model per
+    /// node on that node's sample subset.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearModel::fit`], evaluated on the selected
+    /// subset ([`StatsError::EmptyInput`] for empty `indices`). Callers
+    /// must ensure every index is in range; out-of-range indices panic.
+    pub fn fit_indexed(xs: &[Vec<f64>], ys: &[f64], indices: &[usize]) -> Result<Self> {
+        if indices.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch { left: xs.len(), right: ys.len() });
+        }
+        let k = xs[indices[0]].len();
+        let p = k + 1;
+        if indices.len() < p {
+            return Err(StatsError::TooShort { required: p, actual: indices.len() });
+        }
+        for &i in indices {
+            let row = &xs[i];
+            if row.len() != k {
+                return Err(StatsError::DimensionMismatch {
+                    detail: format!("regressor row has {} entries, expected {k}", row.len()),
+                });
+            }
+            if row.iter().any(|v| !v.is_finite()) {
+                return Err(StatsError::NonFiniteInput);
+            }
+        }
+        if indices.iter().any(|&i| !ys[i].is_finite()) {
+            return Err(StatsError::NonFiniteInput);
+        }
+
+        let mut data = Vec::with_capacity(indices.len() * p);
+        for &i in indices {
+            data.push(1.0);
+            data.extend_from_slice(&xs[i]);
+        }
+        let design = Matrix::from_vec(indices.len(), p, data)?;
+        let yv: Vec<f64> = indices.iter().map(|&i| ys[i]).collect();
+        Self::fit_design(design, &yv, p)
+    }
+
+    /// Shared OLS core over a pre-built design (leading intercept column).
+    fn fit_design(design: Matrix, ys: &[f64], p: usize) -> Result<Self> {
         let beta = design.lstsq(ys)?;
 
         let fitted = design.mat_vec(&beta)?;
@@ -95,7 +147,7 @@ impl LinearModel {
         let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
         let ss_res: f64 = ys.iter().zip(&fitted).map(|(y, f)| (y - f).powi(2)).sum();
         let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-        let dof = (xs.len() - p).max(1);
+        let dof = (ys.len() - p).max(1);
         let residual_std = (ss_res / dof as f64).sqrt();
 
         Ok(LinearModel {
@@ -103,7 +155,7 @@ impl LinearModel {
             coefficients: beta[1..].to_vec(),
             r_squared,
             residual_std,
-            n_obs: xs.len(),
+            n_obs: ys.len(),
         })
     }
 
@@ -258,6 +310,37 @@ mod tests {
         let m = LinearModel::fit(&xs, &ys).unwrap();
         assert!((m.predict(&[3.0]).unwrap() - 7.0).abs() < 1e-9);
         assert_eq!(m.r_squared(), 1.0);
+    }
+
+    #[test]
+    fn fit_indexed_matches_gathered_fit_bitwise() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, ((i * 3) % 11) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 0.7 * r[0] - 1.3 * r[1] + 4.0).collect();
+        let indices: Vec<usize> = vec![3, 5, 8, 13, 21, 34, 1, 2];
+        let gathered_x: Vec<Vec<f64>> = indices.iter().map(|&i| xs[i].clone()).collect();
+        let gathered_y: Vec<f64> = indices.iter().map(|&i| ys[i]).collect();
+        let direct = LinearModel::fit(&gathered_x, &gathered_y).unwrap();
+        let indexed = LinearModel::fit_indexed(&xs, &ys, &indices).unwrap();
+        assert_eq!(direct, indexed);
+        assert_eq!(
+            direct.predict(&[9.0, 2.0]).unwrap().to_bits(),
+            indexed.predict(&[9.0, 2.0]).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    fn fit_indexed_validates() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..5).map(|i| i as f64).collect();
+        assert!(matches!(LinearModel::fit_indexed(&xs, &ys, &[]), Err(StatsError::EmptyInput)));
+        assert!(matches!(
+            LinearModel::fit_indexed(&xs, &ys[..4], &[0, 1]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearModel::fit_indexed(&xs, &ys, &[0]),
+            Err(StatsError::TooShort { .. })
+        ));
     }
 
     #[test]
