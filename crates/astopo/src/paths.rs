@@ -114,6 +114,23 @@ impl<'g> PathOracle<'g> {
         cone
     }
 
+    /// Precomputes and caches the uphill cone of every known AS in
+    /// `asns`, sweeping in input order.
+    ///
+    /// Serving pipelines call this once after loading a model, so the
+    /// first real query (often inside a latency-sensitive loop) pays no
+    /// BFS cost. Warming is purely a cache operation: cone computation is
+    /// deterministic, so a warmed oracle answers every query bit-identically
+    /// to a cold one (pinned by test). Unknown ASNs are skipped; warming
+    /// the same AS twice is a no-op.
+    pub fn warm(&self, asns: &[Asn]) {
+        for a in asns {
+            if let Some(id) = self.dense.node_id(*a) {
+                let _ = self.cone(id);
+            }
+        }
+    }
+
     /// Shortest valley-free hop distance between two ASes, or `None` when
     /// no valley-free path exists (or either AS is unknown).
     pub fn hop_distance(&self, a: Asn, b: Asn) -> Option<u32> {
@@ -701,6 +718,34 @@ mod tests {
         assert_eq!(o.unrestricted_distance(Asn(5), Asn(6)), Some(2));
         assert_eq!(o.hop_distance(Asn(5), Asn(6)), Some(5));
         assert!((o.inflation(Asn(5), Asn(6)).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warmed_oracle_answers_bit_identically_to_cold() {
+        let g = TopologyGenerator::new(TopologyConfig::small(), 19).generate().unwrap();
+        let stubs = g.tier_members(Tier::Stub);
+        let sample: Vec<Asn> = stubs.iter().copied().take(10).collect();
+
+        let cold = PathOracle::new(&g);
+        let warmed = PathOracle::new(&g);
+        // Unknown ASNs are skipped; duplicates and re-warming are no-ops.
+        let mut warm_set = sample.clone();
+        warm_set.push(Asn(u32::MAX));
+        warm_set.push(sample[0]);
+        warmed.warm(&warm_set);
+        warmed.warm(&sample);
+
+        assert_eq!(cold.pairwise_distances(&sample), warmed.pairwise_distances(&sample));
+        assert_eq!(
+            cold.mean_pairwise_distance(&sample).to_bits(),
+            warmed.mean_pairwise_distance(&sample).to_bits()
+        );
+        for (i, a) in sample.iter().enumerate() {
+            for b in sample.iter().skip(i + 1) {
+                assert_eq!(cold.hop_distance(*a, *b), warmed.hop_distance(*a, *b));
+                assert_eq!(cold.path(*a, *b), warmed.path(*a, *b));
+            }
+        }
     }
 
     #[test]

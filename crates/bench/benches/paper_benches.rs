@@ -431,6 +431,60 @@ fn bench_cart_fit(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 5): batched serving. Per-row `predict` walks vs the
+/// level-order `predict_many` kernel on the real 481×13 spatiotemporal
+/// training design, plus the versioned-artifact encode/decode cost that
+/// gates the fit-once/serve-many split. Outputs are bit-identical
+/// (`batched_tree_predictions` / `spatiotemporal_artifact` goldencheck
+/// lines are the oracle); before/after medians are recorded in
+/// `BENCH_features.json`.
+fn bench_serve_batch(c: &mut Criterion) {
+    use ddos_cart::tree::RegressionTree;
+    use ddos_core::artifact::ModelArtifact;
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let st_cfg = SpatioTemporalConfig::fast();
+    let (xs, labels) = SpatioTemporalModel::training_design(train, &st_cfg, 5).unwrap();
+    let hours: Vec<f64> = labels.iter().map(|l| l[0]).collect();
+    let tree = RegressionTree::fit(&xs, &hours, &st_cfg.tree).unwrap();
+    eprintln!(
+        "[serve_batch] design {} rows x {} features; hour tree {} leaves",
+        xs.len(),
+        xs[0].len(),
+        tree.n_leaves()
+    );
+    let mut g = c.benchmark_group("serve_batch");
+    g.bench_function("per_row_predict_481x13", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(xs.len());
+            for row in &xs {
+                out.push(tree.predict(black_box(row)).unwrap());
+            }
+            out
+        })
+    });
+    g.bench_function("predict_many_481x13", |b| {
+        b.iter(|| tree.predict_many(black_box(&xs)).unwrap())
+    });
+    let mut buf = Vec::new();
+    g.bench_function("predict_many_into_reused_481x13", |b| {
+        b.iter(|| {
+            tree.predict_many_into(black_box(&xs), &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    let model = SpatioTemporalModel::fit(corpus, train, &st_cfg, 5).unwrap();
+    let bytes = model.to_artifact_bytes();
+    eprintln!("[serve_batch] spatiotemporal artifact: {} bytes", bytes.len());
+    g.bench_function("artifact_encode_spatiotemporal", |b| {
+        b.iter(|| model.to_artifact_bytes().len())
+    });
+    g.bench_function("artifact_decode_spatiotemporal", |b| {
+        b.iter(|| SpatioTemporalModel::from_artifact_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
 /// Ablation: exponential smoothing as the middle comparator between the
 /// naive baselines and ARIMA on the magnitude series.
 fn bench_ablation_smoothing(c: &mut Criterion) {
@@ -485,6 +539,7 @@ criterion_group!(
     bench_ablation_source_feature,
     bench_flat_hot_paths,
     bench_cart_fit,
+    bench_serve_batch,
     bench_attribution,
     bench_entropy_detection,
     bench_ablation_smoothing,

@@ -7,6 +7,7 @@
 //! is too small or collinear for a regression fit.
 
 use crate::{CartError, Result};
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use ddos_stats::ols::LinearModel;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +21,29 @@ pub enum LeafKind {
     /// mean when the local fit is impossible.
     #[default]
     Linear,
+}
+
+impl LeafKind {
+    /// Encodes the variant as a one-byte tag (artifact payloads).
+    pub fn encode(self, w: &mut Writer) {
+        w.u8(match self {
+            LeafKind::Constant => 0,
+            LeafKind::Linear => 1,
+        });
+    }
+
+    /// Decodes a tag written by [`LeafKind::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadTag`] for unknown discriminants.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(LeafKind::Constant),
+            1 => Ok(LeafKind::Linear),
+            t => Err(CodecError::BadTag { context: "LeafKind", tag: t as u64 }),
+        }
+    }
 }
 
 /// A fitted leaf.
@@ -111,6 +135,36 @@ impl LeafModel {
     pub fn is_constant(&self) -> bool {
         matches!(self, LeafModel::Constant { .. })
     }
+
+    /// Encodes the fitted leaf verbatim (tag byte, then the variant's
+    /// fields), so decode reconstructs it field-for-field and reloaded
+    /// leaves predict bit-identically.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            LeafModel::Constant { mean } => {
+                w.u8(0);
+                w.f64(*mean);
+            }
+            LeafModel::Linear { model } => {
+                w.u8(1);
+                model.encode(w);
+            }
+        }
+    }
+
+    /// Decodes a leaf written by [`LeafModel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadTag`] for unknown discriminants, plus whatever
+    /// [`LinearModel::decode`] reports for its own payload.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(LeafModel::Constant { mean: r.f64()? }),
+            1 => Ok(LeafModel::Linear { model: LinearModel::decode(r)? }),
+            t => Err(CodecError::BadTag { context: "LeafModel", tag: t as u64 }),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +229,37 @@ mod tests {
         assert!(matches!(
             LeafModel::fit_indexed(LeafKind::Linear, &xs, &ys, &[]),
             Err(CartError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, ((i * 3) % 5) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 1.5 * r[0] - 0.25 * r[1] + 2.0).collect();
+        for kind in [LeafKind::Constant, LeafKind::Linear] {
+            let leaf = LeafModel::fit(kind, &xs, &ys).unwrap();
+            let mut w = Writer::new();
+            leaf.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = LeafModel::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(leaf, back);
+            assert_eq!(
+                leaf.predict(&xs[7]).unwrap().to_bits(),
+                back.predict(&xs[7]).unwrap().to_bits()
+            );
+        }
+        // Unknown discriminants are typed errors, not panics.
+        let mut r = Reader::new(&[9]);
+        assert!(matches!(
+            LeafModel::decode(&mut r),
+            Err(CodecError::BadTag { context: "LeafModel", tag: 9 })
+        ));
+        let mut r = Reader::new(&[7]);
+        assert!(matches!(
+            LeafKind::decode(&mut r),
+            Err(CodecError::BadTag { context: "LeafKind", tag: 7 })
         ));
     }
 

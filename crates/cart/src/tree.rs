@@ -19,7 +19,10 @@
 
 use crate::leaf::{LeafKind, LeafModel};
 use crate::{CartError, Result};
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
+use ddos_stats::forecast::{Design, FittedModel, Forecaster};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Growth configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -45,6 +48,43 @@ impl Default for TreeConfig {
             min_impurity_decrease: 1e-4,
             leaf_kind: LeafKind::Linear,
         }
+    }
+}
+
+impl TreeConfig {
+    /// Encodes the configuration verbatim (artifact payloads).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.max_depth);
+        w.usize(self.min_samples_split);
+        w.usize(self.min_samples_leaf);
+        w.f64(self.min_impurity_decrease);
+        self.leaf_kind.encode(w);
+    }
+
+    /// Decodes a configuration written by [`TreeConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input or an unknown leaf-kind tag.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(TreeConfig {
+            max_depth: r.usize()?,
+            min_samples_split: r.usize()?,
+            min_samples_leaf: r.usize()?,
+            min_impurity_decrease: r.f64()?,
+            leaf_kind: LeafKind::decode(r)?,
+        })
+    }
+}
+
+/// `Forecaster` view of tree growth: the configuration *is* the
+/// specification, and fitting it on a [`Design`] grows the tree.
+impl<'a> Forecaster<Design<'a>> for TreeConfig {
+    type Fitted = RegressionTree;
+    type Error = CartError;
+
+    fn fit(&self, input: &Design<'a>) -> Result<RegressionTree> {
+        RegressionTree::fit(input.xs, input.ys, self)
     }
 }
 
@@ -77,10 +117,106 @@ pub(crate) enum Node {
     },
 }
 
+/// Hard ceiling on the node-nesting depth [`Node::decode`] will follow.
+///
+/// A well-formed artifact nests at most `config.max_depth` internal
+/// nodes, but a corrupt payload could claim an absurd `max_depth` and
+/// then nest tag-1 nodes until the decoder's recursion blows the stack.
+/// The budget passed down is therefore `min(max_depth + 1, this)` —
+/// far above any tree this crate can realistically grow (growth itself
+/// recurses, so trees anywhere near this deep cannot be fit).
+const MAX_DECODE_DEPTH: usize = 4096;
+
 impl Node {
     pub(crate) fn std_dev(&self) -> f64 {
         match self {
             Node::Internal { std_dev, .. } | Node::Leaf { std_dev, .. } => *std_dev,
+        }
+    }
+
+    /// Encodes the subtree pre-order: a tag byte (0 = leaf, 1 = internal)
+    /// followed by the variant's fields verbatim, children last.
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Node::Leaf { model, n, std_dev, resid_std } => {
+                w.u8(0);
+                model.encode(w);
+                w.usize(*n);
+                w.f64(*std_dev);
+                w.f64(*resid_std);
+            }
+            Node::Internal {
+                feature,
+                threshold,
+                left,
+                right,
+                n,
+                std_dev,
+                collapsed_resid_std,
+                impurity_decrease,
+                collapsed,
+            } => {
+                w.u8(1);
+                w.usize(*feature);
+                w.f64(*threshold);
+                w.usize(*n);
+                w.f64(*std_dev);
+                w.f64(*collapsed_resid_std);
+                w.f64(*impurity_decrease);
+                collapsed.encode(w);
+                left.encode(w);
+                right.encode(w);
+            }
+        }
+    }
+
+    /// Decodes a subtree written by [`Node::encode`], validating the
+    /// invariants prediction relies on: split features must index inside
+    /// the tree's feature width (prediction reads `x[feature]` without a
+    /// bounds check of its own), and nesting must stay within
+    /// `depth_budget` so corrupt payloads cannot drive unbounded
+    /// recursion.
+    fn decode(r: &mut Reader<'_>, n_features: usize, depth_budget: usize) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => {
+                let model = LeafModel::decode(r)?;
+                Ok(Node::Leaf { model, n: r.usize()?, std_dev: r.f64()?, resid_std: r.f64()? })
+            }
+            1 => {
+                let Some(budget) = depth_budget.checked_sub(1) else {
+                    return Err(CodecError::Invalid {
+                        detail: "tree nesting exceeds the declared maximum depth".to_string(),
+                    });
+                };
+                let feature = r.usize()?;
+                if feature >= n_features {
+                    return Err(CodecError::Invalid {
+                        detail: format!(
+                            "split feature {feature} out of range for width {n_features}"
+                        ),
+                    });
+                }
+                let threshold = r.f64()?;
+                let n = r.usize()?;
+                let std_dev = r.f64()?;
+                let collapsed_resid_std = r.f64()?;
+                let impurity_decrease = r.f64()?;
+                let collapsed = LeafModel::decode(r)?;
+                let left = Node::decode(r, n_features, budget)?;
+                let right = Node::decode(r, n_features, budget)?;
+                Ok(Node::Internal {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    n,
+                    std_dev,
+                    collapsed_resid_std,
+                    impurity_decrease,
+                    collapsed,
+                })
+            }
+            t => Err(CodecError::BadTag { context: "Node", tag: t as u64 }),
         }
     }
 }
@@ -140,7 +276,67 @@ impl RegressionTree {
     ///
     /// Same as [`RegressionTree::predict`].
     pub fn predict_many(&self, xs: &[Vec<f64>]) -> Result<Vec<f64>> {
-        xs.iter().map(|x| self.predict(x)).collect()
+        let mut out = Vec::new();
+        self.predict_many_into(xs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Batched prediction into a caller-owned buffer: one level-order
+    /// traversal routes the whole batch instead of one root-to-leaf walk
+    /// per row.
+    ///
+    /// The kernel mirrors tree *growth*: row indices live in one arena,
+    /// each frontier node owns a contiguous segment `[lo, hi)` of it, and
+    /// an internal node stable-partitions its segment by the same
+    /// `x[feature] <= threshold` comparison scalar prediction makes, so
+    /// each split is read once per batch instead of once per row that
+    /// crosses it. Leaves write `out[i]` through the identical
+    /// [`LeafModel::predict`] call — every float operation matches the
+    /// scalar path, making the batch bit-identical to a
+    /// [`RegressionTree::predict`] loop (goldencheck pins this).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegressionTree::predict`]; on error `out`'s contents
+    /// are unspecified.
+    pub fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) -> Result<()> {
+        for x in xs {
+            if x.len() != self.n_features {
+                return Err(CartError::FeatureWidthMismatch {
+                    expected: self.n_features,
+                    actual: x.len(),
+                });
+            }
+        }
+        out.clear();
+        out.resize(xs.len(), 0.0);
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        let mut spill = vec![0usize; xs.len()];
+        let mut frontier: VecDeque<(&Node, usize, usize)> = VecDeque::new();
+        frontier.push_back((&self.root, 0, xs.len()));
+        while let Some((node, lo, hi)) = frontier.pop_front() {
+            match node {
+                Node::Leaf { model, .. } => {
+                    for &i in &idx[lo..hi] {
+                        out[i] = model.predict(&xs[i])?;
+                    }
+                }
+                Node::Internal { feature, threshold, left, right, .. } => {
+                    let n_left = stable_partition(&mut idx[lo..hi], &mut spill, |i| {
+                        xs[i][*feature] <= *threshold
+                    });
+                    // Empty segments are dropped rather than enqueued, so
+                    // subtrees no row reaches cost nothing.
+                    if n_left > 0 {
+                        frontier.push_back((left, lo, lo + n_left));
+                    }
+                    if lo + n_left < hi {
+                        frontier.push_back((right, lo + n_left, hi));
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of leaves.
@@ -174,6 +370,47 @@ impl RegressionTree {
     /// "original standard deviation" of the paper's pruning rule.
     pub fn root_std_dev(&self) -> f64 {
         self.root.std_dev()
+    }
+
+    /// Encodes the fitted tree verbatim: configuration, feature width,
+    /// then the node structure pre-order. Decoding reconstructs every
+    /// field bit-for-bit, so a reloaded tree predicts bit-identically.
+    pub fn encode(&self, w: &mut Writer) {
+        self.config.encode(w);
+        w.usize(self.n_features);
+        self.root.encode(w);
+    }
+
+    /// Decodes a tree written by [`RegressionTree::encode`].
+    ///
+    /// Structural invariants are checked during decoding — split features
+    /// in range, node nesting bounded by the declared `max_depth` (capped
+    /// at an internal hard limit) — so a corrupt or truncated payload
+    /// yields a typed [`CodecError`], never a panic or unbounded
+    /// recursion downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, tag-corrupt or inconsistent input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let config = TreeConfig::decode(r)?;
+        let n_features = r.usize()?;
+        if n_features == 0 {
+            return Err(CodecError::Invalid { detail: "zero-width feature space".to_string() });
+        }
+        let budget = config.max_depth.saturating_add(1).min(MAX_DECODE_DEPTH);
+        let root = Node::decode(r, n_features, budget)?;
+        Ok(RegressionTree { root, n_features, config })
+    }
+}
+
+/// `FittedModel` view of a fitted tree: the query batch is a slice of
+/// feature rows, served by the level-order kernel.
+impl FittedModel<[Vec<f64>]> for RegressionTree {
+    type Error = CartError;
+
+    fn predict_batch_into(&self, queries: &[Vec<f64>], out: &mut Vec<f64>) -> Result<()> {
+        self.predict_many_into(queries, out)
     }
 }
 
@@ -576,6 +813,148 @@ mod tests {
         for (x, b) in xs.iter().zip(batch) {
             assert_eq!(t.predict(x).unwrap(), b);
         }
+    }
+
+    #[test]
+    fn batched_traversal_bitwise_matches_scalar_on_random_design() {
+        // Multi-feature MLR tree, queried on rows the tree never saw, so
+        // every leaf and both sides of many splits are exercised. The
+        // level-order kernel must reproduce the scalar walk bit-for-bit.
+        let mut rng = StdRng::seed_from_u64(40);
+        let xs: Vec<Vec<f64>> = (0..250)
+            .map(|_| vec![rng.gen::<f64>() * 24.0, rng.gen::<f64>() * 31.0, rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|r| (r[0] * 0.3).sin() * 5.0 + r[1] * 0.1 + r[2] * r[2]).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(t.n_leaves() > 2, "want a non-trivial tree for this test");
+        let queries: Vec<Vec<f64>> = (0..333)
+            .map(|_| vec![rng.gen::<f64>() * 30.0, rng.gen::<f64>() * 40.0, rng.gen::<f64>() * 2.0])
+            .collect();
+        let mut batch = Vec::new();
+        t.predict_many_into(&queries, &mut batch).unwrap();
+        assert_eq!(batch.len(), queries.len());
+        for (q, b) in queries.iter().zip(&batch) {
+            assert_eq!(t.predict(q).unwrap().to_bits(), b.to_bits());
+        }
+        // Buffer reuse: a second call through a dirty buffer is identical.
+        let mut reused = vec![999.0; 7];
+        t.predict_many_into(&queries, &mut reused).unwrap();
+        assert_eq!(batch, reused);
+        // Empty batch is a no-op, not an error.
+        t.predict_many_into(&[], &mut reused).unwrap();
+        assert!(reused.is_empty());
+    }
+
+    #[test]
+    fn batch_validates_width_like_scalar() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        assert!(matches!(
+            t.predict_many(&[vec![1.0, 2.0], vec![1.0]]),
+            Err(CartError::FeatureWidthMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn forecaster_and_fitted_model_traits_match_inherent_paths() {
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![(i % 11) as f64, (i % 4) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - r[1]).collect();
+        let cfg = TreeConfig::default();
+        let direct = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+        let via_trait = Forecaster::fit(&cfg, &Design { xs: &xs, ys: &ys }).unwrap();
+        assert_eq!(direct, via_trait);
+        let batch = FittedModel::predict_batch(&via_trait, &xs[..]).unwrap();
+        let scalar: Vec<f64> = xs.iter().map(|x| direct.predict(x).unwrap()).collect();
+        assert_eq!(
+            batch.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let xs: Vec<Vec<f64>> =
+            (0..180).map(|_| vec![rng.gen::<f64>() * 10.0, rng.gen::<f64>() * 3.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * r[0] - 2.0 * r[1]).collect();
+        for leaf_kind in [LeafKind::Constant, LeafKind::Linear] {
+            let cfg = TreeConfig { leaf_kind, ..Default::default() };
+            let t = RegressionTree::fit(&xs, &ys, &cfg).unwrap();
+            let mut w = Writer::new();
+            t.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let back = RegressionTree::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(t, back);
+            for q in &xs {
+                assert_eq!(t.predict(q).unwrap().to_bits(), back.predict(q).unwrap().to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_payloads_without_panicking() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, (i % 3) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] + r[1]).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        let mut w = Writer::new();
+        t.encode(&mut w);
+        let bytes = w.into_bytes();
+
+        // Truncation at every prefix is a typed error, never a panic.
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(RegressionTree::decode(&mut r).is_err(), "prefix {cut} decoded");
+        }
+
+        // A split feature outside the feature width is rejected: encode a
+        // one-split tree, then shrink the declared width below the split
+        // feature's index.
+        let narrow_xs: Vec<Vec<f64>> =
+            (0..40).map(|i| vec![0.0, if i < 20 { -1.0 } else { 1.0 }]).collect();
+        let narrow_ys: Vec<f64> = (0..40).map(|i| if i < 20 { 0.0 } else { 9.0 }).collect();
+        let cfg = TreeConfig { leaf_kind: LeafKind::Constant, ..Default::default() };
+        let split_on_f1 = RegressionTree::fit(&narrow_xs, &narrow_ys, &cfg).unwrap();
+        assert!(matches!(split_on_f1.root, Node::Internal { feature: 1, .. }));
+        let shrunk = RegressionTree { n_features: 1, ..split_on_f1 };
+        let mut w = Writer::new();
+        shrunk.encode(&mut w);
+        let shrunk_bytes = w.into_bytes();
+        let mut r = Reader::new(&shrunk_bytes);
+        assert!(matches!(RegressionTree::decode(&mut r), Err(CodecError::Invalid { .. })));
+
+        // Nesting beyond the declared max_depth is rejected (recursion
+        // budget), even when the payload itself is well-formed.
+        let leaf = Node::Leaf {
+            model: LeafModel::Constant { mean: 0.0 },
+            n: 1,
+            std_dev: 0.0,
+            resid_std: 0.0,
+        };
+        let mut deep = leaf.clone();
+        for _ in 0..5 {
+            deep = Node::Internal {
+                feature: 0,
+                threshold: 0.0,
+                left: Box::new(deep),
+                right: Box::new(leaf.clone()),
+                n: 2,
+                std_dev: 1.0,
+                collapsed_resid_std: 1.0,
+                impurity_decrease: 0.5,
+                collapsed: LeafModel::Constant { mean: 0.0 },
+            };
+        }
+        let shallow_cfg = TreeConfig { max_depth: 2, ..Default::default() };
+        let over_deep = RegressionTree { root: deep, n_features: 1, config: shallow_cfg };
+        let mut w = Writer::new();
+        over_deep.encode(&mut w);
+        let deep_bytes = w.into_bytes();
+        let mut r = Reader::new(&deep_bytes);
+        assert!(matches!(RegressionTree::decode(&mut r), Err(CodecError::Invalid { .. })));
     }
 
     #[test]

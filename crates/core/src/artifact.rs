@@ -1,0 +1,389 @@
+//! Versioned binary artifacts for fitted models.
+//!
+//! Fitting the temporal, spatial and spatiotemporal models is by far the
+//! most expensive part of the pipeline; serving their predictions is
+//! cheap. This module gives every fitted model a durable, *versioned*
+//! on-disk form so a model can be fit once and served many times — across
+//! processes and across releases — with **bit-identical** predictions.
+//!
+//! # Envelope
+//!
+//! Every artifact starts with the same envelope, followed by a
+//! model-specific payload:
+//!
+//! | bytes | field | value |
+//! |---|---|---|
+//! | 0..8 | magic | `b"DDOSMDL\0"` |
+//! | 8..12 | schema version | little-endian `u32`, currently `1` |
+//! | 12 | kind tag | [`ArtifactKind`] discriminant |
+//! | 13.. | payload | model-specific, see [`ModelArtifact`] |
+//!
+//! All floating-point state inside payloads is written via
+//! [`f64::to_bits`], so encode→decode is the *identity* on the model —
+//! the round-tripped model reproduces every prediction of the original
+//! to the last bit. Decoding never panics: corrupt, truncated or
+//! wrong-version input yields a typed [`ArtifactError`].
+
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes identifying a fitted-model artifact.
+pub const MAGIC: [u8; 8] = *b"DDOSMDL\0";
+
+/// Current artifact schema version. Bump when any payload layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Which model family an artifact holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtifactKind {
+    /// A per-family temporal model (ARIMA bundle, §IV).
+    Temporal,
+    /// A per-network spatial model (NAR bundle, §V).
+    Spatial,
+    /// The corpus-wide spatiotemporal model (regression trees, §VI).
+    SpatioTemporal,
+    /// The source-distribution model (per-AS share ARIMAs, §IV-B).
+    SourceDistribution,
+}
+
+impl ArtifactKind {
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Temporal => 1,
+            ArtifactKind::Spatial => 2,
+            ArtifactKind::SpatioTemporal => 3,
+            ArtifactKind::SourceDistribution => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(ArtifactKind::Temporal),
+            2 => Some(ArtifactKind::Spatial),
+            3 => Some(ArtifactKind::SpatioTemporal),
+            4 => Some(ArtifactKind::SourceDistribution),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ArtifactKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ArtifactKind::Temporal => "temporal",
+            ArtifactKind::Spatial => "spatial",
+            ArtifactKind::SpatioTemporal => "spatiotemporal",
+            ArtifactKind::SourceDistribution => "source-distribution",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Errors from reading or writing model artifacts.
+///
+/// Derives `Clone + PartialEq` so it can live inside
+/// [`crate::ModelError`]; I/O failures are therefore carried as their
+/// display strings rather than as `std::io::Error` values.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The input does not start with [`MAGIC`] — not an artifact at all.
+    BadMagic,
+    /// The artifact was written by an incompatible schema version.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u32,
+    },
+    /// The envelope is valid but holds a different model kind.
+    WrongKind {
+        /// Kind the caller asked for.
+        expected: ArtifactKind,
+        /// Kind recorded in the envelope.
+        found: ArtifactKind,
+    },
+    /// The kind tag is not one this build knows about.
+    UnknownKind {
+        /// The unrecognised tag byte.
+        tag: u8,
+    },
+    /// The payload failed to decode (truncated or malformed bytes).
+    Corrupt(CodecError),
+    /// Reading or writing the artifact file failed.
+    Io(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not a model artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported artifact schema version {found} (supported: {SCHEMA_VERSION})"
+                )
+            }
+            ArtifactError::WrongKind { expected, found } => {
+                write!(f, "artifact holds a {found} model, expected {expected}")
+            }
+            ArtifactError::UnknownKind { tag } => {
+                write!(f, "unknown artifact kind tag {tag}")
+            }
+            ArtifactError::Corrupt(e) => write!(f, "corrupt artifact payload: {e}"),
+            ArtifactError::Io(detail) => write!(f, "artifact i/o failed: {detail}"),
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ArtifactError::Corrupt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for ArtifactError {
+    fn from(e: CodecError) -> Self {
+        ArtifactError::Corrupt(e)
+    }
+}
+
+/// A fitted model with a durable, versioned binary form.
+///
+/// Implementors provide only the payload codec; the envelope (magic,
+/// schema version, kind tag) and its validation are supplied by the
+/// default [`to_artifact_bytes`](ModelArtifact::to_artifact_bytes) /
+/// [`from_artifact_bytes`](ModelArtifact::from_artifact_bytes) pair.
+///
+/// # Contract
+///
+/// `from_artifact_bytes(&to_artifact_bytes(m))` must reconstruct a model
+/// whose every prediction is bit-identical to `m`'s. Payload encoders
+/// therefore store state verbatim (`f64::to_bits`) and never re-derive
+/// anything lossy at decode time.
+pub trait ModelArtifact: Sized {
+    /// The kind tag stamped into (and required from) the envelope.
+    const KIND: ArtifactKind;
+
+    /// Appends the model-specific payload to `w`.
+    fn encode_payload(&self, w: &mut Writer);
+
+    /// Reconstructs the model from a payload written by
+    /// [`encode_payload`](ModelArtifact::encode_payload).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or malformed payloads. Implementations
+    /// must validate any invariant that serving relies on (e.g. index
+    /// bounds) so a corrupt artifact can never panic at predict time.
+    fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self>;
+
+    /// Serializes the model into a self-describing artifact.
+    fn to_artifact_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(SCHEMA_VERSION);
+        w.u8(Self::KIND.tag());
+        self.encode_payload(&mut w);
+        w.into_bytes()
+    }
+
+    /// Deserializes a model from artifact bytes, validating the envelope.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArtifactError::BadMagic`] when the magic prefix is absent.
+    /// * [`ArtifactError::UnsupportedVersion`] for other schema versions.
+    /// * [`ArtifactError::UnknownKind`] / [`ArtifactError::WrongKind`]
+    ///   when the kind tag is unrecognised or names a different model.
+    /// * [`ArtifactError::Corrupt`] when the payload fails to decode or
+    ///   leaves trailing bytes.
+    fn from_artifact_bytes(bytes: &[u8]) -> std::result::Result<Self, ArtifactError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.bytes(MAGIC.len()).map_err(|_| ArtifactError::BadMagic)?;
+        if magic != MAGIC {
+            return Err(ArtifactError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != SCHEMA_VERSION {
+            return Err(ArtifactError::UnsupportedVersion { found: version });
+        }
+        let tag = r.u8()?;
+        let kind = ArtifactKind::from_tag(tag).ok_or(ArtifactError::UnknownKind { tag })?;
+        if kind != Self::KIND {
+            return Err(ArtifactError::WrongKind { expected: Self::KIND, found: kind });
+        }
+        let model = Self::decode_payload(&mut r)?;
+        r.finish()?;
+        Ok(model)
+    }
+
+    /// Writes the artifact to `path` (atomically enough for a cache: a
+    /// temp file in the same directory renamed into place).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the file cannot be written.
+    fn save_artifact(&self, path: &Path) -> std::result::Result<(), ArtifactError> {
+        save_bytes(path, &self.to_artifact_bytes())
+    }
+
+    /// Reads and decodes an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Io`] when the file cannot be read, plus every
+    /// error [`from_artifact_bytes`](ModelArtifact::from_artifact_bytes)
+    /// can produce.
+    fn load_artifact(path: &Path) -> std::result::Result<Self, ArtifactError> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
+        Self::from_artifact_bytes(&bytes)
+    }
+}
+
+/// Writes `bytes` to `path` via a sibling temp file + rename, so a
+/// concurrent reader never observes a half-written artifact.
+fn save_bytes(path: &Path, bytes: &[u8]) -> std::result::Result<(), ArtifactError> {
+    let io_err = |e: std::io::Error| ArtifactError::Io(format!("{}: {e}", path.display()));
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal stand-in model: the envelope logic is model-agnostic.
+    #[derive(Debug, PartialEq)]
+    struct Toy {
+        weights: Vec<f64>,
+    }
+
+    impl ModelArtifact for Toy {
+        const KIND: ArtifactKind = ArtifactKind::Temporal;
+
+        fn encode_payload(&self, w: &mut Writer) {
+            w.f64_seq(&self.weights);
+        }
+
+        fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self> {
+            Ok(Toy { weights: r.f64_seq()? })
+        }
+    }
+
+    /// Same payload, different declared kind.
+    #[derive(Debug, PartialEq)]
+    struct OtherToy;
+
+    impl ModelArtifact for OtherToy {
+        const KIND: ArtifactKind = ArtifactKind::Spatial;
+
+        fn encode_payload(&self, _w: &mut Writer) {}
+
+        fn decode_payload(_r: &mut Reader<'_>) -> CodecResult<Self> {
+            Ok(OtherToy)
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let toy = Toy { weights: vec![1.5, -0.0, f64::MIN_POSITIVE, 3.25e300] };
+        let bytes = toy.to_artifact_bytes();
+        assert_eq!(&bytes[..8], &MAGIC);
+        let back = Toy::from_artifact_bytes(&bytes).unwrap();
+        for (a, b) in toy.weights.iter().zip(&back.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Toy { weights: vec![1.0] }.to_artifact_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(Toy::from_artifact_bytes(&bytes), Err(ArtifactError::BadMagic));
+        // Too short to even hold the magic.
+        assert_eq!(Toy::from_artifact_bytes(b"DD"), Err(ArtifactError::BadMagic));
+        assert_eq!(Toy::from_artifact_bytes(b""), Err(ArtifactError::BadMagic));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(SCHEMA_VERSION + 1);
+        w.u8(ArtifactKind::Temporal.tag());
+        let err = Toy::from_artifact_bytes(&w.into_bytes()).unwrap_err();
+        assert_eq!(err, ArtifactError::UnsupportedVersion { found: SCHEMA_VERSION + 1 });
+    }
+
+    #[test]
+    fn wrong_and_unknown_kind_rejected() {
+        let bytes = OtherToy.to_artifact_bytes();
+        let err = Toy::from_artifact_bytes(&bytes).unwrap_err();
+        assert_eq!(
+            err,
+            ArtifactError::WrongKind {
+                expected: ArtifactKind::Temporal,
+                found: ArtifactKind::Spatial,
+            }
+        );
+
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(SCHEMA_VERSION);
+        w.u8(200);
+        let err = Toy::from_artifact_bytes(&w.into_bytes()).unwrap_err();
+        assert_eq!(err, ArtifactError::UnknownKind { tag: 200 });
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed_errors() {
+        let full = Toy { weights: vec![2.0, 4.0, 8.0] }.to_artifact_bytes();
+        // Every strict prefix fails cleanly (no panic), with a typed error.
+        for cut in 0..full.len() {
+            let err = Toy::from_artifact_bytes(&full[..cut]).unwrap_err();
+            match err {
+                ArtifactError::BadMagic
+                | ArtifactError::Corrupt(_)
+                | ArtifactError::UnsupportedVersion { .. }
+                | ArtifactError::UnknownKind { .. } => {}
+                other => panic!("unexpected error at cut {cut}: {other:?}"),
+            }
+        }
+        // Trailing garbage after a valid payload is also rejected.
+        let mut padded = full;
+        padded.push(0);
+        assert!(matches!(
+            Toy::from_artifact_bytes(&padded),
+            Err(ArtifactError::Corrupt(CodecError::Invalid { .. }))
+        ));
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("ddos-core-artifact-test");
+        let path = dir.join("toy.mdl");
+        let toy = Toy { weights: vec![0.125, -9.75] };
+        toy.save_artifact(&path).unwrap();
+        let back = Toy::load_artifact(&path).unwrap();
+        assert_eq!(toy, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Toy::load_artifact(Path::new("/nonexistent/definitely/missing.mdl")).unwrap_err();
+        assert!(matches!(err, ArtifactError::Io(_)));
+    }
+}

@@ -29,6 +29,8 @@ pub enum ModelError {
     Cart(ddos_cart::CartError),
     /// An underlying trace operation failed.
     Trace(ddos_trace::TraceError),
+    /// A fitted-model artifact could not be read or written.
+    Artifact(crate::artifact::ArtifactError),
 }
 
 impl fmt::Display for ModelError {
@@ -45,6 +47,7 @@ impl fmt::Display for ModelError {
             ModelError::Neural(e) => write!(f, "neural error: {e}"),
             ModelError::Cart(e) => write!(f, "regression-tree error: {e}"),
             ModelError::Trace(e) => write!(f, "trace error: {e}"),
+            ModelError::Artifact(e) => write!(f, "artifact error: {e}"),
         }
     }
 }
@@ -56,6 +59,7 @@ impl Error for ModelError {
             ModelError::Neural(e) => Some(e),
             ModelError::Cart(e) => Some(e),
             ModelError::Trace(e) => Some(e),
+            ModelError::Artifact(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +86,12 @@ impl From<ddos_cart::CartError> for ModelError {
 impl From<ddos_trace::TraceError> for ModelError {
     fn from(e: ddos_trace::TraceError) -> Self {
         ModelError::Trace(e)
+    }
+}
+
+impl From<crate::artifact::ArtifactError> for ModelError {
+    fn from(e: crate::artifact::ArtifactError) -> Self {
+        ModelError::Artifact(e)
     }
 }
 

@@ -12,6 +12,7 @@
 //!   and error distributions, with the §VI RMSE summary),
 //! * [`Pipeline::run_baseline_comparison`] → the §VII-A table.
 
+use crate::artifact::ModelArtifact;
 use crate::baseline::{predict_rolling, BaselineKind};
 use crate::evaluate::{RmseTable, SeriesEvaluation};
 use crate::features::FeatureExtractor;
@@ -24,6 +25,7 @@ use ddos_stats::exec::map_indexed;
 use ddos_stats::metrics::rmse;
 use ddos_trace::{AttackRecord, Corpus, FamilyId};
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +47,12 @@ pub struct PipelineConfig {
     /// shards its work deterministically and reduces in canonical order,
     /// so reports are bit-identical at any value.
     pub parallelism: Option<usize>,
+    /// Directory for fitted-model artifact caching. When set,
+    /// [`Pipeline::fit_spatiotemporal`] keys a versioned artifact on the
+    /// seed, split, config and training stream, and reloads it instead of
+    /// refitting; artifact round-trips are bit-exact, so cached runs
+    /// produce byte-identical reports.
+    pub artifact_dir: Option<PathBuf>,
 }
 
 impl Default for PipelineConfig {
@@ -56,6 +64,7 @@ impl Default for PipelineConfig {
             spatiotemporal: SpatioTemporalConfig::default(),
             families: None,
             parallelism: None,
+            artifact_dir: None,
         }
     }
 }
@@ -70,6 +79,7 @@ impl PipelineConfig {
             spatiotemporal: SpatioTemporalConfig::fast(),
             families: None,
             parallelism: None,
+            artifact_dir: None,
         }
     }
 }
@@ -242,51 +252,64 @@ impl Pipeline {
         Ok((train_fam, test_fam))
     }
 
-    /// Runs the Fig. 1 experiment: per-family temporal (ARIMA) rolling
-    /// prediction of attack magnitudes and the `A^s` coefficient.
+    /// Fit stage of the Fig. 1 experiment: trains one per-family temporal
+    /// (ARIMA) model for every evaluated family with enough data, in
+    /// family order. Families failing a guard (empty split, empty test
+    /// tail, fit failure) are skipped, exactly as the combined runner
+    /// always did.
     ///
     /// # Errors
     ///
-    /// Propagates model errors; families without enough data are skipped,
-    /// and an error is returned only when *no* family could be evaluated.
-    pub fn run_temporal(&self, corpus: &Corpus) -> Result<TemporalReport> {
+    /// Propagates corpus-split errors.
+    pub fn fit_temporal(&self, corpus: &Corpus) -> Result<Vec<TemporalModel>> {
         let fx = FeatureExtractor::new(corpus);
         let families = self.families(corpus);
         // Each family's ARIMA stack fits on its own shard; the in-order
-        // reduction below keeps the report (and which error surfaces
-        // first) identical at any worker count.
+        // reduction keeps the model list identical at any worker count.
         let fitted = map_indexed(&families, self.config.parallelism, |_, &family| {
-            let per_family = || -> Result<Option<FamilyTemporalResult>> {
-                let Ok((train, test)) = self.family_split(corpus, family) else {
-                    return Ok(None);
-                };
-                if test.is_empty() {
-                    return Ok(None);
-                }
-                let Ok(model) = TemporalModel::fit(&fx, family, &train, &self.config.temporal)
-                else {
-                    return Ok(None);
-                };
-                let Ok(mag_pred) = model.predict_magnitudes(&test) else { return Ok(None) };
-                let mag_truth = FeatureExtractor::magnitude_series(&test);
-                let Ok(src_pred) = model.predict_source_dist(&fx, &test) else {
-                    return Ok(None);
-                };
-                let src_truth = fx.source_distribution_series(&test)?;
-                Ok(Some(FamilyTemporalResult {
-                    family,
-                    name: corpus.catalog().profile(family)?.name.clone(),
-                    magnitudes: SeriesEvaluation::new(mag_pred, mag_truth)?,
-                    source_coefficient: SeriesEvaluation::new(src_pred, src_truth)?,
-                }))
+            let Ok((train, test)) = self.family_split(corpus, family) else {
+                return None;
             };
-            per_family()
-        });
-        let mut per_family = Vec::new();
-        for result in fitted {
-            if let Some(r) = result? {
-                per_family.push(r);
+            if test.is_empty() {
+                return None;
             }
+            TemporalModel::fit(&fx, family, &train, &self.config.temporal).ok()
+        });
+        Ok(fitted.into_iter().flatten().collect())
+    }
+
+    /// Serve stage of the Fig. 1 experiment: rolling prediction of attack
+    /// magnitudes and the `A^s` coefficient with already-fitted models
+    /// (from [`Pipeline::fit_temporal`] or reloaded artifacts). Cheap —
+    /// no training happens here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns
+    /// [`ModelError::InvalidConfig`] when no family could be evaluated.
+    pub fn serve_temporal(
+        &self,
+        corpus: &Corpus,
+        models: &[TemporalModel],
+    ) -> Result<TemporalReport> {
+        let fx = FeatureExtractor::new(corpus);
+        let mut per_family = Vec::new();
+        for model in models {
+            let family = model.family();
+            let Ok((_, test)) = self.family_split(corpus, family) else { continue };
+            if test.is_empty() {
+                continue;
+            }
+            let Ok(mag_pred) = model.predict_magnitudes(&test) else { continue };
+            let mag_truth = FeatureExtractor::magnitude_series(&test);
+            let Ok(src_pred) = model.predict_source_dist(&fx, &test) else { continue };
+            let src_truth = fx.source_distribution_series(&test)?;
+            per_family.push(FamilyTemporalResult {
+                family,
+                name: corpus.catalog().profile(family)?.name.clone(),
+                magnitudes: SeriesEvaluation::new(mag_pred, mag_truth)?,
+                source_coefficient: SeriesEvaluation::new(src_pred, src_truth)?,
+            });
         }
         if per_family.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -296,62 +319,90 @@ impl Pipeline {
         Ok(TemporalReport { per_family })
     }
 
-    /// Runs the Fig. 2 experiment: per-family source-ASN distribution
-    /// prediction with the NAR-based spatial model.
+    /// Runs the Fig. 1 experiment: per-family temporal (ARIMA) rolling
+    /// prediction of attack magnitudes and the `A^s` coefficient —
+    /// [`Pipeline::fit_temporal`] followed by [`Pipeline::serve_temporal`].
     ///
     /// # Errors
     ///
-    /// Same skip-then-fail policy as [`Pipeline::run_temporal`].
-    pub fn run_spatial_distribution(&self, corpus: &Corpus) -> Result<SpatialDistReport> {
+    /// Propagates model errors; families without enough data are skipped,
+    /// and an error is returned only when *no* family could be evaluated.
+    pub fn run_temporal(&self, corpus: &Corpus) -> Result<TemporalReport> {
+        let models = self.fit_temporal(corpus)?;
+        self.serve_temporal(corpus, &models)
+    }
+
+    /// Fit stage of the Fig. 2 experiment: trains the per-family
+    /// source-ASN distribution models, skipping families without enough
+    /// data. Returns `(family, model)` pairs in family order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corpus-split errors.
+    pub fn fit_spatial_distribution(
+        &self,
+        corpus: &Corpus,
+    ) -> Result<Vec<(FamilyId, SourceDistributionModel)>> {
         let families = self.families(corpus);
         let spatial = self.spatial_config();
         // One shard per family; reduce in family order for a worker-count
-        // independent report.
+        // independent model list.
         let fitted = map_indexed(&families, self.config.parallelism, |_, &family| {
-            let per_family = || -> Result<Option<FamilySpatialResult>> {
-                let Ok((train, test)) = self.family_split(corpus, family) else {
-                    return Ok(None);
-                };
-                if test.is_empty() {
-                    return Ok(None);
-                }
-                let Ok(model) = SourceDistributionModel::fit(&train, &spatial, self.seed) else {
-                    return Ok(None);
-                };
-                let Ok(preds) = model.predict_distribution(&test) else { return Ok(None) };
-                let truth = model.truth_distribution(&test);
-                let k = model.asns().len();
-                let mut pred_mean = vec![0.0; k];
-                let mut truth_mean = vec![0.0; k];
-                let mut sse = 0.0;
-                let mut n = 0.0f64;
-                for (p, t) in preds.iter().zip(&truth) {
-                    for j in 0..k {
-                        pred_mean[j] += p[j];
-                        truth_mean[j] += t[j];
-                        sse += (p[j] - t[j]).powi(2);
-                        n += 1.0;
-                    }
-                }
-                for v in pred_mean.iter_mut().chain(truth_mean.iter_mut()) {
-                    *v /= preds.len().max(1) as f64;
-                }
-                Ok(Some(FamilySpatialResult {
-                    family,
-                    name: corpus.catalog().profile(family)?.name.clone(),
-                    asns: model.asns().to_vec(),
-                    predicted_mean_shares: pred_mean,
-                    truth_mean_shares: truth_mean,
-                    share_rmse: (sse / n.max(1.0)).sqrt(),
-                }))
+            let Ok((train, test)) = self.family_split(corpus, family) else {
+                return None;
             };
-            per_family()
-        });
-        let mut per_family = Vec::new();
-        for result in fitted {
-            if let Some(r) = result? {
-                per_family.push(r);
+            if test.is_empty() {
+                return None;
             }
+            SourceDistributionModel::fit(&train, &spatial, self.seed).ok().map(|m| (family, m))
+        });
+        Ok(fitted.into_iter().flatten().collect())
+    }
+
+    /// Serve stage of the Fig. 2 experiment: rolling share-distribution
+    /// prediction with already-fitted models.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors; returns
+    /// [`ModelError::InvalidConfig`] when no family could be evaluated.
+    pub fn serve_spatial_distribution(
+        &self,
+        corpus: &Corpus,
+        models: &[(FamilyId, SourceDistributionModel)],
+    ) -> Result<SpatialDistReport> {
+        let mut per_family = Vec::new();
+        for (family, model) in models {
+            let Ok((_, test)) = self.family_split(corpus, *family) else { continue };
+            if test.is_empty() {
+                continue;
+            }
+            let Ok(preds) = model.predict_distribution(&test) else { continue };
+            let truth = model.truth_distribution(&test);
+            let k = model.asns().len();
+            let mut pred_mean = vec![0.0; k];
+            let mut truth_mean = vec![0.0; k];
+            let mut sse = 0.0;
+            let mut n = 0.0f64;
+            for (p, t) in preds.iter().zip(&truth) {
+                for j in 0..k {
+                    pred_mean[j] += p[j];
+                    truth_mean[j] += t[j];
+                    sse += (p[j] - t[j]).powi(2);
+                    n += 1.0;
+                }
+            }
+            for v in pred_mean.iter_mut().chain(truth_mean.iter_mut()) {
+                *v /= preds.len().max(1) as f64;
+            }
+            per_family.push(FamilySpatialResult {
+                family: *family,
+                name: corpus.catalog().profile(*family)?.name.clone(),
+                asns: model.asns().to_vec(),
+                predicted_mean_shares: pred_mean,
+                truth_mean_shares: truth_mean,
+                share_rmse: (sse / n.max(1.0)).sqrt(),
+            });
         }
         if per_family.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -359,6 +410,19 @@ impl Pipeline {
             });
         }
         Ok(SpatialDistReport { per_family })
+    }
+
+    /// Runs the Fig. 2 experiment: per-family source-ASN distribution
+    /// prediction with the NAR-based spatial model —
+    /// [`Pipeline::fit_spatial_distribution`] followed by
+    /// [`Pipeline::serve_spatial_distribution`].
+    ///
+    /// # Errors
+    ///
+    /// Same skip-then-fail policy as [`Pipeline::run_temporal`].
+    pub fn run_spatial_distribution(&self, corpus: &Corpus) -> Result<SpatialDistReport> {
+        let models = self.fit_spatial_distribution(corpus)?;
+        self.serve_spatial_distribution(corpus, &models)
     }
 
     /// Runs the §V per-network duration experiment: for the `max_networks`
@@ -375,51 +439,80 @@ impl Pipeline {
         corpus: &Corpus,
         max_networks: usize,
     ) -> Result<SpatialDurationReport> {
-        let (train_all, test_all) = corpus.split(self.config.split)?;
+        let models = self.fit_spatial_durations(corpus, max_networks)?;
+        self.serve_spatial_durations(corpus, &models)
+    }
+
+    /// Fit stage of the §V duration experiment: one NAR spatial model per
+    /// hot victim network with enough train/test data, hottest first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates corpus-split errors.
+    pub fn fit_spatial_durations(
+        &self,
+        corpus: &Corpus,
+        max_networks: usize,
+    ) -> Result<Vec<SpatialModel>> {
+        let (_, test_all) = corpus.split(self.config.split)?;
         let cut_time = test_all.first().expect("nonempty test").start;
-        let _ = train_all;
         let networks = corpus.hottest_target_asns(max_networks);
         let spatial = self.spatial_config();
         // One shard per victim network, hottest first; each network's NAR
         // seed depends only on its ASN, so the fan-out is order-free and
-        // the in-order reduction reproduces the serial report exactly.
+        // the in-order reduction reproduces the serial model list exactly.
         let fitted = map_indexed(&networks, self.config.parallelism, |_, &(asn, _)| {
-            let per_network = || -> Result<Option<NetworkDurationResult>> {
-                let attacks = corpus.attacks_on_asn(asn);
-                let train: Vec<&AttackRecord> =
-                    attacks.iter().copied().filter(|a| a.start < cut_time).collect();
-                let test: Vec<&AttackRecord> =
-                    attacks.iter().copied().filter(|a| a.start >= cut_time).collect();
-                if train.len() < spatial.min_attacks || test.len() < 3 {
-                    return Ok(None);
-                }
-                let Ok(model) = SpatialModel::fit(asn, &train, &spatial, self.seed ^ asn.0 as u64)
-                else {
-                    return Ok(None);
-                };
-                let Ok(preds) = model.predict_durations(&train, &test) else {
-                    return Ok(None);
-                };
-                let train_d: Vec<f64> = train.iter().map(|a| a.duration_secs as f64).collect();
-                let test_d: Vec<f64> = test.iter().map(|a| a.duration_secs as f64).collect();
-                let same = predict_rolling(BaselineKind::AlwaysSame, &train_d, &test_d)?;
-                let mean_p = predict_rolling(BaselineKind::AlwaysMean, &train_d, &test_d)?;
-                Ok(Some(NetworkDurationResult {
-                    asn,
-                    n_train: train.len(),
-                    n_test: test.len(),
-                    spatial_rmse: rmse(&preds, &test_d)?,
-                    always_same_rmse: rmse(&same, &test_d)?,
-                    always_mean_rmse: rmse(&mean_p, &test_d)?,
-                }))
-            };
-            per_network()
-        });
-        let mut per_network = Vec::new();
-        for result in fitted {
-            if let Some(r) = result? {
-                per_network.push(r);
+            let attacks = corpus.attacks_on_asn(asn);
+            let train: Vec<&AttackRecord> =
+                attacks.iter().copied().filter(|a| a.start < cut_time).collect();
+            let n_test = attacks.iter().filter(|a| a.start >= cut_time).count();
+            if train.len() < spatial.min_attacks || n_test < 3 {
+                return None;
             }
+            SpatialModel::fit(asn, &train, &spatial, self.seed ^ asn.0 as u64).ok()
+        });
+        Ok(fitted.into_iter().flatten().collect())
+    }
+
+    /// Serve stage of the §V duration experiment: one-step duration
+    /// prediction (against both naive baselines) with already-fitted
+    /// per-network models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidConfig`] when no network could be
+    /// evaluated; propagates baseline/RMSE errors.
+    pub fn serve_spatial_durations(
+        &self,
+        corpus: &Corpus,
+        models: &[SpatialModel],
+    ) -> Result<SpatialDurationReport> {
+        let (_, test_all) = corpus.split(self.config.split)?;
+        let cut_time = test_all.first().expect("nonempty test").start;
+        let mut per_network = Vec::new();
+        for model in models {
+            let asn = model.asn();
+            let attacks = corpus.attacks_on_asn(asn);
+            let train: Vec<&AttackRecord> =
+                attacks.iter().copied().filter(|a| a.start < cut_time).collect();
+            let test: Vec<&AttackRecord> =
+                attacks.iter().copied().filter(|a| a.start >= cut_time).collect();
+            if test.len() < 3 {
+                continue;
+            }
+            let Ok(preds) = model.predict_durations(&train, &test) else { continue };
+            let train_d: Vec<f64> = train.iter().map(|a| a.duration_secs as f64).collect();
+            let test_d: Vec<f64> = test.iter().map(|a| a.duration_secs as f64).collect();
+            let same = predict_rolling(BaselineKind::AlwaysSame, &train_d, &test_d)?;
+            let mean_p = predict_rolling(BaselineKind::AlwaysMean, &train_d, &test_d)?;
+            per_network.push(NetworkDurationResult {
+                asn,
+                n_train: train.len(),
+                n_test: test.len(),
+                spatial_rmse: rmse(&preds, &test_d)?,
+                always_same_rmse: rmse(&same, &test_d)?,
+                always_mean_rmse: rmse(&mean_p, &test_d)?,
+            });
         }
         if per_network.is_empty() {
             return Err(ModelError::InvalidConfig {
@@ -431,15 +524,58 @@ impl Pipeline {
 
     /// Runs the Figs. 3–4 experiment: spatiotemporal timestamp prediction
     /// per target, with the spatial and temporal components as the
-    /// comparison models.
+    /// comparison models — [`Pipeline::fit_spatiotemporal`] followed by
+    /// [`Pipeline::serve_spatiotemporal`].
     ///
     /// # Errors
     ///
     /// Propagates model errors.
     pub fn run_spatiotemporal(&self, corpus: &Corpus) -> Result<SpatioTemporalReport> {
-        let (train, test) = corpus.split(self.config.split)?;
+        let model = self.fit_spatiotemporal(corpus)?;
+        self.serve_spatiotemporal(corpus, &model)
+    }
+
+    /// Fit stage of the Figs. 3–4 experiment. When
+    /// [`PipelineConfig::artifact_dir`] is set, the fitted model is cached
+    /// as a versioned artifact keyed on the seed, split, configuration and
+    /// training stream; a matching artifact is reloaded instead of
+    /// refitting (artifact round-trips are bit-exact, so the reloaded
+    /// model serves identical predictions). Unreadable or stale cache
+    /// files are silently refit and overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fit errors; [`ModelError::Artifact`] when a fresh
+    /// artifact cannot be written to the cache directory.
+    pub fn fit_spatiotemporal(&self, corpus: &Corpus) -> Result<SpatioTemporalModel> {
+        let (train, _) = corpus.split(self.config.split)?;
+        let Some(dir) = &self.config.artifact_dir else {
+            return SpatioTemporalModel::fit(corpus, train, &self.config.spatiotemporal, self.seed);
+        };
+        let path = dir.join(format!("spatiotemporal-{:016x}.mdl", self.spatiotemporal_key(train)));
+        if let Ok(model) = SpatioTemporalModel::load_artifact(&path) {
+            return Ok(model);
+        }
         let model =
             SpatioTemporalModel::fit(corpus, train, &self.config.spatiotemporal, self.seed)?;
+        model.save_artifact(&path)?;
+        Ok(model)
+    }
+
+    /// Serve stage of the Figs. 3–4 experiment: batched tree scoring of
+    /// every evaluable test instance plus the RMSE summary. No training
+    /// happens here — `model` may come straight from a reloaded artifact.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction errors; [`ModelError::NotEnoughHistory`]
+    /// when no test instance was evaluable.
+    pub fn serve_spatiotemporal(
+        &self,
+        corpus: &Corpus,
+        model: &SpatioTemporalModel,
+    ) -> Result<SpatioTemporalReport> {
+        let (train, test) = corpus.split(self.config.split)?;
         let predictions = model.predict(train, test)?;
         if predictions.is_empty() {
             return Err(ModelError::NotEnoughHistory {
@@ -557,6 +693,40 @@ impl Pipeline {
         Ok(table)
     }
 
+    /// Cache key for a spatiotemporal fit: FNV-1a over the seed, split,
+    /// encoded configuration and the identifying fields of every training
+    /// attack. Any change to what the fit would see produces a new key, so
+    /// a stale artifact can never be served against fresh data.
+    fn spatiotemporal_key(&self, train: &[AttackRecord]) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.seed);
+        eat(self.config.split.to_bits());
+        let mut cfg = ddos_stats::codec::Writer::new();
+        self.config.spatiotemporal.encode(&mut cfg);
+        let cfg_bytes = cfg.into_bytes();
+        for chunk in cfg_bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            eat(u64::from_le_bytes(word));
+        }
+        eat(train.len() as u64);
+        for a in train {
+            eat(a.id.0);
+            eat(a.target_asn.0.into());
+            eat(a.start.0);
+            eat(a.duration_secs);
+            eat(a.magnitude() as u64);
+        }
+        h
+    }
+
     fn push_baselines(
         &self,
         table: &mut RmseTable,
@@ -659,6 +829,51 @@ mod tests {
         }
         // The NAR should win or tie on at least some networks.
         assert!(report.win_fraction() > 0.0, "NAR never beat the baselines");
+    }
+
+    #[test]
+    fn staged_fit_then_serve_matches_combined_runners() {
+        let c = corpus();
+        let p = Pipeline::new(PipelineConfig::fast(), 1);
+        // Temporal: fit and serve separately, compare to the one-shot run.
+        let models = p.fit_temporal(&c).unwrap();
+        assert!(!models.is_empty());
+        let staged = p.serve_temporal(&c, &models).unwrap();
+        assert_eq!(staged, p.run_temporal(&c).unwrap());
+        // Durations: same staging contract.
+        let nets = p.fit_spatial_durations(&c, 4).unwrap();
+        let staged = p.serve_spatial_durations(&c, &nets).unwrap();
+        assert_eq!(staged, p.run_spatial_durations(&c, 4).unwrap());
+    }
+
+    #[test]
+    fn artifact_cache_reproduces_uncached_spatiotemporal_report() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join("ddos-core-pipeline-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let uncached = Pipeline::new(PipelineConfig::fast(), 7);
+        let cached = Pipeline::new(
+            PipelineConfig { artifact_dir: Some(dir.clone()), ..PipelineConfig::fast() },
+            7,
+        );
+        let baseline = uncached.run_spatiotemporal(&c).unwrap();
+        // First cached run fits and writes the artifact...
+        let first = cached.run_spatiotemporal(&c).unwrap();
+        assert_eq!(first, baseline);
+        let artifacts: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(artifacts.len(), 1, "exactly one artifact written");
+        // ...the second run reloads it and serves identical predictions.
+        let second = cached.run_spatiotemporal(&c).unwrap();
+        assert_eq!(second, baseline);
+        // A different seed misses the cache (new key) instead of serving
+        // the stale model.
+        let other = Pipeline::new(
+            PipelineConfig { artifact_dir: Some(dir.clone()), ..PipelineConfig::fast() },
+            8,
+        );
+        other.run_spatiotemporal(&c).unwrap();
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -7,12 +7,14 @@
 //! inter-attack gaps. A second spatial product is the per-family
 //! **source-ASN distribution** predictor behind Fig. 2.
 
+use crate::artifact::{ArtifactKind, ModelArtifact};
 use crate::features::FeatureExtractor;
 use crate::{ModelError, Result};
 use ddos_astopo::Asn;
 use ddos_neural::grid::{grid_search_with, GridSpec};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use ddos_stats::exec::map_indexed;
 use ddos_trace::AttackRecord;
 use serde::{Deserialize, Serialize};
@@ -51,6 +53,36 @@ impl Default for SpatialConfig {
 }
 
 impl SpatialConfig {
+    /// Encodes the configuration verbatim (embedded in spatiotemporal
+    /// artifacts so a reloaded model reports the exact fit-time config).
+    pub fn encode(&self, w: &mut Writer) {
+        self.grid.encode(w);
+        w.bool(self.fixed.is_some());
+        if let Some(cfg) = &self.fixed {
+            cfg.encode(w);
+        }
+        w.usize(self.min_attacks);
+        w.usize(self.top_k_ases);
+        w.bool(self.parallelism.is_some());
+        if let Some(p) = self.parallelism {
+            w.usize(p);
+        }
+    }
+
+    /// Decodes a configuration written by [`SpatialConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let grid = GridSpec::decode(r)?;
+        let fixed = if r.bool()? { Some(NarConfig::decode(r)?) } else { None };
+        let min_attacks = r.usize()?;
+        let top_k_ases = r.usize()?;
+        let parallelism = if r.bool()? { Some(r.usize()?) } else { None };
+        Ok(SpatialConfig { grid, fixed, min_attacks, top_k_ases, parallelism })
+    }
+
     /// A fast configuration for tests: small fixed architecture, light
     /// training.
     pub fn fast() -> Self {
@@ -217,6 +249,30 @@ impl SpatialModel {
     }
 }
 
+impl ModelArtifact for SpatialModel {
+    const KIND: ArtifactKind = ArtifactKind::Spatial;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        w.u32(self.asn.0);
+        self.duration.encode(w);
+        self.hour.encode(w);
+        self.day.encode(w);
+        w.bool(self.gaps.is_some());
+        if let Some(m) = &self.gaps {
+            m.encode(w);
+        }
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let asn = Asn(r.u32()?);
+        let duration = NarModel::decode(r)?;
+        let hour = NarModel::decode(r)?;
+        let day = NarModel::decode(r)?;
+        let gaps = if r.bool()? { Some(NarModel::decode(r)?) } else { None };
+        Ok(SpatialModel { asn, duration, hour, day, gaps })
+    }
+}
+
 /// The per-family source-ASN distribution predictor behind Fig. 2: one NAR
 /// per top-K source AS over that AS's per-attack bot-share series;
 /// predictions are renormalized into a distribution.
@@ -348,6 +404,47 @@ impl SourceDistributionModel {
     }
 }
 
+impl ModelArtifact for SourceDistributionModel {
+    const KIND: ArtifactKind = ArtifactKind::SourceDistribution;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        // One shared count: `asns`, `models` and `train_shares` are
+        // parallel by construction.
+        w.usize(self.asns.len());
+        for asn in &self.asns {
+            w.u32(asn.0);
+        }
+        for model in &self.models {
+            model.encode(w);
+        }
+        for series in &self.train_shares {
+            w.f64_seq(series);
+        }
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let n = r.len(4)?;
+        if n == 0 {
+            return Err(CodecError::Invalid {
+                detail: "source-distribution artifact tracks zero ASes".to_string(),
+            });
+        }
+        let mut asns = Vec::with_capacity(n);
+        for _ in 0..n {
+            asns.push(Asn(r.u32()?));
+        }
+        let mut models = Vec::with_capacity(n);
+        for _ in 0..n {
+            models.push(NarModel::decode(r)?);
+        }
+        let mut train_shares = Vec::with_capacity(n);
+        for _ in 0..n {
+            train_shares.push(r.f64_seq()?);
+        }
+        Ok(SourceDistributionModel { asns, models, train_shares })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +514,62 @@ mod tests {
         }
         let truth = model.truth_distribution(&test);
         assert_eq!(truth.len(), preds.len());
+    }
+
+    #[test]
+    fn spatial_artifact_round_trip_is_bit_identical() {
+        let c = corpus();
+        let (asn, train, test) = hottest_split(&c);
+        let model = SpatialModel::fit(asn, &train, &SpatialConfig::fast(), 6).unwrap();
+        let bytes = model.to_artifact_bytes();
+        let back = SpatialModel::from_artifact_bytes(&bytes).unwrap();
+        assert_eq!(back.asn(), model.asn());
+        for (a, b) in [
+            (
+                model.predict_durations(&train, &test).unwrap(),
+                back.predict_durations(&train, &test).unwrap(),
+            ),
+            (
+                model.predict_hours(&train, &test).unwrap(),
+                back.predict_hours(&train, &test).unwrap(),
+            ),
+            (model.predict_days(&train, &test).unwrap(), back.predict_days(&train, &test).unwrap()),
+        ] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(model.forecast_gap(&train), back.forecast_gap(&train));
+        assert_eq!(bytes, back.to_artifact_bytes());
+    }
+
+    #[test]
+    fn source_distribution_artifact_round_trip_is_bit_identical() {
+        let c = corpus();
+        let fam = c.catalog().most_active(1)[0];
+        let attacks = c.family_attacks(fam);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        let (train, test) = (attacks[..cut].to_vec(), attacks[cut..cut + 20].to_vec());
+        let model = SourceDistributionModel::fit(&train, &SpatialConfig::fast(), 7).unwrap();
+        let bytes = model.to_artifact_bytes();
+        let back = SourceDistributionModel::from_artifact_bytes(&bytes).unwrap();
+        assert_eq!(back.asns(), model.asns());
+        let a = model.predict_distribution(&test).unwrap();
+        let b = back.predict_distribution(&test).unwrap();
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert_eq!(bytes, back.to_artifact_bytes());
+        // A Spatial-kind artifact is refused under the distribution kind.
+        let (asn, strain, _) = hottest_split(&c);
+        let other = SpatialModel::fit(asn, &strain, &SpatialConfig::fast(), 8).unwrap();
+        assert!(matches!(
+            SourceDistributionModel::from_artifact_bytes(&other.to_artifact_bytes()),
+            Err(crate::artifact::ArtifactError::WrongKind { .. })
+        ));
     }
 
     #[test]

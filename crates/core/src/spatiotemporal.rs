@@ -10,6 +10,7 @@
 //! standard deviation. Four trees are trained: launch hour, launch day,
 //! magnitude and duration.
 
+use crate::artifact::{ArtifactKind, ModelArtifact};
 use crate::spatial::{SpatialConfig, SpatialModel};
 use crate::variables::{PredictedAttack, TimestampParts};
 use crate::{ModelError, Result};
@@ -17,6 +18,7 @@ use ddos_astopo::Asn;
 use ddos_cart::prune::prune_holdout;
 use ddos_cart::tree::{RegressionTree, TreeConfig};
 use ddos_stats::arima::{Arima, ArimaOrder};
+use ddos_stats::codec::{CodecResult, Reader, Writer};
 use ddos_trace::{AttackRecord, Corpus};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
@@ -55,6 +57,38 @@ impl SpatioTemporalConfig {
     /// A fast configuration for tests.
     pub fn fast() -> Self {
         SpatioTemporalConfig { history_per_group: 8, max_spatial_models: 4, ..Default::default() }
+    }
+
+    /// Encodes the configuration verbatim.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.history_per_group);
+        self.tree.encode(w);
+        w.bool(self.prune_retention.is_some());
+        if let Some(retention) = self.prune_retention {
+            w.f64(retention);
+        }
+        self.spatial.encode(w);
+        w.usize(self.max_spatial_models);
+    }
+
+    /// Decodes a configuration written by [`SpatioTemporalConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ddos_stats::codec::CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let history_per_group = r.usize()?;
+        let tree = TreeConfig::decode(r)?;
+        let prune_retention = if r.bool()? { Some(r.f64()?) } else { None };
+        let spatial = SpatialConfig::decode(r)?;
+        let max_spatial_models = r.usize()?;
+        Ok(SpatioTemporalConfig {
+            history_per_group,
+            tree,
+            prune_retention,
+            spatial,
+            max_spatial_models,
+        })
     }
 }
 
@@ -500,6 +534,13 @@ impl SpatioTemporalModel {
     /// already-revealed test attacks), produces the three models'
     /// predictions next to the truth.
     ///
+    /// Prediction is split into two stages: feature assembly walks the
+    /// stream once collecting every queryable instance, then each of the
+    /// four trees scores the whole batch with the level-order kernel
+    /// ([`RegressionTree::predict_many_into`]) — bit-identical to the old
+    /// per-row walk, but one traversal per tree instead of one per
+    /// (row, tree) pair.
+    ///
     /// # Errors
     ///
     /// Propagates tree prediction errors.
@@ -508,6 +549,19 @@ impl SpatioTemporalModel {
         train: &[AttackRecord],
         test: &[AttackRecord],
     ) -> Result<Vec<StPrediction>> {
+        let (rows, queries) = self.assemble_queries(train, test);
+        self.serve_assembled(&rows, &queries)
+    }
+
+    /// Stage 1 of [`SpatioTemporalModel::predict`]: walks the combined
+    /// train+test stream and assembles the flattened tree rows plus the
+    /// per-instance context (truth labels and component outputs) the
+    /// report needs.
+    fn assemble_queries(
+        &self,
+        train: &[AttackRecord],
+        test: &[AttackRecord],
+    ) -> (Vec<Vec<f64>>, Vec<ServeQuery>) {
         let h = self.config.history_per_group;
         let stream: Vec<&AttackRecord> = train.iter().chain(test.iter()).collect();
         let test_start = train.len();
@@ -517,7 +571,8 @@ impl SpatioTemporalModel {
             per_asn.entry(a.target_asn).or_default().push(k);
         }
 
-        let mut out = Vec::new();
+        let mut rows = Vec::new();
+        let mut queries = Vec::new();
         for (k, attack) in stream.iter().enumerate().skip(test_start) {
             let asn_history = per_asn.entry(attack.target_asn).or_default();
             if k >= h && asn_history.len() >= h {
@@ -525,26 +580,116 @@ impl SpatioTemporalModel {
                 let same_as: Vec<&AttackRecord> =
                     asn_history[asn_history.len() - h..].iter().map(|&i| stream[i]).collect();
                 if let Some(f) = self.features_for(&recent, &same_as) {
-                    let row = f.to_row();
-                    out.push(StPrediction {
-                        truth_hour: attack.start.hour() as f64,
-                        truth_day: attack.start.day_of_month() as f64,
-                        truth_magnitude: attack.magnitude() as f64,
-                        truth_duration: attack.duration_secs as f64,
-                        st_hour: self.hour_tree.predict(&row)?.clamp(0.0, 23.999),
-                        st_day: self.day_tree.predict(&row)?.clamp(1.0, 31.0),
-                        st_magnitude: self.magnitude_tree.predict(&row)?.max(0.0),
-                        st_duration: self.duration_tree.predict(&row)?.max(0.0),
-                        spatial_hour: f.spa_hour,
-                        spatial_day: f.spa_day,
-                        temporal_hour: f.tmp_hour,
-                        temporal_day: f.tmp_day,
+                    rows.push(f.to_row());
+                    queries.push(ServeQuery {
+                        truth: [
+                            attack.start.hour() as f64,
+                            attack.start.day_of_month() as f64,
+                            attack.magnitude() as f64,
+                            attack.duration_secs as f64,
+                        ],
+                        features: f,
                     });
                 }
             }
             per_asn.get_mut(&attack.target_asn).expect("entry exists").push(k);
         }
+        (rows, queries)
+    }
+
+    /// Stage 2 of [`SpatioTemporalModel::predict`]: scores every assembled
+    /// row through the four trees in batch and applies the same output
+    /// clamps the per-row path used.
+    fn serve_assembled(
+        &self,
+        rows: &[Vec<f64>],
+        queries: &[ServeQuery],
+    ) -> Result<Vec<StPrediction>> {
+        debug_assert_eq!(rows.len(), queries.len());
+        let mut hours = Vec::with_capacity(rows.len());
+        let mut days = Vec::with_capacity(rows.len());
+        let mut magnitudes = Vec::with_capacity(rows.len());
+        let mut durations = Vec::with_capacity(rows.len());
+        self.hour_tree.predict_many_into(rows, &mut hours)?;
+        self.day_tree.predict_many_into(rows, &mut days)?;
+        self.magnitude_tree.predict_many_into(rows, &mut magnitudes)?;
+        self.duration_tree.predict_many_into(rows, &mut durations)?;
+
+        let mut out = Vec::with_capacity(queries.len());
+        for (j, q) in queries.iter().enumerate() {
+            let f = &q.features;
+            out.push(StPrediction {
+                truth_hour: q.truth[0],
+                truth_day: q.truth[1],
+                truth_magnitude: q.truth[2],
+                truth_duration: q.truth[3],
+                st_hour: hours[j].clamp(0.0, 23.999),
+                st_day: days[j].clamp(1.0, 31.0),
+                st_magnitude: magnitudes[j].max(0.0),
+                st_duration: durations[j].max(0.0),
+                spatial_hour: f.spa_hour,
+                spatial_day: f.spa_day,
+                temporal_hour: f.tmp_hour,
+                temporal_day: f.tmp_day,
+            });
+        }
         Ok(out)
+    }
+}
+
+/// One assembled serve query: the truth labels plus the component outputs
+/// ([`InstanceFeatures`]) the report carries alongside the tree scores.
+struct ServeQuery {
+    truth: [f64; 4],
+    features: InstanceFeatures,
+}
+
+impl ModelArtifact for SpatioTemporalModel {
+    const KIND: ArtifactKind = ArtifactKind::SpatioTemporal;
+
+    fn encode_payload(&self, w: &mut Writer) {
+        self.config.encode(w);
+        self.hour_arima.encode(w);
+        self.day_arima.encode(w);
+        self.gap_arima.encode(w);
+        // The per-AS spatial models; each payload starts with its own ASN,
+        // so the map keys are recovered from the payloads.
+        w.usize(self.spatial.len());
+        for model in self.spatial.values() {
+            model.encode_payload(w);
+        }
+        self.hour_tree.encode(w);
+        self.day_tree.encode(w);
+        self.magnitude_tree.encode(w);
+        self.duration_tree.encode(w);
+    }
+
+    fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let config = SpatioTemporalConfig::decode(r)?;
+        let hour_arima = Arima::decode(r)?;
+        let day_arima = Arima::decode(r)?;
+        let gap_arima = Arima::decode(r)?;
+        let n = r.len(4)?;
+        let mut spatial = BTreeMap::new();
+        for _ in 0..n {
+            let model = SpatialModel::decode_payload(r)?;
+            spatial.insert(model.asn(), model);
+        }
+        let hour_tree = RegressionTree::decode(r)?;
+        let day_tree = RegressionTree::decode(r)?;
+        let magnitude_tree = RegressionTree::decode(r)?;
+        let duration_tree = RegressionTree::decode(r)?;
+        Ok(SpatioTemporalModel {
+            config,
+            hour_arima,
+            day_arima,
+            gap_arima,
+            spatial,
+            hour_tree,
+            day_tree,
+            magnitude_tree,
+            duration_tree,
+        })
     }
 }
 
@@ -657,6 +802,36 @@ mod tests {
         let row = f.to_row();
         assert_eq!(row.len(), InstanceFeatures::FEATURE_NAMES.len());
         assert_eq!(row, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 1.0, 13.0]);
+    }
+
+    #[test]
+    fn artifact_round_trip_serves_bit_identical_predictions() {
+        let (corpus, model) = fitted();
+        let (train, test) = corpus.split(0.8).unwrap();
+        let bytes = model.to_artifact_bytes();
+        let back = SpatioTemporalModel::from_artifact_bytes(&bytes).unwrap();
+        assert_eq!(back.config(), model.config());
+        let a = model.predict(train, test).unwrap();
+        let b = back.predict(train, test).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            for (u, v) in [
+                (x.st_hour, y.st_hour),
+                (x.st_day, y.st_day),
+                (x.st_magnitude, y.st_magnitude),
+                (x.st_duration, y.st_duration),
+                (x.spatial_hour, y.spatial_hour),
+                (x.spatial_day, y.spatial_day),
+                (x.temporal_hour, y.temporal_hour),
+                (x.temporal_day, y.temporal_day),
+            ] {
+                assert_eq!(u.to_bits(), v.to_bits());
+            }
+        }
+        // Encode is deterministic: re-encoding the reload reproduces the
+        // artifact byte-for-byte.
+        assert_eq!(bytes, back.to_artifact_bytes());
     }
 
     #[test]

@@ -1,14 +1,48 @@
 //! Property-based tests for the model crate: feature and use-case
-//! invariants that must hold over randomized corpora and inputs.
+//! invariants that must hold over randomized corpora and inputs, plus the
+//! artifact-codec robustness properties (no input may panic the decoder).
 
+use ddos_core::artifact::{ArtifactError, ModelArtifact, MAGIC, SCHEMA_VERSION};
 use ddos_core::detection::{DetectorConfig, EntropyDetector};
 use ddos_core::features::FeatureExtractor;
+use ddos_core::spatial::{SourceDistributionModel, SpatialConfig, SpatialModel};
+use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
+use ddos_core::temporal::{TemporalConfig, TemporalModel};
 use ddos_core::usecases::{AsFilteringSimulator, MiddleboxSimulator, TakedownSimulator};
+use ddos_stats::arima::ArimaOrder;
 use ddos_trace::{Corpus, CorpusConfig, TraceGenerator};
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn corpus_for(seed: u64) -> Corpus {
     TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap()
+}
+
+/// One artifact per model kind, fitted once and shared across the cheap
+/// corruption properties below (fitting per proptest case would dominate
+/// the suite's wall-clock).
+fn reference_artifacts() -> &'static [Vec<u8>; 3] {
+    static CELL: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let corpus = corpus_for(977);
+        let fx = FeatureExtractor::new(&corpus);
+        let fam = corpus.catalog().most_active(1)[0];
+        let attacks = corpus.family_attacks(fam);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        let train = &attacks[..cut];
+        let tcfg =
+            TemporalConfig { fixed_order: Some(ArimaOrder::new(1, 0, 0)), ..Default::default() };
+        let temporal = TemporalModel::fit(&fx, fam, train, &tcfg).unwrap();
+        let asn = corpus.hottest_target_asns(1)[0].0;
+        let on_asn = corpus.attacks_on_asn(asn);
+        let spatial =
+            SpatialModel::fit(asn, &on_asn[..on_asn.len() * 4 / 5], &SpatialConfig::fast(), 11)
+                .unwrap();
+        let (st_train, _) = corpus.split(0.8).unwrap();
+        let st =
+            SpatioTemporalModel::fit(&corpus, st_train, &SpatioTemporalConfig::fast(), 11).unwrap();
+        [temporal.to_artifact_bytes(), spatial.to_artifact_bytes(), st.to_artifact_bytes()]
+    })
 }
 
 proptest! {
@@ -81,6 +115,59 @@ proptest! {
         }
     }
 
+    /// Saving and reloading a fitted model of every kind reproduces its
+    /// predictions bit-for-bit, over random corpus realizations.
+    #[test]
+    fn artifact_round_trip_is_bit_exact_for_every_model_kind(seed in 0u64..1_000) {
+        let corpus = corpus_for(seed);
+        let fx = FeatureExtractor::new(&corpus);
+        let fam = corpus.catalog().most_active(1)[0];
+        let attacks = corpus.family_attacks(fam);
+        let cut = (attacks.len() as f64 * 0.8) as usize;
+        let (train, test) = (&attacks[..cut], &attacks[cut..]);
+
+        // Temporal (fixed order keeps the case cheap).
+        let tcfg = TemporalConfig {
+            fixed_order: Some(ArimaOrder::new(1, 0, 0)), ..Default::default()
+        };
+        let temporal = TemporalModel::fit(&fx, fam, train, &tcfg).unwrap();
+        let back = TemporalModel::from_artifact_bytes(&temporal.to_artifact_bytes()).unwrap();
+        let (a, b) = (
+            temporal.predict_magnitudes(test).unwrap(),
+            back.predict_magnitudes(test).unwrap(),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+
+        // Source-distribution (one NAR per tracked AS).
+        let sd = SourceDistributionModel::fit(train, &SpatialConfig::fast(), seed).unwrap();
+        let back = SourceDistributionModel::from_artifact_bytes(&sd.to_artifact_bytes()).unwrap();
+        let probe = &test[..test.len().min(10)];
+        let (a, b) =
+            (sd.predict_distribution(probe).unwrap(), back.predict_distribution(probe).unwrap());
+        for (ra, rb) in a.iter().zip(&b) {
+            for (x, y) in ra.iter().zip(rb) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        // Spatial (per-network NAR bundle).
+        let asn = corpus.hottest_target_asns(1)[0].0;
+        let on_asn = corpus.attacks_on_asn(asn);
+        let scut = on_asn.len() * 4 / 5;
+        let spatial =
+            SpatialModel::fit(asn, &on_asn[..scut], &SpatialConfig::fast(), seed).unwrap();
+        let back = SpatialModel::from_artifact_bytes(&spatial.to_artifact_bytes()).unwrap();
+        let (a, b) = (
+            spatial.predict_durations(&on_asn[..scut], &on_asn[scut..]).unwrap(),
+            back.predict_durations(&on_asn[..scut], &on_asn[scut..]).unwrap(),
+        );
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     /// The detector's threshold always sits below the benign mean and the
     /// entropy of any window is nonnegative and bounded by log2(window).
     #[test]
@@ -95,4 +182,93 @@ proptest! {
         prop_assert!(d.benign_mean() >= 0.0);
         prop_assert!(d.benign_mean() <= (config.window as f64).log2() + 1e-9);
     }
+}
+
+// Decoder-robustness properties over pre-fitted artifacts of all three
+// model kinds. These share one fitted artifact set (see
+// `reference_artifacts`) so the cases stay cheap: each is a decode, not a
+// fit. The contract under test: NO byte-level damage may panic the
+// decoder — truncation and version skew must fail with typed errors, and
+// arbitrary single-byte flips must either fail typed or decode cleanly.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every strict prefix of a valid artifact fails with a typed error.
+    #[test]
+    fn truncated_artifacts_fail_typed_without_panicking(
+        kind in 0usize..3,
+        frac in 0.0f64..1.0,
+    ) {
+        let bytes = &reference_artifacts()[kind];
+        let cut = (((bytes.len() - 1) as f64) * frac) as usize;
+        let prefix = &bytes[..cut];
+        let err = match kind {
+            0 => TemporalModel::from_artifact_bytes(prefix).map(|_| ()).unwrap_err(),
+            1 => SpatialModel::from_artifact_bytes(prefix).map(|_| ()).unwrap_err(),
+            _ => SpatioTemporalModel::from_artifact_bytes(prefix).map(|_| ()).unwrap_err(),
+        };
+        prop_assert!(matches!(
+            err,
+            ArtifactError::BadMagic
+                | ArtifactError::Corrupt(_)
+                | ArtifactError::UnsupportedVersion { .. }
+                | ArtifactError::UnknownKind { .. }
+        ));
+    }
+
+    /// Flipping any single byte never panics the decoder (it may still
+    /// decode — e.g. a flipped coefficient bit yields a different but
+    /// well-formed model — but it must never crash or hang).
+    #[test]
+    fn flipped_byte_never_panics_decoder(
+        kind in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = reference_artifacts()[kind].clone();
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= mask;
+        match kind {
+            0 => { let _ = TemporalModel::from_artifact_bytes(&bytes); }
+            1 => { let _ = SpatialModel::from_artifact_bytes(&bytes); }
+            _ => { let _ = SpatioTemporalModel::from_artifact_bytes(&bytes); }
+        }
+    }
+
+    /// Any schema version other than the current one is refused up front,
+    /// with the found version reported.
+    #[test]
+    fn wrong_schema_version_rejected(kind in 0usize..3, version in 0u32..10_000) {
+        prop_assume!(version != SCHEMA_VERSION);
+        let mut bytes = reference_artifacts()[kind].clone();
+        bytes[8..12].copy_from_slice(&version.to_le_bytes());
+        let err = match kind {
+            0 => TemporalModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+            1 => SpatialModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+            _ => SpatioTemporalModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+        };
+        prop_assert_eq!(err, ArtifactError::UnsupportedVersion { found: version });
+    }
+}
+
+/// Cross-kind decodes are refused by the envelope, and a damaged magic
+/// prefix is not recognised as an artifact at all.
+#[test]
+fn artifact_envelope_rejects_wrong_kind_and_bad_magic() {
+    let arts = reference_artifacts();
+    assert!(matches!(
+        SpatialModel::from_artifact_bytes(&arts[0]),
+        Err(ArtifactError::WrongKind { .. })
+    ));
+    assert!(matches!(
+        TemporalModel::from_artifact_bytes(&arts[2]),
+        Err(ArtifactError::WrongKind { .. })
+    ));
+    assert!(matches!(
+        SpatioTemporalModel::from_artifact_bytes(&arts[1]),
+        Err(ArtifactError::WrongKind { .. })
+    ));
+    let mut bytes = arts[0].clone();
+    bytes[..MAGIC.len()].copy_from_slice(b"NOTMODEL");
+    assert!(matches!(TemporalModel::from_artifact_bytes(&bytes), Err(ArtifactError::BadMagic)));
 }

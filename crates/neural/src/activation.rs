@@ -5,6 +5,7 @@
 //! tan-sigmoid for the hidden layer ("the transfer function has to be
 //! nonlinear … we choose the default Tan-Sigmoid Transfer Function").
 
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// A neuron transfer function.
@@ -43,6 +44,31 @@ impl Activation {
             Activation::Linear => 1.0,
             // For y = x/(1+|x|): dy/dx = 1/(1+|x|)² = (1 − |y|)².
             Activation::Elliott => (1.0 - y.abs()).powi(2),
+        }
+    }
+
+    /// Encodes the variant as a one-byte tag (artifact payloads).
+    pub fn encode(self, w: &mut Writer) {
+        w.u8(match self {
+            Activation::TanSig => 0,
+            Activation::LogSig => 1,
+            Activation::Linear => 2,
+            Activation::Elliott => 3,
+        });
+    }
+
+    /// Decodes a tag written by [`Activation::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadTag`] for unknown discriminants.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(Activation::TanSig),
+            1 => Ok(Activation::LogSig),
+            2 => Ok(Activation::Linear),
+            3 => Ok(Activation::Elliott),
+            t => Err(CodecError::BadTag { context: "Activation", tag: t as u64 }),
         }
     }
 }

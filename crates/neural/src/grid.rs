@@ -7,6 +7,7 @@
 use crate::nar::{NarConfig, NarModel};
 use crate::train::TrainConfig;
 use crate::{NeuralError, Result};
+use ddos_stats::codec::{CodecResult, Reader, Writer};
 use ddos_stats::exec::map_indexed;
 use serde::{Deserialize, Serialize};
 
@@ -28,6 +29,28 @@ impl Default for GridSpec {
             hidden: vec![2, 4, 8, 12],
             train: TrainConfig::default(),
         }
+    }
+}
+
+impl GridSpec {
+    /// Encodes the search space verbatim.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize_seq(&self.delays);
+        w.usize_seq(&self.hidden);
+        self.train.encode(w);
+    }
+
+    /// Decodes a search space written by [`GridSpec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ddos_stats::codec::CodecError`] on truncated or malformed input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(GridSpec {
+            delays: r.usize_seq()?,
+            hidden: r.usize_seq()?,
+            train: TrainConfig::decode(r)?,
+        })
     }
 }
 

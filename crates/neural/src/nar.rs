@@ -16,6 +16,8 @@ use crate::network::Mlp;
 use crate::scale::MinMaxScaler;
 use crate::train::{train, TrainConfig, TrainReport};
 use crate::{NeuralError, Result};
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
+use ddos_stats::forecast::{FittedModel, Forecaster, Rolling};
 use serde::{Deserialize, Serialize};
 
 /// NAR hyperparameters.
@@ -39,6 +41,31 @@ impl Default for NarConfig {
             activation: Activation::TanSig,
             train: TrainConfig::default(),
         }
+    }
+}
+
+impl NarConfig {
+    /// Encodes the hyperparameters verbatim (artifact payloads that embed
+    /// a NAR *specification* rather than a fitted model).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.delays);
+        w.usize(self.hidden);
+        self.activation.encode(w);
+        self.train.encode(w);
+    }
+
+    /// Decodes a configuration written by [`NarConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input or unknown tags.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(NarConfig {
+            delays: r.usize()?,
+            hidden: r.usize()?,
+            activation: Activation::decode(r)?,
+            train: TrainConfig::decode(r)?,
+        })
     }
 }
 
@@ -141,6 +168,26 @@ impl NarModel {
     /// preallocated for `history + test`, and one lag-window plus one
     /// hidden-activation buffer are reused across all steps.
     pub fn predict_rolling(&self, history: &[f64], test: &[f64]) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.predict_rolling_into(history, test, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`NarModel::predict_rolling`] writing into a caller-owned output
+    /// buffer (cleared first): the preallocated batch path the serve
+    /// stages use, bit-identical to the allocating wrapper (it is the
+    /// same loop).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeuralError::NotEnoughData`] when `history` is shorter
+    /// than the delay count.
+    pub fn predict_rolling_into(
+        &self,
+        history: &[f64],
+        test: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         let q = self.config.delays;
         if history.len() < q {
             return Err(NeuralError::NotEnoughData { required: q, actual: history.len() });
@@ -149,7 +196,8 @@ impl NarModel {
         h.extend_from_slice(history);
         let mut window = vec![0.0; q];
         let mut hidden = Vec::with_capacity(self.network.hidden_dim());
-        let mut out = Vec::with_capacity(test.len());
+        out.clear();
+        out.reserve(test.len());
         for &truth in test {
             // input order: T_j, T_{j-1}, …, T_{j-q+1} (as in predict_next).
             for (j, w) in window.iter_mut().enumerate() {
@@ -158,7 +206,7 @@ impl NarModel {
             out.push(self.scaler.inverse(self.network.forward_into(&window, &mut hidden)?));
             h.push(truth);
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Recursive multi-step forecast: feeds its own predictions back as
@@ -169,20 +217,127 @@ impl NarModel {
     /// Same conditions as [`NarModel::predict_next`], plus
     /// [`NeuralError::InvalidParameter`] for a zero horizon.
     pub fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.forecast_into(history, horizon, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`NarModel::forecast`] writing into a caller-owned output buffer
+    /// (cleared first): the preallocated multi-step batch path. One
+    /// lag-window and one hidden-activation buffer are reused across all
+    /// steps instead of allocating per step as the stepwise
+    /// [`NarModel::predict_next`] chain does; the window is filled with
+    /// the same `transform` calls in the same order, so the recursion is
+    /// bit-identical to the allocating path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NarModel::predict_next`], plus
+    /// [`NeuralError::InvalidParameter`] for a zero horizon.
+    pub fn forecast_into(&self, history: &[f64], horizon: usize, out: &mut Vec<f64>) -> Result<()> {
         if horizon == 0 {
             return Err(NeuralError::InvalidParameter {
                 name: "horizon",
                 detail: "forecast horizon must be nonzero".to_string(),
             });
         }
-        let mut h = history.to_vec();
-        let mut out = Vec::with_capacity(horizon);
+        let q = self.config.delays;
+        if history.len() < q {
+            return Err(NeuralError::NotEnoughData { required: q, actual: history.len() });
+        }
+        let mut h = Vec::with_capacity(history.len() + horizon);
+        h.extend_from_slice(history);
+        let mut window = vec![0.0; q];
+        let mut hidden = Vec::with_capacity(self.network.hidden_dim());
+        out.clear();
+        out.reserve(horizon);
         for _ in 0..horizon {
-            let next = self.predict_next(&h)?;
+            // input order: T_j, T_{j-1}, …, T_{j-q+1} (as in predict_next).
+            for (j, w) in window.iter_mut().enumerate() {
+                *w = self.scaler.transform(h[h.len() - 1 - j]);
+            }
+            let next = self.scaler.inverse(self.network.forward_into(&window, &mut hidden)?);
             h.push(next);
             out.push(next);
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Encodes the fitted model field-for-field into `w` (the NAR
+    /// artifact payload): config, scaler, network, training report and
+    /// residual σ, every `f64` as its bit pattern. Round-trip through
+    /// [`NarModel::decode`] is the identity on the struct.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.config.delays);
+        w.usize(self.config.hidden);
+        self.config.activation.encode(w);
+        self.config.train.encode(w);
+        self.scaler.encode(w);
+        self.network.encode(w);
+        self.report.encode(w);
+        w.f64(self.sigma);
+    }
+
+    /// Decodes a model encoded by [`NarModel::encode`], validating that
+    /// the embedded network's input width matches the configured delay
+    /// count (the invariant every prediction path indexes by).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, malformed or inconsistent input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let config = NarConfig {
+            delays: r.usize()?,
+            hidden: r.usize()?,
+            activation: Activation::decode(r)?,
+            train: TrainConfig::decode(r)?,
+        };
+        let scaler = MinMaxScaler::decode(r)?;
+        let network = Mlp::decode(r)?;
+        let report = TrainReport::decode(r)?;
+        let sigma = r.f64()?;
+        if network.input_dim() != config.delays {
+            return Err(CodecError::Invalid {
+                detail: format!(
+                    "network input width {} disagrees with {} delays",
+                    network.input_dim(),
+                    config.delays
+                ),
+            });
+        }
+        Ok(NarModel { config, scaler, network, report, sigma })
+    }
+}
+
+/// The fit half of the NAR train/serve split: a [`NarConfig`] plus the
+/// weight-initialization seed, i.e. everything that determines the fit
+/// besides the series itself.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NarSpec {
+    /// NAR hyperparameters.
+    pub config: NarConfig,
+    /// Seed for the network's initial weights.
+    pub seed: u64,
+}
+
+impl Forecaster<[f64]> for NarSpec {
+    type Fitted = NarModel;
+    type Error = NeuralError;
+
+    fn fit(&self, input: &[f64]) -> Result<NarModel> {
+        NarModel::fit(input, self.config, self.seed)
+    }
+}
+
+impl FittedModel<Rolling<'_>> for NarModel {
+    type Error = NeuralError;
+
+    /// The batch is a [`Rolling`] query: one rolling one-step prediction
+    /// per element of `queries.test`, conditioning on `queries.history`
+    /// plus the already-revealed test truth
+    /// ([`NarModel::predict_rolling_into`]).
+    fn predict_batch_into(&self, queries: &Rolling<'_>, out: &mut Vec<f64>) -> Result<()> {
+        self.predict_rolling_into(queries.history, queries.test, out)
     }
 }
 
@@ -290,6 +445,67 @@ mod tests {
         let a = NarModel::fit(&s, NarConfig::default(), 9).unwrap();
         let b = NarModel::fit(&s, NarConfig::default(), 9).unwrap();
         assert_eq!(a.predict_next(&s).unwrap(), b.predict_next(&s).unwrap());
+    }
+
+    #[test]
+    fn forecast_into_matches_stepwise_predict_next_bitwise() {
+        let s = sine(300);
+        let model = NarModel::fit(&s, NarConfig { delays: 4, hidden: 8, ..Default::default() }, 23)
+            .unwrap();
+        let mut fast = Vec::new();
+        model.forecast_into(&s, 24, &mut fast).unwrap();
+        // Reference: the stepwise chain the allocating path used to run.
+        let mut h = s.clone();
+        for p in &fast {
+            let expected = model.predict_next(&h).unwrap();
+            assert_eq!(p.to_bits(), expected.to_bits());
+            h.push(expected);
+        }
+        // Dirty output buffers must not leak in.
+        let mut dirty = vec![99.0; 7];
+        model.forecast_into(&s, 24, &mut dirty).unwrap();
+        assert_eq!(dirty.len(), 24);
+        for (a, b) in fast.iter().zip(&dirty) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn trait_batch_matches_predict_rolling_bitwise() {
+        use ddos_stats::forecast::{FittedModel, Forecaster, Rolling};
+        let s = sine(360);
+        let (train_s, test_s) = s.split_at(300);
+        let spec =
+            NarSpec { config: NarConfig { delays: 4, hidden: 10, ..Default::default() }, seed: 22 };
+        let model = spec.fit(train_s).unwrap();
+        let direct =
+            NarModel::fit(train_s, NarConfig { delays: 4, hidden: 10, ..Default::default() }, 22)
+                .unwrap();
+        assert_eq!(model, direct);
+        let rolled = model.predict_rolling(train_s, test_s).unwrap();
+        let batched = model.predict_batch(&Rolling { history: train_s, test: test_s }).unwrap();
+        assert_eq!(rolled.len(), batched.len());
+        for (a, b) in rolled.iter().zip(&batched) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        use ddos_stats::codec::{Reader, Writer};
+        let s = sine(200);
+        let model =
+            NarModel::fit(&s, NarConfig { delays: 3, hidden: 6, ..Default::default() }, 5).unwrap();
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = NarModel::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(model, back);
+        for cut in [0, 9, bytes.len() / 3, bytes.len() - 1] {
+            assert!(NarModel::decode(&mut Reader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::activation::Activation;
 use crate::{NeuralError, Result};
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -273,6 +274,57 @@ impl Mlp {
             *gb += dh;
         }
         Ok(err * err)
+    }
+
+    /// Encodes the network field-for-field into `w` (weights as
+    /// `to_bits` patterns): the MLP fragment of NAR artifact payloads.
+    /// Round-trip through [`Mlp::decode`] is the identity.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.input_dim);
+        w.usize(self.hidden_dim);
+        self.hidden_activation.encode(w);
+        w.f64_seq(&self.w1);
+        w.f64_seq(&self.b1);
+        w.f64_seq(&self.w2);
+        w.f64(self.b2);
+    }
+
+    /// Decodes a network encoded by [`Mlp::encode`], validating the
+    /// weight-buffer shapes against the declared dimensions so corrupt
+    /// payloads cannot produce a network whose forward pass silently
+    /// misindexes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated, malformed or shape-inconsistent
+    /// input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let input_dim = r.usize()?;
+        let hidden_dim = r.usize()?;
+        let hidden_activation = Activation::decode(r)?;
+        let w1 = r.f64_seq()?;
+        let b1 = r.f64_seq()?;
+        let w2 = r.f64_seq()?;
+        let b2 = r.f64()?;
+        if input_dim == 0 || hidden_dim == 0 {
+            return Err(CodecError::Invalid {
+                detail: format!("degenerate dimensions {input_dim}×{hidden_dim}"),
+            });
+        }
+        let expect_w1 = hidden_dim.checked_mul(input_dim).ok_or_else(|| CodecError::Invalid {
+            detail: format!("dimension product {hidden_dim}×{input_dim} overflows"),
+        })?;
+        if w1.len() != expect_w1 || b1.len() != hidden_dim || w2.len() != hidden_dim {
+            return Err(CodecError::Invalid {
+                detail: format!(
+                    "weight shapes ({}, {}, {}) disagree with dimensions {input_dim}×{hidden_dim}",
+                    w1.len(),
+                    b1.len(),
+                    w2.len()
+                ),
+            });
+        }
+        Ok(Mlp { input_dim, hidden_dim, hidden_activation, w1, b1, w2, b2 })
     }
 
     /// Mutable view of all parameters as one flat slice-set, in the order

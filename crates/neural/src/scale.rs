@@ -5,6 +5,7 @@
 //! back afterwards.
 
 use crate::{NeuralError, Result};
+use ddos_stats::codec::{CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// A fitted min–max scaler mapping `[lo, hi] → [-1, 1]`.
@@ -62,6 +63,21 @@ impl MinMaxScaler {
     /// The fitted `(min, max)` range.
     pub fn range(&self) -> (f64, f64) {
         (self.lo, self.hi)
+    }
+
+    /// Encodes the fitted range as two `to_bits` words.
+    pub fn encode(&self, w: &mut Writer) {
+        w.f64(self.lo);
+        w.f64(self.hi);
+    }
+
+    /// Decodes a scaler encoded by [`MinMaxScaler::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](ddos_stats::codec::CodecError) on truncated input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(MinMaxScaler { lo: r.f64()?, hi: r.f64()? })
     }
 }
 

@@ -8,6 +8,7 @@
 
 use crate::network::Mlp;
 use crate::{NeuralError, Result};
+use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
 /// Which optimizer drives training.
@@ -51,6 +52,40 @@ impl Default for TrainConfig {
     }
 }
 
+impl TrainConfig {
+    /// Encodes the configuration (artifact payload fragment).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.max_epochs);
+        w.f64(self.validation_fraction);
+        w.usize(self.patience);
+        match self.optimizer {
+            Optimizer::Rprop => w.u8(0),
+            Optimizer::Sgd { learning_rate, momentum } => {
+                w.u8(1);
+                w.f64(learning_rate);
+                w.f64(momentum);
+            }
+        }
+    }
+
+    /// Decodes a configuration encoded by [`TrainConfig::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input or unknown optimizer tags.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let max_epochs = r.usize()?;
+        let validation_fraction = r.f64()?;
+        let patience = r.usize()?;
+        let optimizer = match r.u8()? {
+            0 => Optimizer::Rprop,
+            1 => Optimizer::Sgd { learning_rate: r.f64()?, momentum: r.f64()? },
+            t => return Err(CodecError::BadTag { context: "Optimizer", tag: t as u64 }),
+        };
+        Ok(TrainConfig { max_epochs, validation_fraction, patience, optimizer })
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
@@ -62,6 +97,30 @@ pub struct TrainReport {
     pub validation_mse: f64,
     /// Whether early stopping triggered.
     pub stopped_early: bool,
+}
+
+impl TrainReport {
+    /// Encodes the report (artifact payload fragment).
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.epochs);
+        w.f64(self.train_mse);
+        w.f64(self.validation_mse);
+        w.bool(self.stopped_early);
+    }
+
+    /// Decodes a report encoded by [`TrainReport::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on truncated input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(TrainReport {
+            epochs: r.usize()?,
+            train_mse: r.f64()?,
+            validation_mse: r.f64()?,
+            stopped_early: r.bool()?,
+        })
+    }
 }
 
 /// Trains `network` in place on `(inputs, targets)`.

@@ -18,6 +18,8 @@
 //! * [`Arima::aic`] / [`Arima::bic`] — information criteria for order
 //!   selection (see [`crate::select`]).
 
+use crate::codec::{CodecError, CodecResult, Reader, Writer};
+use crate::forecast::{FittedModel, Forecaster};
 use crate::ols::LinearModel;
 use crate::{Result, StatsError};
 use serde::{Deserialize, Serialize};
@@ -254,17 +256,39 @@ impl Arima {
     ///
     /// Returns [`StatsError::InvalidParameter`] when `horizon == 0`.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.forecast_into(horizon, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Arima::forecast`] writing into a caller-owned output buffer
+    /// (cleared first): the preallocated multi-step batch path. The
+    /// differenced-level recursion and the re-integration ladder perform
+    /// exactly the float operations of the allocating path (the ladder
+    /// tails are seeded from the trailing `d + 1` history values, which
+    /// is the same pairwise-subtraction tree [`integrate`] builds), so
+    /// the two are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `horizon == 0`.
+    pub fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
         if horizon == 0 {
             return Err(StatsError::InvalidParameter {
                 name: "horizon",
                 detail: "forecast horizon must be nonzero".to_string(),
             });
         }
-        let p = self.order.p;
-        let q = self.order.q;
-        let mut w = self.work.clone();
-        let mut e = self.residuals.clone();
-        let mut fut = Vec::with_capacity(horizon);
+        let d = self.order.d;
+        if self.history.len() <= d {
+            return Err(StatsError::TooShort { required: d + 1, actual: self.history.len() });
+        }
+        let mut w = Vec::with_capacity(self.work.len() + horizon);
+        w.extend_from_slice(&self.work);
+        let mut e = Vec::with_capacity(self.residuals.len() + horizon);
+        e.extend_from_slice(&self.residuals);
+        out.clear();
+        out.reserve(horizon);
         for _ in 0..horizon {
             let t = w.len();
             let mut v = self.constant;
@@ -280,10 +304,25 @@ impl Arima {
             }
             w.push(v);
             e.push(0.0); // future innovations are zero in the mean forecast
-            fut.push(v);
+            out.push(v);
         }
-        let _ = (p, q);
-        integrate(&self.history, &fut, self.order.d)
+        if d == 0 {
+            return Ok(());
+        }
+        // In-place re-integration: the ladder tails (last value of the
+        // k-th difference of the history, k = 0..d) seed the walk.
+        let n = self.history.len();
+        let mut tails: Vec<f64> =
+            (0..d).map(|k| nth_difference_at(&self.history, k, n - 1 - k)).collect();
+        for v in out.iter_mut() {
+            let mut acc = *v;
+            for t in tails.iter_mut().rev() {
+                acc += *t;
+                *t = acc;
+            }
+            *v = acc;
+        }
+        Ok(())
     }
 
     /// The ψ-weights (MA(∞) representation) of the fitted ARMA part, up to
@@ -355,6 +394,21 @@ impl Arima {
     ///
     /// Returns [`StatsError::EmptyInput`] when `test` is empty.
     pub fn predict_rolling(&self, test: &[f64]) -> Result<Vec<f64>> {
+        let mut preds = Vec::new();
+        self.predict_rolling_into(test, &mut preds)?;
+        Ok(preds)
+    }
+
+    /// [`Arima::predict_rolling`] writing into a caller-owned output
+    /// buffer (cleared first): the preallocated batch path the serve
+    /// stages use, so steady-state rolling prediction reuses one output
+    /// allocation across models. Bit-identical to the allocating
+    /// wrapper — the per-step float operations are the same code.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyInput`] when `test` is empty.
+    pub fn predict_rolling_into(&self, test: &[f64], preds: &mut Vec<f64>) -> Result<()> {
         if test.is_empty() {
             return Err(StatsError::EmptyInput);
         }
@@ -368,7 +422,8 @@ impl Arima {
         w.extend_from_slice(&self.work);
         let mut e = Vec::with_capacity(self.residuals.len() + test.len());
         e.extend_from_slice(&self.residuals);
-        let mut preds = Vec::with_capacity(test.len());
+        preds.clear();
+        preds.reserve(test.len());
         for &obs in test {
             // One-step mean forecast at differenced level.
             let t = w.len();
@@ -391,7 +446,7 @@ impl Arima {
             w.push(new_w);
             e.push(new_w - v);
         }
-        Ok(preds)
+        Ok(())
     }
 
     /// One-step mean prediction from an *arbitrary* history window using
@@ -440,6 +495,93 @@ impl Arima {
     /// The training series this model was fit on.
     pub fn history(&self) -> &[f64] {
         &self.history
+    }
+
+    /// Encodes the fitted model field-for-field into `w` (the ARIMA
+    /// artifact payload). Every `f64` is written as its `to_bits`
+    /// pattern, so [`Arima::decode`] reconstructs a struct that is
+    /// bitwise equal to `self` — round-trip is the identity.
+    pub fn encode(&self, w: &mut Writer) {
+        w.usize(self.order.p);
+        w.usize(self.order.d);
+        w.usize(self.order.q);
+        w.f64(self.constant);
+        w.f64_seq(&self.ar);
+        w.f64_seq(&self.ma);
+        w.f64_seq(&self.history);
+        w.f64_seq(&self.work);
+        w.f64_seq(&self.residuals);
+        w.f64(self.sigma2);
+    }
+
+    /// Decodes a model encoded by [`Arima::encode`], validating the
+    /// structural invariants the prediction paths rely on (coefficient
+    /// counts matching the order, differenced-series lengths consistent
+    /// with the history) so corrupt payloads become typed errors rather
+    /// than panics downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] / [`CodecError::Invalid`] on short or
+    /// inconsistent input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let order = ArimaOrder::new(r.usize()?, r.usize()?, r.usize()?);
+        let constant = r.f64()?;
+        let ar = r.f64_seq()?;
+        let ma = r.f64_seq()?;
+        let history = r.f64_seq()?;
+        let work = r.f64_seq()?;
+        let residuals = r.f64_seq()?;
+        let sigma2 = r.f64()?;
+        if ar.len() != order.p || ma.len() != order.q {
+            return Err(CodecError::Invalid {
+                detail: format!(
+                    "coefficient counts ({}, {}) disagree with order {order}",
+                    ar.len(),
+                    ma.len()
+                ),
+            });
+        }
+        if history.len() <= order.d || work.len() != history.len() - order.d {
+            return Err(CodecError::Invalid {
+                detail: format!(
+                    "history of {} cannot yield {} values at differencing degree {}",
+                    history.len(),
+                    work.len(),
+                    order.d
+                ),
+            });
+        }
+        if residuals.len() != work.len() {
+            return Err(CodecError::Invalid {
+                detail: format!(
+                    "{} residuals for {} differenced observations",
+                    residuals.len(),
+                    work.len()
+                ),
+            });
+        }
+        Ok(Arima { order, constant, ar, ma, history, work, residuals, sigma2 })
+    }
+}
+
+impl Forecaster<[f64]> for ArimaOrder {
+    type Fitted = Arima;
+    type Error = StatsError;
+
+    fn fit(&self, input: &[f64]) -> Result<Arima> {
+        Arima::fit(input, *self)
+    }
+}
+
+impl FittedModel<[f64]> for Arima {
+    type Error = StatsError;
+
+    /// The batch is the held-out continuation of the training series:
+    /// one rolling one-step prediction per observation, absorbing each
+    /// truth as it arrives ([`Arima::predict_rolling_into`]).
+    fn predict_batch_into(&self, queries: &[f64], out: &mut Vec<f64>) -> Result<()> {
+        self.predict_rolling_into(queries, out)
     }
 }
 
@@ -846,6 +988,79 @@ mod tests {
         assert_eq!(fcs.len(), 2);
         assert_eq!(fcs[0].len(), 4);
         assert!(ArimaEnsemble::fit(&[], ArimaOrder::new(1, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn forecast_into_matches_integrate_ladder_bitwise() {
+        // The in-place re-integration must reproduce `integrate` exactly,
+        // including for d = 2 where the ladder tails interact.
+        for d in [0usize, 1, 2] {
+            let series: Vec<f64> =
+                (0..160).map(|i| 3.0 + 0.7 * i as f64 + ((i * i) % 13) as f64 * 0.21).collect();
+            let model = Arima::fit(&series, ArimaOrder::new(1, d, 0)).unwrap();
+            let mut out = Vec::new();
+            model.forecast_into(7, &mut out).unwrap();
+            // Recompute the differenced-level forecasts and integrate the
+            // reference way.
+            let mut w = model.work.clone();
+            let mut fut = Vec::new();
+            for _ in 0..7 {
+                let t = w.len();
+                let mut v = model.constant();
+                for (j, phi) in model.ar_coefficients().iter().enumerate() {
+                    if t > j {
+                        v += phi * w[t - 1 - j];
+                    }
+                }
+                w.push(v);
+                fut.push(v);
+            }
+            let reference = integrate(model.history(), &fut, d).unwrap();
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "d = {d}");
+            }
+            // And the allocating wrapper is the same code path.
+            let wrapped = model.forecast(7).unwrap();
+            for (a, b) in out.iter().zip(&wrapped) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn predict_batch_trait_matches_predict_rolling_bitwise() {
+        use crate::forecast::{FittedModel, Forecaster};
+        let series = simulate_arma(&[0.7, -0.2], &[0.3], 0.4, 600, 0.5, 31);
+        let (train, test) = series.split_at(560);
+        let order = ArimaOrder::new(2, 1, 1);
+        let spec_fit = order.fit(train).unwrap();
+        let direct_fit = Arima::fit(train, order).unwrap();
+        assert_eq!(spec_fit, direct_fit);
+        let rolled = direct_fit.predict_rolling(test).unwrap();
+        let batched = spec_fit.predict_batch(test).unwrap();
+        assert_eq!(rolled.len(), batched.len());
+        for (a, b) in rolled.iter().zip(&batched) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_identity() {
+        use crate::codec::{Reader, Writer};
+        let series = simulate_arma(&[0.6], &[0.25], 0.1, 400, 0.7, 33);
+        let model = Arima::fit(&series, ArimaOrder::new(1, 1, 1)).unwrap();
+        let mut w = Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = Arima::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(model, back);
+        // Truncation at every prefix must be a typed error, not a panic.
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Arima::decode(&mut Reader::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

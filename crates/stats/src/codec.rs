@@ -1,0 +1,372 @@
+//! Deterministic little-endian binary encoding primitives for model
+//! artifacts.
+//!
+//! Every fitted model in the workspace can be persisted to a versioned
+//! binary artifact (see `ddos_core::artifact` for the envelope). The
+//! payload encodings all bottom out in this module: a [`Writer`] that
+//! appends fixed-width little-endian words to a byte buffer and a
+//! [`Reader`] that consumes them back, returning a typed [`CodecError`]
+//! — never panicking — on truncated or malformed input.
+//!
+//! Floating-point values are encoded as their IEEE-754 bit patterns
+//! (`f64::to_bits`), so save → load round-trips are bit-exact: a reloaded
+//! model produces predictions whose `to_bits` equal the in-memory
+//! model's, which is what the goldencheck fingerprint gate verifies.
+
+use std::fmt;
+
+/// A typed decoding failure. Encoding is infallible (it only appends to
+/// a growable buffer); every decoding failure mode maps to one variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The input ended before a fixed-width word could be read.
+    Truncated {
+        /// Bytes the pending read needed.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// An enum discriminant byte had no matching variant.
+    BadTag {
+        /// What was being decoded.
+        context: &'static str,
+        /// The unrecognized discriminant.
+        tag: u64,
+    },
+    /// A structurally valid field held an impossible value (e.g. a
+    /// length that would overflow, or a count disagreeing with another).
+    Invalid {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, remaining } => {
+                write!(f, "truncated input: needed {needed} bytes, {remaining} remaining")
+            }
+            CodecError::BadTag { context, tag } => {
+                write!(f, "unrecognized tag {tag} while decoding {context}")
+            }
+            CodecError::Invalid { detail } => write!(f, "invalid field: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience result alias for decoding.
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Append-only little-endian encoder over a growable byte buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends a single byte (enum discriminants).
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32` little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (lengths, counts).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern — the bit-exactness
+    /// anchor of the whole artifact format.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a bool as one byte (0 / 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed `f64` slice.
+    pub fn f64_seq(&mut self, values: &[f64]) {
+        self.usize(values.len());
+        for &v in values {
+            self.f64(v);
+        }
+    }
+
+    /// Appends a length-prefixed `usize` slice.
+    pub fn usize_seq(&mut self, values: &[usize]) {
+        self.usize(values.len());
+        for &v in values {
+            self.usize(v);
+        }
+    }
+}
+
+/// Cursor-based little-endian decoder over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consumes and returns `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of input.
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> CodecResult<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> CodecResult<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads a `usize` stored as `u64`, rejecting values that do not fit.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::Invalid`] on overflow.
+    pub fn usize(&mut self) -> CodecResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .map_err(|_| CodecError::Invalid { detail: format!("count {v} overflows usize") })
+    }
+
+    /// Reads a length field that will drive an allocation: the declared
+    /// count must be plausible given the bytes remaining (each element
+    /// needs at least `min_elem_bytes`), so corrupt headers cannot
+    /// trigger huge allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] for impossible counts.
+    pub fn len(&mut self, min_elem_bytes: usize) -> CodecResult<usize> {
+        let n = self.usize()?;
+        let needed = n.saturating_mul(min_elem_bytes.max(1));
+        if needed > self.remaining() {
+            return Err(CodecError::Truncated { needed, remaining: self.remaining() });
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a bool byte, rejecting anything but 0 / 1.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] / [`CodecError::BadTag`].
+    pub fn bool(&mut self) -> CodecResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag { context: "bool", tag: t as u64 }),
+        }
+    }
+
+    /// Reads a length-prefixed `f64` sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] on short input.
+    pub fn f64_seq(&mut self) -> CodecResult<Vec<f64>> {
+        let n = self.len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] / [`CodecError::Invalid`] on short or
+    /// overflowing input.
+    pub fn usize_seq(&mut self) -> CodecResult<Vec<usize>> {
+        let n = self.len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Asserts that every byte has been consumed — artifact envelopes
+    /// call this so trailing garbage is a typed error, not silence.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Invalid`] when bytes remain.
+    pub fn finish(&self) -> CodecResult<()> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Invalid {
+                detail: format!("{} trailing bytes after payload", self.remaining()),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_word_types() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.usize(481);
+        w.f64(-0.0);
+        w.f64(f64::NAN);
+        w.bool(true);
+        w.bool(false);
+        w.f64_seq(&[1.5, -2.25, f64::INFINITY]);
+        w.usize_seq(&[0, 13]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.usize().unwrap(), 481);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.f64().unwrap().is_nan());
+        assert!(r.bool().unwrap());
+        assert!(!r.bool().unwrap());
+        let seq = r.f64_seq().unwrap();
+        assert_eq!(seq.len(), 3);
+        assert_eq!(seq[0], 1.5);
+        assert_eq!(seq[2], f64::INFINITY);
+        assert_eq!(r.usize_seq().unwrap(), vec![0, 13]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_reads_are_typed_errors() {
+        let mut w = Writer::new();
+        w.u64(42);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..5]);
+        assert!(matches!(r.u64(), Err(CodecError::Truncated { needed: 8, remaining: 5 })));
+    }
+
+    #[test]
+    fn huge_declared_length_is_rejected_without_allocating() {
+        let mut w = Writer::new();
+        w.u64(u64::MAX); // a length claiming ~2^64 elements
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(r.f64_seq().is_err());
+    }
+
+    #[test]
+    fn bad_bool_tag() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.bool(), Err(CodecError::BadTag { context: "bool", tag: 2 })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = Writer::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+        r.u8().unwrap();
+        r.finish().unwrap();
+    }
+}

@@ -1,0 +1,96 @@
+//! The train/serve split: the `Forecaster` trait family.
+//!
+//! The paper's three model classes — ARIMA (§IV), NAR (§V) and the CART
+//! model tree (§VI) — were historically fit and queried in one pass.
+//! This module names the two halves so pipelines can train once, persist
+//! the fitted model, and predict many times:
+//!
+//! * [`Forecaster`] — the **fit** half. Implemented by lightweight
+//!   *specifications* (an ARIMA order, a NAR config + seed, a tree
+//!   config): `spec.fit(training_input)` yields the servable model.
+//! * [`FittedModel`] — the **serve** half. Implemented by the fitted
+//!   models themselves; `predict_batch` answers a whole batch of queries
+//!   in one call, with a `predict_batch_into` variant writing into a
+//!   caller-owned buffer so serving loops stay allocation-free.
+//!
+//! The query type is generic because the three families are queried
+//! differently: an ARIMA model rolls over a held-out continuation of its
+//! own training series (`[f64]`), a NAR model rolls over a continuation
+//! of a *supplied* history ([`Rolling`]), and a regression tree scores a
+//! batch of feature rows (`[Vec<f64>]`). What the trait pins down is the
+//! contract: one `f64` prediction per query element, computed with
+//! exactly the float operations of the corresponding scalar path — every
+//! implementation in this workspace is bit-identical to its per-query
+//! loop, which is what lets the batched kernels sit underneath the
+//! goldencheck fingerprint gate unnoticed.
+
+/// The fit half of the train/serve split.
+///
+/// `In` is the (borrowed, possibly unsized) training input: `[f64]` for
+/// the series models, [`Design`] for row-based learners.
+pub trait Forecaster<In: ?Sized> {
+    /// The servable model produced by a successful fit.
+    type Fitted;
+    /// The fit-failure type of the implementing crate.
+    type Error;
+
+    /// Trains a model on `input` according to this specification.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific: typically too-short inputs, non-finite
+    /// values, or degenerate designs.
+    fn fit(&self, input: &In) -> Result<Self::Fitted, Self::Error>;
+}
+
+/// The serve half of the train/serve split: batched prediction.
+///
+/// `Query` is the borrowed batch: each implementation documents its
+/// shape and returns exactly one prediction per query element.
+pub trait FittedModel<Query: ?Sized> {
+    /// The serve-failure type of the implementing crate.
+    type Error;
+
+    /// Answers the whole batch, appending one prediction per query
+    /// element to `out` (cleared first). Serving loops reuse one buffer
+    /// across calls, keeping steady-state prediction allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; on error `out`'s contents are
+    /// unspecified.
+    fn predict_batch_into(&self, queries: &Query, out: &mut Vec<f64>) -> Result<(), Self::Error>;
+
+    /// Allocating convenience wrapper over
+    /// [`FittedModel::predict_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FittedModel::predict_batch_into`].
+    fn predict_batch(&self, queries: &Query) -> Result<Vec<f64>, Self::Error> {
+        let mut out = Vec::new();
+        self.predict_batch_into(queries, &mut out)?;
+        Ok(out)
+    }
+}
+
+/// A rolling-prediction batch for series models that take the history
+/// explicitly (NAR): predict `test[0]` from the tail of `history`, then
+/// absorb the true `test[0]` and predict `test[1]`, and so on.
+#[derive(Debug, Clone, Copy)]
+pub struct Rolling<'a> {
+    /// The observed series the model conditions on.
+    pub history: &'a [f64],
+    /// The held-out continuation; one prediction is produced per element.
+    pub test: &'a [f64],
+}
+
+/// A borrowed regression design — the training input of row-based
+/// forecasters (one feature row per observation, one target each).
+#[derive(Debug, Clone, Copy)]
+pub struct Design<'a> {
+    /// Feature rows, all the same width.
+    pub xs: &'a [Vec<f64>],
+    /// Per-row regression targets, `ys.len() == xs.len()`.
+    pub ys: &'a [f64],
+}

@@ -19,6 +19,10 @@
 //!   middle-ground comparators between the naive baselines and ARIMA).
 //! * [`exec`] — deterministic sharded parallel executor backing the
 //!   model-fitting hot paths (same outputs at any thread count).
+//! * [`forecast`] — the train/serve split: `Forecaster` (fit) and
+//!   `FittedModel` (batched serve) traits shared by ARIMA, NAR and CART.
+//! * [`codec`] — little-endian `to_bits` encoding primitives underlying
+//!   the versioned model-artifact format.
 //!
 //! # Example
 //!
@@ -42,9 +46,11 @@
 
 pub mod acf;
 pub mod arima;
+pub mod codec;
 pub mod diagnostics;
 pub mod distributions;
 pub mod exec;
+pub mod forecast;
 pub mod matrix;
 pub mod metrics;
 pub mod ols;

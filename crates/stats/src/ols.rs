@@ -5,6 +5,7 @@
 //! model's AR component is also fit by least squares. Both paths go through
 //! [`LinearModel`].
 
+use crate::codec::{CodecResult, Reader, Writer};
 use crate::matrix::Matrix;
 use crate::{Result, StatsError};
 use serde::{Deserialize, Serialize};
@@ -225,6 +226,34 @@ impl LinearModel {
     /// Number of regressors (excluding the intercept).
     pub fn n_regressors(&self) -> usize {
         self.coefficients.len()
+    }
+
+    /// Encodes the fitted model field-for-field into `w` (every `f64`
+    /// as its bit pattern): the payload fragment CART leaves embed in
+    /// tree artifacts. Round-trip through [`LinearModel::decode`] is the
+    /// identity on the struct.
+    pub fn encode(&self, w: &mut Writer) {
+        w.f64(self.intercept);
+        w.f64_seq(&self.coefficients);
+        w.f64(self.r_squared);
+        w.f64(self.residual_std);
+        w.usize(self.n_obs);
+    }
+
+    /// Decodes a model encoded by [`LinearModel::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`](crate::codec::CodecError) on truncated or
+    /// malformed input.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        Ok(LinearModel {
+            intercept: r.f64()?,
+            coefficients: r.f64_seq()?,
+            r_squared: r.f64()?,
+            residual_std: r.f64()?,
+            n_obs: r.usize()?,
+        })
     }
 }
 
