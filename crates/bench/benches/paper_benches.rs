@@ -196,19 +196,15 @@ fn bench_parallel_executor(c: &mut Criterion) {
     for (name, workers) in
         [("pipeline_temporal_serial_1thread", 1), ("pipeline_temporal_parallel_4threads", 4)]
     {
-        let p = Pipeline::new(
-            PipelineConfig { parallelism: Some(workers), ..PipelineConfig::fast() },
-            42,
-        );
+        let p =
+            Pipeline::new(PipelineConfig::fast_builder().parallelism(workers).build().unwrap(), 42);
         g.bench_function(name, |b| b.iter(|| p.run_temporal(black_box(corpus)).unwrap()));
     }
     for (name, workers) in
         [("pipeline_durations_serial_1thread", 1), ("pipeline_durations_parallel_4threads", 4)]
     {
-        let p = Pipeline::new(
-            PipelineConfig { parallelism: Some(workers), ..PipelineConfig::fast() },
-            42,
-        );
+        let p =
+            Pipeline::new(PipelineConfig::fast_builder().parallelism(workers).build().unwrap(), 42);
         g.bench_function(name, |b| {
             b.iter(|| p.run_spatial_durations(black_box(corpus), 4).unwrap())
         });
@@ -485,6 +481,117 @@ fn bench_serve_batch(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 6): the long-lived forecast service. Criterion rows for
+/// the two serving shapes — single-request round trips through an
+/// unbatched service (pure dispatch latency) and a 256-request burst
+/// through micro-batch-64 flushes (throughput) — plus a manual 2000
+/// round-trip percentile sweep whose p50/p99 and derived throughput are
+/// printed as a headline and recorded in `BENCH_features.json`. The
+/// `serve_micro_batched` goldencheck line pins that none of this
+/// scheduling changes a single output bit.
+fn bench_serve_service(c: &mut Criterion) {
+    use ddos_serve::{BatchPolicy, ForecastRequest, ForecastService, ServeConfig};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let st_cfg = SpatioTemporalConfig::fast();
+    let model = Arc::new(SpatioTemporalModel::fit(corpus, train, &st_cfg, 5).unwrap());
+    let (xs, _) = SpatioTemporalModel::training_design(train, &st_cfg, 5).unwrap();
+    let features: Vec<ddos_core::spatiotemporal::InstanceFeatures> = xs
+        .iter()
+        .map(|r| ddos_core::spatiotemporal::InstanceFeatures::from_row(r).unwrap())
+        .collect();
+    let request = |i: usize| ForecastRequest {
+        source: (i % 5) as u64,
+        target: ddos_astopo::Asn(i as u32),
+        features: features[i % features.len()],
+    };
+    let serve_config = |max_batch: usize, delay: Duration| ServeConfig {
+        batch: BatchPolicy { max_batch, max_delay: delay },
+        queue_capacity: 100_000,
+        workers: None,
+        rate_windows: Vec::new(),
+    };
+
+    // Percentile headline: 2000 single round trips through an unbatched
+    // service, plus a burst-throughput measurement on a micro-batching
+    // one. eprintln'd here; the recorded rows in BENCH_features.json are
+    // copied from this output.
+    {
+        let handle =
+            ForecastService::start_with_model(Arc::clone(&model), serve_config(1, Duration::ZERO));
+        let client = handle.client();
+        let mut lat_ns: Vec<u64> = (0..2_000)
+            .map(|i| {
+                let t0 = Instant::now();
+                client.submit(request(i)).unwrap().wait().unwrap();
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect();
+        lat_ns.sort_unstable();
+        let (p50, p99) = (lat_ns[lat_ns.len() / 2], lat_ns[lat_ns.len() * 99 / 100]);
+        handle.shutdown().unwrap();
+
+        let handle = ForecastService::start_with_model(
+            Arc::clone(&model),
+            serve_config(64, Duration::from_micros(200)),
+        );
+        let client = handle.client();
+        let burst: Vec<ForecastRequest> = (0..256).map(request).collect();
+        let t0 = Instant::now();
+        const ROUNDS: usize = 20;
+        for _ in 0..ROUNDS {
+            for t in client.submit_batch(&burst).unwrap() {
+                t.wait().unwrap();
+            }
+        }
+        let total = t0.elapsed();
+        let throughput = (ROUNDS * burst.len()) as f64 / total.as_secs_f64();
+        let stats = handle.shutdown().unwrap();
+        eprintln!(
+            "[serve_service] round-trip p50 {p50} ns, p99 {p99} ns (2000 reqs, unbatched); \
+             burst-256/flush-64 throughput {throughput:.0} req/s \
+             ({} batches, max flush {})",
+            stats.batches, stats.max_batch_len
+        );
+    }
+
+    let mut g = c.benchmark_group("serve_service");
+    g.sample_size(20);
+    {
+        let handle =
+            ForecastService::start_with_model(Arc::clone(&model), serve_config(1, Duration::ZERO));
+        let client = handle.client();
+        let mut i = 0usize;
+        g.bench_function("round_trip_unbatched", |b| {
+            b.iter(|| {
+                i += 1;
+                client.submit(black_box(request(i))).unwrap().wait().unwrap()
+            })
+        });
+        handle.shutdown().unwrap();
+    }
+    {
+        let handle = ForecastService::start_with_model(
+            Arc::clone(&model),
+            serve_config(64, Duration::from_micros(200)),
+        );
+        let client = handle.client();
+        let burst: Vec<ForecastRequest> = (0..256).map(request).collect();
+        g.bench_function("burst_256_microbatch_64", |b| {
+            b.iter(|| {
+                for t in client.submit_batch(black_box(&burst)).unwrap() {
+                    t.wait().unwrap();
+                }
+            })
+        });
+        handle.shutdown().unwrap();
+    }
+    g.finish();
+}
+
 /// Ablation: exponential smoothing as the middle comparator between the
 /// naive baselines and ARIMA on the magnitude series.
 fn bench_ablation_smoothing(c: &mut Criterion) {
@@ -540,6 +647,7 @@ criterion_group!(
     bench_flat_hot_paths,
     bench_cart_fit,
     bench_serve_batch,
+    bench_serve_service,
     bench_attribution,
     bench_entropy_detection,
     bench_ablation_smoothing,

@@ -29,9 +29,10 @@ use ddos_cart::tree::{RegressionTree, TreeConfig};
 use ddos_core::artifact::ModelArtifact;
 use ddos_core::attribution::FamilyAttributor;
 use ddos_core::features::FeatureExtractor;
-use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
+use ddos_core::spatiotemporal::{InstanceFeatures, SpatioTemporalConfig, SpatioTemporalModel};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
+use ddos_serve::{BatchPolicy, ForecastRequest, ForecastService, ServeConfig};
 use ddos_stats::arima::{Arima, ArimaOrder};
 use ddos_trace::AttackRecord;
 
@@ -316,11 +317,21 @@ fn run(report: &mut Report) {
     // every byte of the envelope + payload. Artifacts are deterministic,
     // so a stable line proves serialization didn't drift (a reloaded
     // model serving different bits would trip the lines above instead).
+    // Two lines: the current (v2, checksummed) envelope, and the legacy
+    // v1 envelope — the latter must keep the hash the pre-v2 golden file
+    // recorded for `spatiotemporal_artifact`, pinning that v2 changed
+    // only the envelope, never the payload bytes.
     let artifact = st_model.to_artifact_bytes();
     let mut h = Fnv::new(report);
     h.word(artifact.len() as u64);
     h.bytes(&artifact);
     h.done("spatiotemporal_artifact");
+
+    let artifact_v1 = st_model.to_artifact_bytes_v1();
+    let mut h = Fnv::new(report);
+    h.word(artifact_v1.len() as u64);
+    h.bytes(&artifact_v1);
+    h.done("spatiotemporal_artifact_v1");
 
     // Batched serving: the level-order `predict_many` kernel over the
     // real training design, on the served model's hour and day trees.
@@ -333,4 +344,45 @@ fn run(report: &mut Report) {
         }
     }
     h.done("batched_tree_predictions");
+
+    // Micro-batched serving through the forecast service: responses in
+    // submission order over the training design. Batch composition and
+    // flush timing vary run to run; the forecast bits must not — this is
+    // the service-level determinism contract, on the same model the
+    // lines above fingerprint.
+    let serve_features: Vec<InstanceFeatures> =
+        st_xs.iter().map(|row| InstanceFeatures::from_row(row).unwrap()).collect();
+    let handle = ForecastService::start_with_model(
+        std::sync::Arc::new(st_model),
+        ServeConfig {
+            batch: BatchPolicy { max_batch: 7, max_delay: std::time::Duration::from_millis(1) },
+            queue_capacity: serve_features.len() + 1,
+            workers: Some(3),
+            rate_windows: Vec::new(),
+        },
+    );
+    let client = handle.client();
+    let tickets: Vec<_> = serve_features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            client
+                .submit(ForecastRequest {
+                    source: i as u64 % 5,
+                    target: ddos_astopo::Asn(i as u32),
+                    features: *f,
+                })
+                .unwrap()
+        })
+        .collect();
+    let mut h = Fnv::new(report);
+    for ticket in tickets {
+        let fc = ticket.wait().unwrap().forecast;
+        h.f64(fc.hour);
+        h.f64(fc.day);
+        h.f64(fc.magnitude);
+        h.f64(fc.duration_secs);
+    }
+    handle.shutdown().unwrap();
+    h.done("serve_micro_batched");
 }

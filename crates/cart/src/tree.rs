@@ -300,6 +300,26 @@ impl RegressionTree {
     /// Same as [`RegressionTree::predict`]; on error `out`'s contents
     /// are unspecified.
     pub fn predict_many_into(&self, xs: &[Vec<f64>], out: &mut Vec<f64>) -> Result<()> {
+        let mut scratch = PredictScratch::default();
+        self.predict_many_with(xs, &mut scratch, out)
+    }
+
+    /// [`RegressionTree::predict_many_into`] with caller-owned working
+    /// memory: the index arena and partition spill buffer live in
+    /// `scratch` and are reused across calls, so a long-lived serving
+    /// loop pays zero allocation per batch in steady state. Bit-identical
+    /// to the allocating wrapper — the traversal is the same code.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RegressionTree::predict`]; on error `out`'s contents
+    /// are unspecified.
+    pub fn predict_many_with(
+        &self,
+        xs: &[Vec<f64>],
+        scratch: &mut PredictScratch,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         for x in xs {
             if x.len() != self.n_features {
                 return Err(CartError::FeatureWidthMismatch {
@@ -310,8 +330,12 @@ impl RegressionTree {
         }
         out.clear();
         out.resize(xs.len(), 0.0);
-        let mut idx: Vec<usize> = (0..xs.len()).collect();
-        let mut spill = vec![0usize; xs.len()];
+        let idx = &mut scratch.idx;
+        idx.clear();
+        idx.extend(0..xs.len());
+        let spill = &mut scratch.spill;
+        spill.clear();
+        spill.resize(xs.len(), 0);
         let mut frontier: VecDeque<(&Node, usize, usize)> = VecDeque::new();
         frontier.push_back((&self.root, 0, xs.len()));
         while let Some((node, lo, hi)) = frontier.pop_front() {
@@ -322,7 +346,7 @@ impl RegressionTree {
                     }
                 }
                 Node::Internal { feature, threshold, left, right, .. } => {
-                    let n_left = stable_partition(&mut idx[lo..hi], &mut spill, |i| {
+                    let n_left = stable_partition(&mut idx[lo..hi], spill.as_mut_slice(), |i| {
                         xs[i][*feature] <= *threshold
                     });
                     // Empty segments are dropped rather than enqueued, so
@@ -402,6 +426,16 @@ impl RegressionTree {
         let root = Node::decode(r, n_features, budget)?;
         Ok(RegressionTree { root, n_features, config })
     }
+}
+
+/// Reusable working memory for [`RegressionTree::predict_many_with`]:
+/// the row-index arena and the stable-partition spill buffer. One scratch
+/// serves any number of trees and batch sizes — buffers grow to the
+/// largest batch seen and are then reused allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct PredictScratch {
+    idx: Vec<usize>,
+    spill: Vec<usize>,
 }
 
 /// `FittedModel` view of a fitted tree: the query batch is a slice of
@@ -844,6 +878,31 @@ mod tests {
         // Empty batch is a no-op, not an error.
         t.predict_many_into(&[], &mut reused).unwrap();
         assert!(reused.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_across_batches_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let xs: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.gen::<f64>() * 24.0, rng.gen::<f64>() * 31.0, rng.gen::<f64>()])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 0.5 - r[1] * 0.2 + r[2]).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default()).unwrap();
+        // One scratch across shrinking, growing and empty batches: every
+        // call must match the allocating path exactly.
+        let mut scratch = PredictScratch::default();
+        let mut with = Vec::new();
+        let mut into = Vec::new();
+        for batch_len in [170usize, 3, 200, 0, 64] {
+            let queries = &xs[..batch_len];
+            t.predict_many_with(queries, &mut scratch, &mut with).unwrap();
+            t.predict_many_into(queries, &mut into).unwrap();
+            assert_eq!(
+                with.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                into.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "batch_len={batch_len}"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! on-disk form so a model can be fit once and served many times — across
 //! processes and across releases — with **bit-identical** predictions.
 //!
-//! # Envelope
+//! # Envelope (schema v2, current)
 //!
 //! Every artifact starts with the same envelope, followed by a
 //! model-specific payload:
@@ -14,9 +14,18 @@
 //! | bytes | field | value |
 //! |---|---|---|
 //! | 0..8 | magic | `b"DDOSMDL\0"` |
-//! | 8..12 | schema version | little-endian `u32`, currently `1` |
+//! | 8..12 | schema version | little-endian `u32`, currently `2` |
 //! | 12 | kind tag | [`ArtifactKind`] discriminant |
-//! | 13.. | payload | model-specific, see [`ModelArtifact`] |
+//! | 13..21 | payload length | little-endian `u64` |
+//! | 21..29 | payload checksum | FNV-1a 64 over the payload bytes |
+//! | 29.. | payload | model-specific, see [`ModelArtifact`] |
+//!
+//! Schema v2 added the payload guard (length + checksum) so a long-lived
+//! serving process can cheaply reject a torn or bit-flipped artifact
+//! *before* attempting the structured decode. Schema v1 artifacts — the
+//! same envelope without the guard — remain readable: the decoder
+//! dispatches on the version field, and [`migrate_artifact_file`] /
+//! [`migrate_to_current`] rewrite stale files at the current version.
 //!
 //! All floating-point state inside payloads is written via
 //! [`f64::to_bits`], so encode→decode is the *identity* on the model —
@@ -33,7 +42,22 @@ use std::path::Path;
 pub const MAGIC: [u8; 8] = *b"DDOSMDL\0";
 
 /// Current artifact schema version. Bump when any payload layout changes.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The legacy schema version: the same envelope without the payload
+/// guard. Still decodable; see [`migrate_to_current`].
+pub const SCHEMA_V1: u32 = 1;
+
+/// FNV-1a 64-bit hash — the payload checksum of the v2 envelope (and the
+/// same function the goldencheck gate uses for fingerprints).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 /// Which model family an artifact holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +133,15 @@ pub enum ArtifactError {
         /// The unrecognised tag byte.
         tag: u8,
     },
+    /// The v2 payload guard did not match: the payload bytes hash to a
+    /// different FNV-1a value than the envelope recorded (torn write or
+    /// bit rot).
+    ChecksumMismatch {
+        /// Checksum recorded in the envelope.
+        expected: u64,
+        /// Checksum of the payload bytes actually present.
+        actual: u64,
+    },
     /// The payload failed to decode (truncated or malformed bytes).
     Corrupt(CodecError),
     /// Reading or writing the artifact file failed.
@@ -122,7 +155,8 @@ impl fmt::Display for ArtifactError {
             ArtifactError::UnsupportedVersion { found } => {
                 write!(
                     f,
-                    "unsupported artifact schema version {found} (supported: {SCHEMA_VERSION})"
+                    "unsupported artifact schema version {found} \
+                     (supported: {SCHEMA_V1}..={SCHEMA_VERSION})"
                 )
             }
             ArtifactError::WrongKind { expected, found } => {
@@ -130,6 +164,13 @@ impl fmt::Display for ArtifactError {
             }
             ArtifactError::UnknownKind { tag } => {
                 write!(f, "unknown artifact kind tag {tag}")
+            }
+            ArtifactError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "artifact payload checksum mismatch: envelope says {expected:016x}, \
+                     payload hashes to {actual:016x}"
+                )
             }
             ArtifactError::Corrupt(e) => write!(f, "corrupt artifact payload: {e}"),
             ArtifactError::Io(detail) => write!(f, "artifact i/o failed: {detail}"),
@@ -182,17 +223,40 @@ pub trait ModelArtifact: Sized {
     /// bounds) so a corrupt artifact can never panic at predict time.
     fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self>;
 
-    /// Serializes the model into a self-describing artifact.
+    /// Serializes the model into a self-describing artifact at the
+    /// current schema version (v2: payload length + FNV-1a checksum
+    /// guard the payload).
     fn to_artifact_bytes(&self) -> Vec<u8> {
+        let mut pw = Writer::new();
+        self.encode_payload(&mut pw);
+        let payload = pw.into_bytes();
         let mut w = Writer::new();
         w.bytes(&MAGIC);
         w.u32(SCHEMA_VERSION);
+        w.u8(Self::KIND.tag());
+        w.usize(payload.len());
+        w.u64(fnv1a(&payload));
+        w.bytes(&payload);
+        w.into_bytes()
+    }
+
+    /// Serializes the model at the **legacy v1** envelope (no payload
+    /// guard). Kept so fixtures for the v1→v2 migration path can be
+    /// written and the fingerprint swap verified; new artifacts are
+    /// always written by [`to_artifact_bytes`](Self::to_artifact_bytes)
+    /// at the current version.
+    fn to_artifact_bytes_v1(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(&MAGIC);
+        w.u32(SCHEMA_V1);
         w.u8(Self::KIND.tag());
         self.encode_payload(&mut w);
         w.into_bytes()
     }
 
     /// Deserializes a model from artifact bytes, validating the envelope.
+    /// Accepts every supported schema version: v2 verifies the payload
+    /// guard before decoding, v1 decodes the bare payload directly.
     ///
     /// # Errors
     ///
@@ -200,6 +264,8 @@ pub trait ModelArtifact: Sized {
     /// * [`ArtifactError::UnsupportedVersion`] for other schema versions.
     /// * [`ArtifactError::UnknownKind`] / [`ArtifactError::WrongKind`]
     ///   when the kind tag is unrecognised or names a different model.
+    /// * [`ArtifactError::ChecksumMismatch`] when the v2 payload guard
+    ///   disagrees with the payload bytes.
     /// * [`ArtifactError::Corrupt`] when the payload fails to decode or
     ///   leaves trailing bytes.
     fn from_artifact_bytes(bytes: &[u8]) -> std::result::Result<Self, ArtifactError> {
@@ -209,7 +275,7 @@ pub trait ModelArtifact: Sized {
             return Err(ArtifactError::BadMagic);
         }
         let version = r.u32()?;
-        if version != SCHEMA_VERSION {
+        if version != SCHEMA_VERSION && version != SCHEMA_V1 {
             return Err(ArtifactError::UnsupportedVersion { found: version });
         }
         let tag = r.u8()?;
@@ -217,8 +283,22 @@ pub trait ModelArtifact: Sized {
         if kind != Self::KIND {
             return Err(ArtifactError::WrongKind { expected: Self::KIND, found: kind });
         }
-        let model = Self::decode_payload(&mut r)?;
+        if version == SCHEMA_V1 {
+            let model = Self::decode_payload(&mut r)?;
+            r.finish()?;
+            return Ok(model);
+        }
+        let len = r.usize()?;
+        let expected = r.u64()?;
+        let payload = r.bytes(len)?;
         r.finish()?;
+        let actual = fnv1a(payload);
+        if actual != expected {
+            return Err(ArtifactError::ChecksumMismatch { expected, actual });
+        }
+        let mut pr = Reader::new(payload);
+        let model = Self::decode_payload(&mut pr)?;
+        pr.finish()?;
         Ok(model)
     }
 
@@ -244,6 +324,64 @@ pub trait ModelArtifact: Sized {
             .map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
         Self::from_artifact_bytes(&bytes)
     }
+}
+
+/// Reads just the schema version out of an artifact's envelope, without
+/// decoding the payload. This is how migration tooling decides whether a
+/// file is stale.
+///
+/// # Errors
+///
+/// * [`ArtifactError::BadMagic`] when the magic prefix is absent.
+/// * [`ArtifactError::Corrupt`] when the version field is truncated.
+pub fn artifact_version(bytes: &[u8]) -> std::result::Result<u32, ArtifactError> {
+    let mut r = Reader::new(bytes);
+    let magic = r.bytes(MAGIC.len()).map_err(|_| ArtifactError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    Ok(r.u32()?)
+}
+
+/// Decodes artifact bytes at whatever supported version they carry and
+/// reports whether they are stale: `(model, needs_rewrite)`. A caller
+/// holding a `true` flag re-encodes with
+/// [`ModelArtifact::to_artifact_bytes`] to produce current-version bytes
+/// — the decode is bit-exact, so the migrated artifact serves the exact
+/// predictions the v1 artifact did.
+///
+/// # Errors
+///
+/// Everything [`ModelArtifact::from_artifact_bytes`] can produce.
+pub fn migrate_to_current<M: ModelArtifact>(
+    bytes: &[u8],
+) -> std::result::Result<(M, bool), ArtifactError> {
+    let from = artifact_version(bytes)?;
+    let model = M::from_artifact_bytes(bytes)?;
+    Ok((model, from != SCHEMA_VERSION))
+}
+
+/// Migrates an artifact file in place: reads it at any supported schema
+/// version and, when stale, atomically rewrites it at the current
+/// version. Returns the decoded model, the version found on disk, and
+/// whether the file was rewritten.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] on read/write failures, plus every decode error
+/// [`ModelArtifact::from_artifact_bytes`] can produce.
+pub fn migrate_artifact_file<M: ModelArtifact>(
+    path: &Path,
+) -> std::result::Result<(M, u32, bool), ArtifactError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| ArtifactError::Io(format!("{}: {e}", path.display())))?;
+    let from = artifact_version(&bytes)?;
+    let model = M::from_artifact_bytes(&bytes)?;
+    let migrated = from != SCHEMA_VERSION;
+    if migrated {
+        save_bytes(path, &model.to_artifact_bytes())?;
+    }
+    Ok((model, from, migrated))
 }
 
 /// Writes `bytes` to `path` via a sibling temp file + rename, so a
@@ -368,6 +506,72 @@ mod tests {
             Toy::from_artifact_bytes(&padded),
             Err(ArtifactError::Corrupt(CodecError::Invalid { .. }))
         ));
+    }
+
+    #[test]
+    fn v1_artifacts_still_decode() {
+        let toy = Toy { weights: vec![1.5, -0.0, 3.25e300] };
+        let v1 = toy.to_artifact_bytes_v1();
+        assert_eq!(artifact_version(&v1).unwrap(), SCHEMA_V1);
+        let back = Toy::from_artifact_bytes(&v1).unwrap();
+        for (a, b) in toy.weights.iter().zip(&back.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn v2_envelope_carries_checksum_guard() {
+        let toy = Toy { weights: vec![2.0, 4.0] };
+        let bytes = toy.to_artifact_bytes();
+        assert_eq!(artifact_version(&bytes).unwrap(), SCHEMA_VERSION);
+        // Flip one payload byte: the guard catches it before decode.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(
+            Toy::from_artifact_bytes(&corrupt),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // The v1 envelope has no guard, so the same flip reaches the
+        // payload decoder (here: silently flips a weight bit — exactly
+        // the exposure v2 closes).
+        let v1 = toy.to_artifact_bytes_v1();
+        let mut v1_corrupt = v1.clone();
+        let last = v1_corrupt.len() - 1;
+        v1_corrupt[last] ^= 0x01;
+        assert!(Toy::from_artifact_bytes(&v1_corrupt).is_ok());
+    }
+
+    #[test]
+    fn migrate_to_current_flags_stale_bytes() {
+        let toy = Toy { weights: vec![0.5, 7.0] };
+        let (m1, stale) = migrate_to_current::<Toy>(&toy.to_artifact_bytes_v1()).unwrap();
+        assert!(stale);
+        assert_eq!(m1, toy);
+        let (m2, stale) = migrate_to_current::<Toy>(&toy.to_artifact_bytes()).unwrap();
+        assert!(!stale);
+        assert_eq!(m2, toy);
+    }
+
+    #[test]
+    fn migrate_artifact_file_rewrites_v1_in_place() {
+        let dir = std::env::temp_dir().join("ddos-core-artifact-migrate-test");
+        let path = dir.join("toy_v1.mdl");
+        let toy = Toy { weights: vec![0.125, -9.75] };
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, toy.to_artifact_bytes_v1()).unwrap();
+
+        let (model, from, migrated) = migrate_artifact_file::<Toy>(&path).unwrap();
+        assert_eq!((from, migrated), (SCHEMA_V1, true));
+        assert_eq!(model, toy);
+        // On disk the file is now current-version, and a second migration
+        // is a no-op.
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(artifact_version(&on_disk).unwrap(), SCHEMA_VERSION);
+        assert_eq!(on_disk, toy.to_artifact_bytes());
+        let (_, from, migrated) = migrate_artifact_file::<Toy>(&path).unwrap();
+        assert_eq!((from, migrated), (SCHEMA_VERSION, false));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

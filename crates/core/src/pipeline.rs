@@ -12,7 +12,7 @@
 //!   and error distributions, with the §VI RMSE summary),
 //! * [`Pipeline::run_baseline_comparison`] → the §VII-A table.
 
-use crate::artifact::ModelArtifact;
+use crate::artifact::{ArtifactError, ModelArtifact};
 use crate::baseline::{predict_rolling, BaselineKind};
 use crate::evaluate::{RmseTable, SeriesEvaluation};
 use crate::features::FeatureExtractor;
@@ -82,6 +82,133 @@ impl PipelineConfig {
             artifact_dir: None,
         }
     }
+
+    /// Starts a validating builder from the paper's defaults. This is the
+    /// preferred construction path — bare struct literals still compile
+    /// (the fields are public for introspection) but are deprecated by
+    /// convention, because only [`PipelineConfigBuilder::build`] checks
+    /// the cross-field invariants (a usable split fraction, a sane
+    /// parallelism request) before a `Pipeline` ever runs.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder { config: PipelineConfig::default() }
+    }
+
+    /// Like [`PipelineConfig::builder`], but starting from the
+    /// [`PipelineConfig::fast`] preset used by tests and examples.
+    pub fn fast_builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder { config: PipelineConfig::fast() }
+    }
+}
+
+/// Validating builder for [`PipelineConfig`]; see
+/// [`PipelineConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    config: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Sets the chronological train fraction (the paper uses 0.8).
+    pub fn split(mut self, split: f64) -> Self {
+        self.config.split = split;
+        self
+    }
+
+    /// Sets the temporal-model configuration.
+    pub fn temporal(mut self, temporal: TemporalConfig) -> Self {
+        self.config.temporal = temporal;
+        self
+    }
+
+    /// Sets the spatial-model configuration.
+    pub fn spatial(mut self, spatial: SpatialConfig) -> Self {
+        self.config.spatial = spatial;
+        self
+    }
+
+    /// Sets the spatiotemporal-model configuration.
+    pub fn spatiotemporal(mut self, spatiotemporal: SpatioTemporalConfig) -> Self {
+        self.config.spatiotemporal = spatiotemporal;
+        self
+    }
+
+    /// Restricts evaluation to the given families.
+    pub fn families(mut self, families: Vec<FamilyId>) -> Self {
+        self.config.families = Some(families);
+        self
+    }
+
+    /// Sets the worker-thread count for the fitting hot paths
+    /// (`1` = serial). Execution knob only — reports are bit-identical
+    /// at any value.
+    pub fn parallelism(mut self, workers: usize) -> Self {
+        self.config.parallelism = Some(workers);
+        self
+    }
+
+    /// Enables fitted-model artifact caching under `dir`.
+    pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::InvalidConfig`] when the split fraction is not
+    /// strictly inside `(0, 1)`, when a parallelism of zero was
+    /// requested, or when an explicit family list is empty.
+    pub fn build(self) -> Result<PipelineConfig> {
+        let c = &self.config;
+        if !c.split.is_finite() || c.split <= 0.0 || c.split >= 1.0 {
+            return Err(ModelError::InvalidConfig {
+                detail: format!("split fraction must be inside (0, 1), got {}", c.split),
+            });
+        }
+        if c.parallelism == Some(0) {
+            return Err(ModelError::InvalidConfig {
+                detail: "parallelism must be at least 1 worker".to_string(),
+            });
+        }
+        if let Some(families) = &c.families {
+            if families.is_empty() {
+                return Err(ModelError::InvalidConfig {
+                    detail: "explicit family list must not be empty".to_string(),
+                });
+            }
+        }
+        Ok(self.config)
+    }
+}
+
+/// What the fitted-model artifact cache did during a
+/// [`Pipeline::fit_spatiotemporal_with_cache`] call.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CacheStatus {
+    /// No `artifact_dir` is configured; the model was fit directly.
+    Disabled,
+    /// No artifact existed under the key; the model was fit and saved.
+    Miss {
+        /// Cache path that was probed and then written.
+        path: PathBuf,
+    },
+    /// A matching artifact was decoded and served — no fitting happened.
+    Hit {
+        /// Cache path that was loaded.
+        path: PathBuf,
+    },
+    /// A cache file **existed but could not be decoded**; the model was
+    /// refit and the file overwritten. Before this status existed the
+    /// condition was silently swallowed — callers now see the typed
+    /// reason (corruption, truncation, checksum mismatch, version skew).
+    Invalid {
+        /// Cache path that failed to decode.
+        path: PathBuf,
+        /// Why the decode failed.
+        error: ArtifactError,
+    },
 }
 
 /// The experiment orchestrator.
@@ -540,26 +667,60 @@ impl Pipeline {
     /// as a versioned artifact keyed on the seed, split, configuration and
     /// training stream; a matching artifact is reloaded instead of
     /// refitting (artifact round-trips are bit-exact, so the reloaded
-    /// model serves identical predictions). Unreadable or stale cache
-    /// files are silently refit and overwritten.
+    /// model serves identical predictions). A present-but-unreadable
+    /// cache file is refit and overwritten like a miss, but no longer
+    /// silently: the typed reason is logged to stderr here and surfaced
+    /// by [`Pipeline::fit_spatiotemporal_with_cache`].
     ///
     /// # Errors
     ///
     /// Propagates fit errors; [`ModelError::Artifact`] when a fresh
     /// artifact cannot be written to the cache directory.
     pub fn fit_spatiotemporal(&self, corpus: &Corpus) -> Result<SpatioTemporalModel> {
+        let (model, status) = self.fit_spatiotemporal_with_cache(corpus)?;
+        if let CacheStatus::Invalid { path, error } = &status {
+            eprintln!(
+                "warning: ignoring unreadable artifact cache {} ({error}); refitting",
+                path.display()
+            );
+        }
+        Ok(model)
+    }
+
+    /// [`Pipeline::fit_spatiotemporal`] that additionally reports what
+    /// the artifact cache did — in particular [`CacheStatus::Invalid`]
+    /// when a cache file existed but could not be decoded (corruption,
+    /// truncation, version skew beyond migration), which previously
+    /// triggered a *silent* refit. Callers that must not serve from a
+    /// possibly-tampered cache directory inspect the status instead of
+    /// relying on the stderr warning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pipeline::fit_spatiotemporal`].
+    pub fn fit_spatiotemporal_with_cache(
+        &self,
+        corpus: &Corpus,
+    ) -> Result<(SpatioTemporalModel, CacheStatus)> {
         let (train, _) = corpus.split(self.config.split)?;
         let Some(dir) = &self.config.artifact_dir else {
-            return SpatioTemporalModel::fit(corpus, train, &self.config.spatiotemporal, self.seed);
+            let model =
+                SpatioTemporalModel::fit(corpus, train, &self.config.spatiotemporal, self.seed)?;
+            return Ok((model, CacheStatus::Disabled));
         };
         let path = dir.join(format!("spatiotemporal-{:016x}.mdl", self.spatiotemporal_key(train)));
-        if let Ok(model) = SpatioTemporalModel::load_artifact(&path) {
-            return Ok(model);
-        }
+        let status = if path.exists() {
+            match SpatioTemporalModel::load_artifact(&path) {
+                Ok(model) => return Ok((model, CacheStatus::Hit { path })),
+                Err(error) => CacheStatus::Invalid { path: path.clone(), error },
+            }
+        } else {
+            CacheStatus::Miss { path: path.clone() }
+        };
         let model =
             SpatioTemporalModel::fit(corpus, train, &self.config.spatiotemporal, self.seed)?;
         model.save_artifact(&path)?;
-        Ok(model)
+        Ok((model, status))
     }
 
     /// Serve stage of the Figs. 3–4 experiment: batched tree scoring of
@@ -853,7 +1014,7 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
         let uncached = Pipeline::new(PipelineConfig::fast(), 7);
         let cached = Pipeline::new(
-            PipelineConfig { artifact_dir: Some(dir.clone()), ..PipelineConfig::fast() },
+            PipelineConfig::fast_builder().artifact_dir(dir.clone()).build().unwrap(),
             7,
         );
         let baseline = uncached.run_spatiotemporal(&c).unwrap();
@@ -868,7 +1029,7 @@ mod tests {
         // A different seed misses the cache (new key) instead of serving
         // the stale model.
         let other = Pipeline::new(
-            PipelineConfig { artifact_dir: Some(dir.clone()), ..PipelineConfig::fast() },
+            PipelineConfig::fast_builder().artifact_dir(dir.clone()).build().unwrap(),
             8,
         );
         other.run_spatiotemporal(&c).unwrap();
@@ -884,9 +1045,82 @@ mod tests {
         // Small catalog retains DirtJumper and Pandora.
         assert_eq!(fams.len(), 2);
         let explicit = Pipeline::new(
-            PipelineConfig { families: Some(vec![FamilyId(0)]), ..PipelineConfig::fast() },
+            PipelineConfig::fast_builder().families(vec![FamilyId(0)]).build().unwrap(),
             5,
         );
         assert_eq!(explicit.families(&c), vec![FamilyId(0)]);
+    }
+
+    #[test]
+    fn builder_validates_cross_field_invariants() {
+        // The happy path reproduces the presets it starts from.
+        assert_eq!(PipelineConfig::builder().build().unwrap(), PipelineConfig::default());
+        assert_eq!(PipelineConfig::fast_builder().build().unwrap(), PipelineConfig::fast());
+        let cfg = PipelineConfig::fast_builder()
+            .split(0.75)
+            .parallelism(2)
+            .artifact_dir("/tmp/cache")
+            .build()
+            .unwrap();
+        assert_eq!(cfg.split, 0.75);
+        assert_eq!(cfg.parallelism, Some(2));
+        assert_eq!(cfg.artifact_dir.as_deref(), Some(std::path::Path::new("/tmp/cache")));
+        // Each invariant violation is a typed InvalidConfig.
+        for bad in [
+            PipelineConfig::builder().split(0.0),
+            PipelineConfig::builder().split(1.0),
+            PipelineConfig::builder().split(f64::NAN),
+            PipelineConfig::builder().parallelism(0),
+            PipelineConfig::builder().families(vec![]),
+        ] {
+            assert!(matches!(bad.build(), Err(ModelError::InvalidConfig { .. })));
+        }
+    }
+
+    #[test]
+    fn unreadable_cache_file_is_surfaced_not_silent() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join("ddos-core-pipeline-invalid-cache-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let p = Pipeline::new(
+            PipelineConfig::fast_builder().artifact_dir(dir.clone()).build().unwrap(),
+            7,
+        );
+        // Cold cache: a miss that fits and writes.
+        let (fresh, status) = p.fit_spatiotemporal_with_cache(&c).unwrap();
+        let CacheStatus::Miss { path } = status else {
+            panic!("expected a cache miss, got {status:?}");
+        };
+        // Warm cache: a hit.
+        let (_, status) = p.fit_spatiotemporal_with_cache(&c).unwrap();
+        assert_eq!(status, CacheStatus::Hit { path: path.clone() });
+        // Corrupt the artifact in place: the refit is reported with the
+        // typed decode failure instead of masquerading as a miss.
+        std::fs::write(&path, b"DDOSMDL\0garbage").unwrap();
+        let (refit, status) = p.fit_spatiotemporal_with_cache(&c).unwrap();
+        let CacheStatus::Invalid { path: invalid_path, error } = status else {
+            panic!("expected an invalid-cache status, got {status:?}");
+        };
+        assert_eq!(invalid_path, path);
+        // "garbage" lands in the version field, so the typed reason is
+        // version skew; a torn payload would surface as Corrupt or
+        // ChecksumMismatch. Any of them proves the refit is explained.
+        assert!(
+            matches!(
+                error,
+                ArtifactError::UnsupportedVersion { .. }
+                    | ArtifactError::Corrupt(_)
+                    | ArtifactError::ChecksumMismatch { .. }
+            ),
+            "unexpected reason: {error:?}"
+        );
+        // The refit model matches the original fit, and the overwritten
+        // file now decodes again.
+        let a = fresh.predict(c.split(0.8).unwrap().0, c.split(0.8).unwrap().1).unwrap();
+        let b = refit.predict(c.split(0.8).unwrap().0, c.split(0.8).unwrap().1).unwrap();
+        assert_eq!(a, b);
+        let (_, status) = p.fit_spatiotemporal_with_cache(&c).unwrap();
+        assert_eq!(status, CacheStatus::Hit { path });
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -16,7 +16,7 @@ use crate::variables::{PredictedAttack, TimestampParts};
 use crate::{ModelError, Result};
 use ddos_astopo::Asn;
 use ddos_cart::prune::prune_holdout;
-use ddos_cart::tree::{RegressionTree, TreeConfig};
+use ddos_cart::tree::{PredictScratch, RegressionTree, TreeConfig};
 use ddos_stats::arima::{Arima, ArimaOrder};
 use ddos_stats::codec::{CodecResult, Reader, Writer};
 use ddos_trace::{AttackRecord, Corpus};
@@ -153,6 +153,32 @@ impl InstanceFeatures {
         ]
     }
 
+    /// Inverse of [`InstanceFeatures::to_row`]: reconstructs structured
+    /// features from a flattened design row. Returns `None` when the row
+    /// is not exactly [`InstanceFeatures::FEATURE_NAMES`]`.len()` wide.
+    /// This is how serving front ends replay persisted or assembled
+    /// design rows as typed requests.
+    pub fn from_row(row: &[f64]) -> Option<Self> {
+        if row.len() != Self::FEATURE_NAMES.len() {
+            return None;
+        }
+        Some(InstanceFeatures {
+            tmp_hour: row[0],
+            spa_hour: row[1],
+            interval_secs: row[2],
+            tmp_day: row[3],
+            spa_day: row[4],
+            mean_recent_magnitude: row[5],
+            spa_duration: row[6],
+            last_as_hour: row[7],
+            last_as_gap: row[8],
+            implied_hour: row[9],
+            implied_day: row[10],
+            chain_indicator: row[11],
+            as_hour_median: row[12],
+        })
+    }
+
     /// Human-readable feature names aligned with [`InstanceFeatures::to_row`].
     pub const FEATURE_NAMES: [&'static str; 13] = [
         "N_tmp_hour",
@@ -213,6 +239,50 @@ impl StPrediction {
             },
         }
     }
+}
+
+/// One forward forecast served from a fitted spatiotemporal model: the
+/// four tree outputs with the model's standard output clamps applied.
+/// Unlike [`StPrediction`] (an *evaluation* row carrying truth labels and
+/// component outputs) this is the pure serving payload — what a forecast
+/// service returns per query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackForecast {
+    /// Predicted launch hour, clamped to `[0, 24)`.
+    pub hour: f64,
+    /// Predicted launch day-of-month, clamped to `[1, 31]`.
+    pub day: f64,
+    /// Predicted magnitude (bots), clamped nonnegative.
+    pub magnitude: f64,
+    /// Predicted duration in seconds, clamped nonnegative.
+    pub duration_secs: f64,
+}
+
+impl AttackForecast {
+    /// The forecast as a [`PredictedAttack`] (rounded timestamp parts).
+    pub fn predicted_attack(&self) -> PredictedAttack {
+        PredictedAttack {
+            magnitude: self.magnitude,
+            duration_secs: self.duration_secs,
+            timestamp: TimestampParts {
+                day: self.day.round().clamp(1.0, 31.0) as u8,
+                hour: self.hour.round().clamp(0.0, 23.0) as u8,
+            },
+        }
+    }
+}
+
+/// Reusable working memory for [`SpatioTemporalModel::forecast_rows_into`]:
+/// the shared tree-traversal scratch plus the four per-tree output
+/// buffers. One scratch per serving worker amortizes every per-batch
+/// allocation away.
+#[derive(Debug, Default, Clone)]
+pub struct ForecastScratch {
+    tree: PredictScratch,
+    hours: Vec<f64>,
+    days: Vec<f64>,
+    magnitudes: Vec<f64>,
+    durations: Vec<f64>,
 }
 
 /// The spatiotemporal training design: one feature row per instance plus
@@ -606,33 +676,79 @@ impl SpatioTemporalModel {
         queries: &[ServeQuery],
     ) -> Result<Vec<StPrediction>> {
         debug_assert_eq!(rows.len(), queries.len());
-        let mut hours = Vec::with_capacity(rows.len());
-        let mut days = Vec::with_capacity(rows.len());
-        let mut magnitudes = Vec::with_capacity(rows.len());
-        let mut durations = Vec::with_capacity(rows.len());
-        self.hour_tree.predict_many_into(rows, &mut hours)?;
-        self.day_tree.predict_many_into(rows, &mut days)?;
-        self.magnitude_tree.predict_many_into(rows, &mut magnitudes)?;
-        self.duration_tree.predict_many_into(rows, &mut durations)?;
+        let mut scratch = ForecastScratch::default();
+        let mut forecasts = Vec::with_capacity(rows.len());
+        self.forecast_rows_into(rows, &mut scratch, &mut forecasts)?;
 
         let mut out = Vec::with_capacity(queries.len());
-        for (j, q) in queries.iter().enumerate() {
+        for (q, fc) in queries.iter().zip(&forecasts) {
             let f = &q.features;
             out.push(StPrediction {
                 truth_hour: q.truth[0],
                 truth_day: q.truth[1],
                 truth_magnitude: q.truth[2],
                 truth_duration: q.truth[3],
-                st_hour: hours[j].clamp(0.0, 23.999),
-                st_day: days[j].clamp(1.0, 31.0),
-                st_magnitude: magnitudes[j].max(0.0),
-                st_duration: durations[j].max(0.0),
+                st_hour: fc.hour,
+                st_day: fc.day,
+                st_magnitude: fc.magnitude,
+                st_duration: fc.duration_secs,
                 spatial_hour: f.spa_hour,
                 spatial_day: f.spa_day,
                 temporal_hour: f.tmp_hour,
                 temporal_day: f.tmp_day,
             });
         }
+        Ok(out)
+    }
+
+    /// Scores a batch of flattened design rows through the four trees,
+    /// writing one clamped [`AttackForecast`] per row into `out`. This is
+    /// the serving kernel: all traversal and output buffers live in
+    /// `scratch`, so a long-lived worker pays zero allocation per batch
+    /// in steady state, and results are bit-identical at any batch split
+    /// (each row's score depends only on that row — goldencheck and the
+    /// serve determinism proptest pin this).
+    ///
+    /// # Errors
+    ///
+    /// [`ddos_cart::CartError::FeatureWidthMismatch`] (as [`ModelError`])
+    /// when a row is not exactly 13 features wide.
+    pub fn forecast_rows_into(
+        &self,
+        rows: &[Vec<f64>],
+        scratch: &mut ForecastScratch,
+        out: &mut Vec<AttackForecast>,
+    ) -> Result<()> {
+        self.hour_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.hours)?;
+        self.day_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.days)?;
+        self.magnitude_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.magnitudes)?;
+        self.duration_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.durations)?;
+        out.clear();
+        out.reserve(rows.len());
+        for j in 0..rows.len() {
+            out.push(AttackForecast {
+                hour: scratch.hours[j].clamp(0.0, 23.999),
+                day: scratch.days[j].clamp(1.0, 31.0),
+                magnitude: scratch.magnitudes[j].max(0.0),
+                duration_secs: scratch.durations[j].max(0.0),
+            });
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper over
+    /// [`forecast_rows_into`](SpatioTemporalModel::forecast_rows_into)
+    /// for typed features: flattens, scores, returns. The serial
+    /// reference path the serve determinism tests compare against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`forecast_rows_into`](SpatioTemporalModel::forecast_rows_into).
+    pub fn forecast_features(&self, features: &[InstanceFeatures]) -> Result<Vec<AttackForecast>> {
+        let rows: Vec<Vec<f64>> = features.iter().map(|f| f.to_row()).collect();
+        let mut scratch = ForecastScratch::default();
+        let mut out = Vec::new();
+        self.forecast_rows_into(&rows, &mut scratch, &mut out)?;
         Ok(out)
     }
 }
@@ -727,6 +843,50 @@ mod tests {
         let model =
             SpatioTemporalModel::fit(&corpus, train, &SpatioTemporalConfig::fast(), 5).unwrap();
         (corpus, model)
+    }
+
+    #[test]
+    fn forecast_surface_matches_scalar_tree_walks_bitwise() {
+        let (corpus, model) = fitted();
+        let (train, _) = corpus.split(0.8).unwrap();
+        let (rows, _) =
+            SpatioTemporalModel::training_design(train, &SpatioTemporalConfig::fast(), 5).unwrap();
+        assert!(rows.len() > 20, "need a non-trivial design");
+
+        // from_row inverts to_row exactly.
+        let features: Vec<InstanceFeatures> =
+            rows.iter().map(|r| InstanceFeatures::from_row(r).unwrap()).collect();
+        for (f, r) in features.iter().zip(&rows) {
+            assert_eq!(&f.to_row(), r);
+        }
+        assert!(InstanceFeatures::from_row(&rows[0][..12]).is_none());
+
+        // The batched serving kernel, a reused scratch, and the typed
+        // wrapper all reproduce the scalar per-tree walk bit-for-bit.
+        let via_features = model.forecast_features(&features).unwrap();
+        let mut scratch = ForecastScratch::default();
+        for split in [rows.len(), 7, 1] {
+            let mut got = Vec::new();
+            for chunk in rows.chunks(split) {
+                let mut out = Vec::new();
+                model.forecast_rows_into(chunk, &mut scratch, &mut out).unwrap();
+                got.extend(out);
+            }
+            assert_eq!(got.len(), rows.len());
+            for (j, (a, b)) in got.iter().zip(&via_features).enumerate() {
+                assert_eq!(a.hour.to_bits(), b.hour.to_bits(), "row {j} split {split}");
+                assert_eq!(a.day.to_bits(), b.day.to_bits());
+                assert_eq!(a.magnitude.to_bits(), b.magnitude.to_bits());
+                assert_eq!(a.duration_secs.to_bits(), b.duration_secs.to_bits());
+            }
+        }
+        for (row, fc) in rows.iter().zip(&via_features) {
+            let hour = model.hour_tree().predict(row).unwrap().clamp(0.0, 23.999);
+            assert_eq!(fc.hour.to_bits(), hour.to_bits());
+            assert!((0.0..24.0).contains(&fc.hour));
+            assert!((1.0..=31.0).contains(&fc.day));
+            assert!(fc.magnitude >= 0.0 && fc.duration_secs >= 0.0);
+        }
     }
 
     #[test]

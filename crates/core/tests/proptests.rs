@@ -2,7 +2,7 @@
 //! invariants that must hold over randomized corpora and inputs, plus the
 //! artifact-codec robustness properties (no input may panic the decoder).
 
-use ddos_core::artifact::{ArtifactError, ModelArtifact, MAGIC, SCHEMA_VERSION};
+use ddos_core::artifact::{ArtifactError, ModelArtifact, MAGIC, SCHEMA_V1, SCHEMA_VERSION};
 use ddos_core::detection::{DetectorConfig, EntropyDetector};
 use ddos_core::features::FeatureExtractor;
 use ddos_core::spatial::{SourceDistributionModel, SpatialConfig, SpatialModel};
@@ -235,11 +235,36 @@ proptest! {
         }
     }
 
-    /// Any schema version other than the current one is refused up front,
-    /// with the found version reported.
+    /// Flipping any byte of the v2 *payload* region is caught by the
+    /// envelope's checksum guard before the structured decoder ever runs
+    /// — the hardening schema v2 exists for.
+    #[test]
+    fn flipped_payload_byte_is_caught_by_checksum(
+        kind in 0usize..3,
+        pos_frac in 0.0f64..1.0,
+        mask in 1u8..=255,
+    ) {
+        // v2 header: magic(8) + version(4) + kind(1) + len(8) + fnv(8).
+        const HEADER: usize = 29;
+        let mut bytes = reference_artifacts()[kind].clone();
+        let payload_len = bytes.len() - HEADER;
+        let pos = HEADER + (((payload_len as f64) * pos_frac) as usize % payload_len);
+        bytes[pos] ^= mask;
+        let err = match kind {
+            0 => TemporalModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+            1 => SpatialModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+            _ => SpatioTemporalModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
+        };
+        prop_assert!(matches!(err, ArtifactError::ChecksumMismatch { .. }));
+    }
+
+    /// Any schema version outside the supported range is refused up
+    /// front, with the found version reported. (Version 1 is excluded:
+    /// the legacy envelope is still readable, and stamping v1 onto v2
+    /// bytes merely mis-parses the payload as a typed decode error.)
     #[test]
     fn wrong_schema_version_rejected(kind in 0usize..3, version in 0u32..10_000) {
-        prop_assume!(version != SCHEMA_VERSION);
+        prop_assume!(!(SCHEMA_V1..=SCHEMA_VERSION).contains(&version));
         let mut bytes = reference_artifacts()[kind].clone();
         bytes[8..12].copy_from_slice(&version.to_le_bytes());
         let err = match kind {

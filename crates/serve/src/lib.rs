@@ -1,0 +1,52 @@
+//! Long-lived batching forecast service over fitted spatiotemporal
+//! artifacts.
+//!
+//! The fitting pipeline (`ddos-core`) produces versioned model
+//! artifacts; this crate is the other half of the split: a serving
+//! process that decode-caches those artifacts behind a [`ModelStore`],
+//! accepts [`ForecastRequest`]s on an MPSC front end, accumulates them
+//! into micro-batches (flushed on size or deadline), fans each batch
+//! across the deterministic sharded executor, and returns
+//! [`ForecastResponse`]s — with typed admission control (bounded
+//! in-flight depth → [`ServeError::Overloaded`]) and multi-horizon
+//! sliding-window per-source rate accounting
+//! ([`ServeError::RateLimited`]).
+//!
+//! The load-bearing property is *bit-identity*: concurrent micro-batched
+//! serving returns, for every request, exactly the `f64` bits that a
+//! serial [`SpatioTemporalModel::forecast_features`] call over the same
+//! features would — at any batch size, flush timing or worker count.
+//! Each request's score is a pure function of its own feature row, so
+//! batching and sharding are pure scheduling choices. The determinism
+//! proptests in `tests/` pin this with `to_bits` equality.
+//!
+//! ```no_run
+//! use ddos_serve::{DirModelStore, ForecastService, ModelStore, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let store: Arc<dyn ModelStore> = Arc::new(DirModelStore::open("artifacts"));
+//! let handle = ForecastService::start(&store, "spatiotemporal", ServeConfig::default())?;
+//! let client = handle.client();
+//! // ... submit ForecastRequests from any thread, wait on tickets ...
+//! let stats = handle.shutdown()?;
+//! println!("served {} requests in {} batches", stats.served, stats.batches);
+//! # Ok::<(), ddos_serve::ServeError>(())
+//! ```
+//!
+//! [`SpatioTemporalModel::forecast_features`]: ddos_core::spatiotemporal::SpatioTemporalModel::forecast_features
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod rate;
+pub mod service;
+pub mod store;
+
+pub use error::{Result, ServeError};
+pub use rate::{default_windows, RateLimiter, RateWindow};
+pub use service::{
+    BatchPolicy, ForecastRequest, ForecastResponse, ForecastService, ForecastTicket, ServeClient,
+    ServeConfig, ServeHandle, ServeStats,
+};
+pub use store::{DirModelStore, MemoryModelStore, ModelStore};

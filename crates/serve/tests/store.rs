@@ -1,0 +1,88 @@
+//! `ModelStore` behavior: decode-caching, schema-version tolerance and
+//! in-place migration of a directory of artifacts.
+
+use ddos_core::artifact::{artifact_version, ModelArtifact, SCHEMA_VERSION};
+use ddos_core::spatiotemporal::{SpatioTemporalConfig, SpatioTemporalModel};
+use ddos_serve::{DirModelStore, MemoryModelStore, ModelStore, ServeError};
+use ddos_trace::{CorpusConfig, TraceGenerator};
+use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+fn fitted() -> &'static SpatioTemporalModel {
+    static CELL: OnceLock<SpatioTemporalModel> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), 300).generate().unwrap();
+        let (train, _) = corpus.split(0.8).unwrap();
+        SpatioTemporalModel::fit(&corpus, train, &SpatioTemporalConfig::fast(), 5).unwrap()
+    })
+}
+
+/// A fresh per-test artifact directory under the system temp dir.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ddos-serve-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn dir_store_decode_caches_and_types_missing_keys() {
+    let dir = scratch_dir("cache");
+    fitted().save_artifact(&dir.join("st.mdl")).unwrap();
+
+    let store = DirModelStore::open(&dir);
+    assert_eq!(store.keys(), vec!["st".to_string()]);
+    let first = store.load("st").unwrap();
+    let second = store.load("st").unwrap();
+    // Same Arc, not a re-decode: a long-lived service pays the artifact
+    // decode once per key.
+    assert!(Arc::ptr_eq(&first, &second));
+
+    match store.load("absent") {
+        Err(ServeError::ModelNotFound { key }) => assert_eq!(key, "absent"),
+        Err(other) => panic!("expected ModelNotFound, got {other:?}"),
+        Ok(_) => panic!("expected ModelNotFound, got a model"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dir_store_serves_v1_artifacts_and_migrates_in_place() {
+    let dir = scratch_dir("migrate");
+    let model = fitted();
+    std::fs::write(dir.join("legacy.mdl"), model.to_artifact_bytes_v1()).unwrap();
+    std::fs::write(dir.join("current.mdl"), model.to_artifact_bytes()).unwrap();
+
+    // A v1 file is served as-is (the decoder is version-tolerant)...
+    let store = DirModelStore::open(&dir);
+    let served = store.load("legacy").unwrap();
+    assert_eq!(
+        served.to_artifact_bytes(),
+        model.to_artifact_bytes(),
+        "v1-decoded model must re-encode to the exact current-version bytes"
+    );
+
+    // ...and migrate_all rewrites exactly the stale file, reporting the
+    // version it came from.
+    let migrated = DirModelStore::open(&dir).migrate_all().unwrap();
+    assert_eq!(migrated, vec![("legacy".to_string(), 1)]);
+    let rewritten = std::fs::read(dir.join("legacy.mdl")).unwrap();
+    assert_eq!(artifact_version(&rewritten).unwrap(), SCHEMA_VERSION);
+    assert_eq!(rewritten, model.to_artifact_bytes());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_store_registers_and_serves() {
+    let store = MemoryModelStore::new();
+    assert!(store.keys().is_empty());
+    assert!(matches!(store.load("st"), Err(ServeError::ModelNotFound { .. })));
+    // The model is not Clone (it owns fitted trees); round-trip through
+    // its artifact bytes to get an owned copy.
+    let owned = SpatioTemporalModel::from_artifact_bytes(&fitted().to_artifact_bytes()).unwrap();
+    store.insert("st", owned);
+    assert_eq!(store.keys(), vec!["st".to_string()]);
+    let a = store.load("st").unwrap();
+    let b = store.load("st").unwrap();
+    assert!(Arc::ptr_eq(&a, &b));
+}

@@ -462,20 +462,56 @@ impl Arima {
     /// Returns [`StatsError::TooShort`] when `history` cannot supply
     /// `d + p` values.
     pub fn predict_one_from(&self, history: &[f64]) -> Result<f64> {
+        let mut diffed = Vec::new();
+        self.predict_one_from_with(history, &mut diffed)
+    }
+
+    /// [`Arima::predict_one_from`] with a caller-owned differencing
+    /// buffer: the per-call allocation (the cloned-then-differenced
+    /// history) lands in `diffed` and is reused across calls, so batch
+    /// feature assembly pays zero steady-state allocation per window for
+    /// the common `d = 0` orders. Bit-identical to the allocating
+    /// wrapper: the in-place differencing and re-integration ladder
+    /// perform the exact float operations of [`difference`] /
+    /// [`integrate`] in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::TooShort`] when `history` cannot supply
+    /// `d + p` values.
+    pub fn predict_one_from_with(&self, history: &[f64], diffed: &mut Vec<f64>) -> Result<f64> {
         let d = self.order.d;
         let p = self.order.p;
         if history.len() < d + p.max(1) {
             return Err(StatsError::TooShort { required: d + p.max(1), actual: history.len() });
         }
-        let w = difference(history, d)?;
-        let t = w.len();
+        // In-place differencing, capturing each level's tail value for
+        // the re-integration ladder. (For d > 0 the d-element tail list
+        // is a tiny side allocation; the history-sized buffer is what
+        // `diffed` amortizes.)
+        diffed.clear();
+        diffed.extend_from_slice(history);
+        let mut tails: Vec<f64> = Vec::with_capacity(d);
+        for _ in 0..d {
+            tails.push(*diffed.last().expect("length checked above"));
+            for i in 0..diffed.len() - 1 {
+                diffed[i] = diffed[i + 1] - diffed[i];
+            }
+            diffed.pop();
+        }
+        let t = diffed.len();
         let mut v = self.constant;
         for (j, phi) in self.ar.iter().enumerate() {
             if t > j {
-                v += phi * w[t - 1 - j];
+                v += phi * diffed[t - 1 - j];
             }
         }
-        Ok(integrate(history, &[v], d)?[0])
+        // `integrate` adds the level tails deepest-first onto the
+        // differenced forecast; replicate that exact addition order.
+        for &tail in tails.iter().rev() {
+            v += tail;
+        }
+        Ok(v)
     }
 
     /// Akaike information criterion (Gaussian likelihood approximation).
@@ -947,6 +983,42 @@ mod tests {
         let v = model.predict_one_from(&window).unwrap();
         // Drift from training is +3/step; window ends at 145.
         assert!((v - 148.0).abs() < 0.5, "prediction {v}");
+    }
+
+    #[test]
+    fn predict_one_from_with_matches_ladder_composition_bitwise() {
+        // The scratch variant replicates difference + AR + integrate
+        // inline; pin it bit-for-bit against the explicit composition for
+        // every practical differencing depth, reusing one dirty buffer.
+        let mut lcg = 0x2545_F491_4F6C_DD1Du64;
+        let series: Vec<f64> = (0..120)
+            .map(|i| {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let noise = (lcg >> 40) as f64 / (1u64 << 24) as f64;
+                (i as f64 * 0.37).sin() * 9.0 + i as f64 + noise * 4.0
+            })
+            .collect();
+        let mut scratch = vec![f64::NAN; 3];
+        for (p, d, q) in [(2, 0, 1), (1, 1, 0), (2, 2, 0)] {
+            let model = Arima::fit(&series, ArimaOrder::new(p, d, q)).unwrap();
+            for window_len in [d + p.max(1), 10, 40] {
+                let window = &series[series.len() - window_len..];
+                let via_ladder = {
+                    let w = difference(window, d).unwrap();
+                    let t = w.len();
+                    let mut v = model.constant;
+                    for (j, phi) in model.ar.iter().enumerate() {
+                        if t > j {
+                            v += phi * w[t - 1 - j];
+                        }
+                    }
+                    integrate(window, &[v], d).unwrap()[0]
+                };
+                let via_scratch = model.predict_one_from_with(window, &mut scratch).unwrap();
+                assert_eq!(via_scratch.to_bits(), via_ladder.to_bits(), "order ({p},{d},{q})");
+                assert_eq!(model.predict_one_from(window).unwrap().to_bits(), via_ladder.to_bits());
+            }
+        }
     }
 
     #[test]

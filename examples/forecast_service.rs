@@ -1,0 +1,117 @@
+//! The full serving story: fit once, persist a versioned artifact, then
+//! run a long-lived micro-batching forecast service over it (DESIGN.md
+//! §12).
+//!
+//! A mitigation provider fits the spatiotemporal model offline, ships
+//! the artifact to serving hosts, and answers per-customer forecast
+//! queries from many threads — with bounded admission and bit-identical
+//! results at any batching or concurrency.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example forecast_service
+//! ```
+
+use ddos_adversary::model::artifact::ModelArtifact;
+use ddos_adversary::model::pipeline::{Pipeline, PipelineConfig};
+use ddos_adversary::model::spatiotemporal::{InstanceFeatures, SpatioTemporalModel};
+use ddos_adversary::serve::{
+    BatchPolicy, DirModelStore, ForecastRequest, ForecastService, ModelStore, ServeConfig,
+    ServeError,
+};
+use ddos_adversary::trace::{CorpusConfig, TraceGenerator};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Fit once, persist the artifact ─────────────────────────────────
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 7).generate()?;
+    let pipeline = Pipeline::new(PipelineConfig::fast(), 7);
+    let model = pipeline.fit_spatiotemporal(&corpus)?;
+
+    let dir = std::env::temp_dir().join(format!("ddos-serve-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    model.save_artifact(&dir.join("st.mdl"))?;
+    println!("fitted spatiotemporal model, artifact saved under {}", dir.display());
+
+    // ── Serve many times, from a separate decode path ──────────────────
+    let store: Arc<dyn ModelStore> = Arc::new(DirModelStore::open(&dir));
+    println!("store keys: {:?} (decode-cached on first load)", store.keys());
+    let handle = ForecastService::start(
+        &store,
+        "st",
+        ServeConfig {
+            batch: BatchPolicy { max_batch: 32, max_delay: Duration::from_millis(1) },
+            ..ServeConfig::default()
+        },
+    )?;
+
+    // Real query rows: the model's own training design, replayed as
+    // typed features.
+    let (train, _) = corpus.split(0.8)?;
+    let (rows, _) =
+        SpatioTemporalModel::training_design(train, &PipelineConfig::fast().spatiotemporal, 7)?;
+    let features: Vec<InstanceFeatures> =
+        rows.iter().filter_map(|r| InstanceFeatures::from_row(r)).collect();
+
+    // Four producer threads share the service through cloned clients.
+    let n_producers = 4;
+    std::thread::scope(|scope| {
+        for p in 0..n_producers {
+            let client = handle.client();
+            let features = &features;
+            scope.spawn(move || {
+                let tickets: Vec<_> = features
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % n_producers == p)
+                    .map(|(i, f)| {
+                        let req = ForecastRequest {
+                            source: p as u64,
+                            target: ddos_adversary::astopo::Asn(i as u32),
+                            features: *f,
+                        };
+                        (i, client.submit(req).expect("admission"))
+                    })
+                    .collect();
+                for (i, ticket) in tickets.into_iter().take(2) {
+                    let r = ticket.wait().expect("forecast");
+                    println!(
+                        "  producer {p}: instance {i:>3} → hour {:>4.1}, day {:>4.1}, \
+                         {:>6.0} bots, {:>6.0}s (batch of {})",
+                        r.forecast.hour,
+                        r.forecast.day,
+                        r.forecast.magnitude,
+                        r.forecast.duration_secs,
+                        r.batch_len,
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = handle.shutdown()?;
+    println!(
+        "\nserved {} forecasts in {} micro-batches (largest flush {})",
+        stats.served, stats.batches, stats.max_batch_len
+    );
+
+    // Admission is typed: a shut-down service refuses cleanly.
+    let client_after = {
+        let handle = ForecastService::start(&store, "st", ServeConfig::default())?;
+        let client = handle.client();
+        handle.shutdown()?;
+        client
+    };
+    let refused = client_after.submit(ForecastRequest {
+        source: 0,
+        target: ddos_adversary::astopo::Asn(0),
+        features: features[0],
+    });
+    assert!(matches!(refused, Err(ServeError::ShuttingDown)));
+    println!("post-shutdown submission refused with: {}", refused.unwrap_err());
+
+    std::fs::remove_dir_all(&dir)?;
+    Ok(())
+}

@@ -11,6 +11,9 @@
 //! * [`cart`] — CART regression-tree / model-tree substrate
 //! * [`model`] — the paper's contribution: temporal, spatial and
 //!   spatiotemporal attack models, baselines and evaluation
+//! * [`serve`] — long-lived micro-batching forecast service over fitted
+//!   model artifacts (admission control, rate accounting, deterministic
+//!   sharded scoring)
 //!
 //! # Quickstart
 //!
@@ -33,5 +36,6 @@ pub use ddos_astopo as astopo;
 pub use ddos_cart as cart;
 pub use ddos_core as model;
 pub use ddos_neural as neural;
+pub use ddos_serve as serve;
 pub use ddos_stats as stats;
 pub use ddos_trace as trace;

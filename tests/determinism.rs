@@ -37,7 +37,7 @@ fn temporal_experiment_is_reproducible() {
 #[test]
 fn parallel_pipeline_matches_serial_bit_for_bit() {
     let corpus = TraceGenerator::new(CorpusConfig::small(), 999).generate().unwrap();
-    let with_workers = |n: usize| PipelineConfig { parallelism: Some(n), ..PipelineConfig::fast() };
+    let with_workers = |n: usize| PipelineConfig::fast_builder().parallelism(n).build().unwrap();
     let serial = Pipeline::new(with_workers(1), 11);
     let parallel = Pipeline::new(with_workers(4), 11);
 
