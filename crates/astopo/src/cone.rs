@@ -8,33 +8,58 @@
 //! validate that shape in tests and let examples reason about provider
 //! importance (e.g. where filtering rules are most effective).
 
-use crate::graph::{AsGraph, Asn, Relationship, Tier};
+use crate::dense::{Bitset, DenseTopology, NodeId};
+use crate::graph::{AsGraph, Asn, Tier};
 use std::collections::BTreeSet;
+
+/// Marks `root`'s customer cone in `visited` (which must be clear) with a
+/// frontier-compressed BFS over the dense provider→customer edges, and
+/// returns the cone size. The bitset is the only per-node state; the two
+/// frontier vectors never exceed the widest BFS level.
+fn mark_cone(dense: &DenseTopology, root: NodeId, visited: &mut Bitset) -> usize {
+    let mut count = 1;
+    visited.insert(root.index());
+    let mut frontier = vec![root];
+    let mut next = Vec::new();
+    while !frontier.is_empty() {
+        for &u in &frontier {
+            for &v in dense.customers(u) {
+                if visited.insert(v.index()) {
+                    count += 1;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    count
+}
 
 /// The customer cone of `asn`: itself plus every AS reachable through
 /// provider→customer edges. Empty set for an unknown AS.
 pub fn customer_cone(graph: &AsGraph, asn: Asn) -> BTreeSet<Asn> {
-    let mut cone = BTreeSet::new();
-    if !graph.contains(asn) {
-        return cone;
-    }
-    let mut stack = vec![asn];
-    while let Some(u) = stack.pop() {
-        if !cone.insert(u) {
-            continue;
-        }
-        for (v, rel) in graph.neighbors(u) {
-            if rel == Relationship::Customer {
-                stack.push(v);
-            }
-        }
-    }
-    cone
+    let dense = graph.dense();
+    let Some(root) = dense.node_id(asn) else {
+        return BTreeSet::new();
+    };
+    let mut visited = Bitset::new(dense.len());
+    mark_cone(&dense, root, &mut visited);
+    visited.iter_set().map(|i| dense.asn(NodeId(i as u32))).collect()
 }
 
-/// Cone sizes for every AS, ascending by ASN.
+/// Cone sizes for every AS, ascending by ASN. One reused bitset serves
+/// every BFS, so the whole sweep allocates O(n / 64) words once.
 pub fn cone_sizes(graph: &AsGraph) -> Vec<(Asn, usize)> {
-    graph.asns().map(|a| (a, customer_cone(graph, a).len())).collect()
+    let dense = graph.dense();
+    let mut visited = Bitset::new(dense.len());
+    (0..dense.len())
+        .map(|i| {
+            visited.clear();
+            let id = NodeId(i as u32);
+            (dense.asn(id), mark_cone(&dense, id, &mut visited))
+        })
+        .collect()
 }
 
 /// Summary of the hierarchy's shape.
@@ -48,28 +73,46 @@ pub struct HierarchyStats {
     pub tier1_coverage: f64,
 }
 
-/// Computes [`HierarchyStats`].
+/// Computes [`HierarchyStats`] in a single cone sweep: every AS's BFS
+/// runs once against a reused bitset, feeding the per-tier means, the
+/// maximum, and (for tier-1s) a bitwise union for the coverage fraction.
 pub fn hierarchy_stats(graph: &AsGraph) -> HierarchyStats {
-    let mean_for = |tier: Tier| -> f64 {
-        let members = graph.tier_members(tier);
-        if members.is_empty() {
-            return 0.0;
+    let dense = graph.dense();
+    let n = dense.len();
+    let mut visited = Bitset::new(n);
+    let mut t1_union = Bitset::new(n);
+    // (sum of cone sizes, member count) per tier.
+    let mut by_tier = [(0usize, 0usize); 3];
+    let mut max_cone = 0usize;
+    for i in 0..n {
+        let id = NodeId(i as u32);
+        visited.clear();
+        let size = mark_cone(&dense, id, &mut visited);
+        max_cone = max_cone.max(size);
+        let tier = graph.info(dense.asn(id)).expect("dense node in graph").tier;
+        let slot = match tier {
+            Tier::Tier1 => 0,
+            Tier::Tier2 => 1,
+            Tier::Stub => 2,
+        };
+        by_tier[slot].0 += size;
+        by_tier[slot].1 += 1;
+        if tier == Tier::Tier1 {
+            t1_union.union_with(&visited);
         }
-        members.iter().map(|a| customer_cone(graph, *a).len()).sum::<usize>() as f64
-            / members.len() as f64
-    };
-    let mut union: BTreeSet<Asn> = BTreeSet::new();
-    for t1 in graph.tier_members(Tier::Tier1) {
-        union.extend(customer_cone(graph, t1));
     }
-    HierarchyStats {
-        mean_cone_by_tier: (mean_for(Tier::Tier1), mean_for(Tier::Tier2), mean_for(Tier::Stub)),
-        max_cone: graph.asns().map(|a| customer_cone(graph, a).len()).max().unwrap_or(0),
-        tier1_coverage: if graph.is_empty() {
+    let mean = |slot: usize| -> f64 {
+        let (total, count) = by_tier[slot];
+        if count == 0 {
             0.0
         } else {
-            union.len() as f64 / graph.len() as f64
-        },
+            total as f64 / count as f64
+        }
+    };
+    HierarchyStats {
+        mean_cone_by_tier: (mean(0), mean(1), mean(2)),
+        max_cone,
+        tier1_coverage: if n == 0 { 0.0 } else { t1_union.count() as f64 / n as f64 },
     }
 }
 

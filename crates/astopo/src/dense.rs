@@ -30,6 +30,62 @@ impl NodeId {
     }
 }
 
+/// A packed visited set over dense node ids: one bit per node, 64 nodes
+/// per word. At 100 k nodes that is ~1.5 KiB versus ~2.4 MiB for a
+/// `BTreeSet<Asn>` — the difference between a cone BFS that lives in L1
+/// and one that thrashes the allocator.
+#[derive(Debug, Clone)]
+pub(crate) struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// An empty set with capacity for `n` ids.
+    pub(crate) fn new(n: usize) -> Self {
+        Bitset { words: vec![0; n.div_ceil(64)] }
+    }
+
+    /// Sets bit `i`; `true` if it was previously clear.
+    pub(crate) fn insert(&mut self, i: usize) -> bool {
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    /// Clears every bit, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Adds every bit of `other` (same capacity) to `self`.
+    pub(crate) fn union_with(&mut self, other: &Bitset) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Iterates set bit indices in ascending order.
+    pub(crate) fn iter_set(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut rest = *w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
 /// CSR-style immutable snapshot of an [`AsGraph`]'s structure.
 #[derive(Debug, Clone)]
 pub struct DenseTopology {

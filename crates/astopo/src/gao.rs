@@ -108,16 +108,28 @@ impl InferredRelationships {
 /// ```
 pub fn infer(paths: &[AsPath], config: GaoConfig) -> Result<InferredRelationships> {
     // Degree of each AS as observed in the paths (Gao uses the routing
-    // tables themselves to estimate degree, not ground truth).
-    let mut degree: BTreeMap<Asn, BTreeSet<Asn>> = BTreeMap::new();
+    // tables themselves to estimate degree, not ground truth). Distinct
+    // neighbors are counted off one sorted, deduplicated directed edge
+    // list — a flat sort beats per-edge `BTreeSet` inserts by an order of
+    // magnitude on Internet-scale path bags, and yields the same counts.
+    let mut directed: Vec<(Asn, Asn)> = Vec::new();
     for path in paths {
         validate_path(path)?;
         for w in path.windows(2) {
-            degree.entry(w[0]).or_default().insert(w[1]);
-            degree.entry(w[1]).or_default().insert(w[0]);
+            directed.push((w[0], w[1]));
+            directed.push((w[1], w[0]));
         }
     }
-    let deg = |a: Asn| degree.get(&a).map_or(0, |s| s.len());
+    directed.sort_unstable();
+    directed.dedup();
+    let mut degrees: Vec<(Asn, usize)> = Vec::new();
+    for (a, _) in &directed {
+        match degrees.last_mut() {
+            Some((last, count)) if last == a => *count += 1,
+            _ => degrees.push((*a, 1)),
+        }
+    }
+    let deg = |a: Asn| degrees.binary_search_by_key(&a, |(x, _)| *x).map_or(0, |i| degrees[i].1);
 
     // Phase 1: transit votes. provider_votes[(p, c)] counts paths that
     // imply p transited for c.

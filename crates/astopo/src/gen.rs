@@ -46,6 +46,24 @@ impl TopologyConfig {
         }
     }
 
+    /// The Internet-scale topology (~100 k ASes): a dozen backbone
+    /// networks, a couple thousand regional providers and ~98 k stubs
+    /// across twelve regions. Lateral tier-2 peering is sparse (the pair
+    /// probability applies to every same-region pair, and regions hold
+    /// ~170 tier-2s each), matching the thin peering mesh of the real
+    /// AS graph at this size.
+    pub fn internet() -> Self {
+        TopologyConfig {
+            n_tier1: 12,
+            n_tier2: 2_000,
+            n_stubs: 98_000,
+            n_regions: 12,
+            t2_peering_prob: 0.02,
+            max_stub_providers: 3,
+            out_of_region_prob: 0.05,
+        }
+    }
+
     /// The default experiment topology (~600 ASes), large enough that the
     /// AS-level source-distribution feature has room to vary.
     pub fn standard() -> Self {
@@ -157,30 +175,42 @@ impl TopologyGenerator {
                 g.add_edge(backup, asn, Relationship::Customer)?;
             }
         }
+        // Region of tier-2 index i, precomputed once: the pair loop below
+        // is O(n_tier2²) and per-pair map lookups dominate at 100 k scale.
+        let t2_region = |i: usize| (i % cfg.n_regions as usize) as u8;
         for i in 0..cfg.n_tier2 {
             for j in (i + 1)..cfg.n_tier2 {
-                let a = Asn(t2_start + i as u32);
-                let b = Asn(t2_start + j as u32);
-                let same_region =
-                    g.info(a).expect("exists").region == g.info(b).expect("exists").region;
-                if same_region && rng.gen_bool(cfg.t2_peering_prob) {
+                if t2_region(i) == t2_region(j) && rng.gen_bool(cfg.t2_peering_prob) {
+                    let a = Asn(t2_start + i as u32);
+                    let b = Asn(t2_start + j as u32);
                     g.add_edge(a, b, Relationship::Peer)?;
                 }
             }
         }
 
-        // Stubs: multi-home to tier-2s, preferring their own region.
+        // Stubs: multi-home to tier-2s, preferring their own region. The
+        // per-region provider pools are computed once, in `tier2s` order,
+        // so every draw sees exactly the list the per-stub filter built —
+        // same candidates, same indices, same RNG stream.
         let tier2s: Vec<Asn> = g.tier_members(Tier::Tier2);
+        let mut in_region_pool: Vec<Vec<Asn>> = vec![Vec::new(); cfg.n_regions as usize];
+        let mut out_of_region_pool: Vec<Vec<Asn>> = vec![Vec::new(); cfg.n_regions as usize];
+        for t in &tier2s {
+            let t_region = g.info(*t).expect("exists").region;
+            for r in 0..cfg.n_regions {
+                if t_region == r {
+                    in_region_pool[r as usize].push(*t);
+                } else {
+                    out_of_region_pool[r as usize].push(*t);
+                }
+            }
+        }
         for i in 0..cfg.n_stubs {
             let asn = Asn(stub_start + i as u32);
             let region = (i % cfg.n_regions as usize) as u8;
             g.add_as(asn, Tier::Stub, region);
-            let in_region: Vec<Asn> = tier2s
-                .iter()
-                .copied()
-                .filter(|t| g.info(*t).expect("exists").region == region)
-                .collect();
-            let pool = if in_region.is_empty() { &tier2s } else { &in_region };
+            let in_region = &in_region_pool[region as usize];
+            let pool = if in_region.is_empty() { &tier2s } else { in_region };
             let n_providers = rng.gen_range(1..=cfg.max_stub_providers.min(pool.len()));
             let mut chosen = Vec::with_capacity(n_providers);
             while chosen.len() < n_providers {
@@ -190,10 +220,10 @@ impl TopologyGenerator {
                 }
             }
             if rng.gen_bool(cfg.out_of_region_prob) {
-                let outsiders: Vec<Asn> = tier2s
+                let outsiders: Vec<Asn> = out_of_region_pool[region as usize]
                     .iter()
                     .copied()
-                    .filter(|t| g.info(*t).expect("exists").region != region && !chosen.contains(t))
+                    .filter(|t| !chosen.contains(t))
                     .collect();
                 if !outsiders.is_empty() {
                     chosen.push(outsiders[rng.gen_range(0..outsiders.len())]);

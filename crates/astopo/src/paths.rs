@@ -11,8 +11,8 @@
 
 use crate::dense::{DenseTopology, NodeId};
 use crate::graph::{AsGraph, Asn};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// Sentinel distance/parent value: "not reached by this BFS".
 const UNREACHED: u32 = u32::MAX;
@@ -24,11 +24,13 @@ const UNREACHED: u32 = u32::MAX;
 /// edges and combines the two uphill cones either at a common ancestor or
 /// across a single peering edge — exactly the set of valley-free paths.
 /// All traversal runs over the graph's dense CSR view
-/// ([`AsGraph::dense`]): cones are flat `Vec<u32>` distance/parent arrays
-/// indexed by [`NodeId`], cached behind `Arc` so a cache hit clones a
-/// pointer, never a map. Batch queries ([`PathOracle::pairwise_distances`],
+/// ([`AsGraph::dense`]): cones are sparse entry lists sorted by
+/// [`NodeId`] (an AS's transitive provider set is a handful of nodes even
+/// at 100 k ASes, so per-cone memory is O(cone), not O(graph)), cached
+/// behind `Arc` so a cache hit clones a pointer, never a map. Batch
+/// queries ([`PathOracle::pairwise_distances`],
 /// [`PathOracle::mean_pairwise_distance`]) compute each endpoint's cone
-/// exactly once and intersect cones with linear array scans.
+/// exactly once and intersect cones with sorted merges.
 ///
 /// # Example
 ///
@@ -56,13 +58,32 @@ pub struct PathOracle<'g> {
     uphill: RwLock<HashMap<u32, Arc<UphillCone>>>,
 }
 
-/// An uphill BFS cone as flat arrays over dense node ids. `dist[v]` is the
-/// customer→provider hop count from the cone's root to `v` (or
-/// [`UNREACHED`]); `parent[v]` is the BFS predecessor on that path.
+/// An uphill BFS cone in sparse form: one entry per *reached* node,
+/// sorted ascending by dense node id. Uphill cones are the transitive
+/// provider sets, which stay tiny however large the graph grows, so the
+/// sparse form costs O(cone) per cached endpoint where the old flat
+/// `dist`/`parent` arrays cost O(graph) — the difference between a
+/// 100 k-destination route-table dump holding ~25 MB of cones and one
+/// holding ~80 GB.
 #[derive(Debug)]
 struct UphillCone {
-    dist: Vec<u32>,
-    parent: Vec<u32>,
+    entries: Vec<ConeEntry>,
+}
+
+/// One reached node in an [`UphillCone`]: its BFS hop count from the
+/// root and its BFS predecessor ([`UNREACHED`] for the root itself).
+#[derive(Debug, Clone, Copy)]
+struct ConeEntry {
+    node: u32,
+    dist: u32,
+    parent: u32,
+}
+
+impl UphillCone {
+    /// The entry for `node`, or `None` when the cone does not reach it.
+    fn get(&self, node: NodeId) -> Option<ConeEntry> {
+        self.entries.binary_search_by_key(&node.0, |e| e.node).ok().map(|i| self.entries[i])
+    }
 }
 
 /// How a route was learned at the vantage AS (BGP local-preference class).
@@ -90,27 +111,45 @@ impl<'g> PathOracle<'g> {
     }
 
     fn cone(&self, start: NodeId) -> Arc<UphillCone> {
-        if let Some(c) = self.uphill.read().expect("uphill cache poisoned").get(&start.0) {
+        // Poison recovery: a caught panic on another thread holding the
+        // lock must not wedge every later query. The cache is sound to
+        // reuse after poisoning — entries are pure (a racing recompute
+        // inserts an identical cone) and each insert is a single atomic
+        // map update, so a poisoned guard never exposes a half-built cone.
+        if let Some(c) = self.uphill.read().unwrap_or_else(PoisonError::into_inner).get(&start.0) {
             return Arc::clone(c);
         }
-        let n = self.dense.len();
-        let mut dist = vec![UNREACHED; n];
-        let mut parent = vec![UNREACHED; n];
-        let mut queue = VecDeque::new();
-        dist[start.index()] = 0;
-        queue.push_back(start);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()];
-            for &v in self.dense.providers(u) {
-                if dist[v.index()] == UNREACHED {
-                    dist[v.index()] = du + 1;
-                    parent[v.index()] = u.0;
-                    queue.push_back(v);
+        // Level-synchronous BFS: two compact frontier vectors instead of a
+        // deque. Nodes are discovered in the identical order a FIFO queue
+        // produces (each level scans in enqueue order), so dist and parent
+        // — and every fingerprinted quantity built on them — are unchanged.
+        // The visited set is a sorted id list, not an O(graph) array:
+        // uphill cones are tiny, so the O(k log k) inserts are free.
+        let mut entries = vec![ConeEntry { node: start.0, dist: 0, parent: UNREACHED }];
+        let mut seen = vec![start.0];
+        let mut frontier = vec![start];
+        let mut next = Vec::new();
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            depth += 1;
+            for &u in &frontier {
+                for &v in self.dense.providers(u) {
+                    if let Err(pos) = seen.binary_search(&v.0) {
+                        seen.insert(pos, v.0);
+                        entries.push(ConeEntry { node: v.0, dist: depth, parent: u.0 });
+                        next.push(v);
+                    }
                 }
             }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
         }
-        let cone = Arc::new(UphillCone { dist, parent });
-        self.uphill.write().expect("uphill cache poisoned").insert(start.0, Arc::clone(&cone));
+        entries.sort_unstable_by_key(|e| e.node);
+        let cone = Arc::new(UphillCone { entries });
+        self.uphill
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(start.0, Arc::clone(&cone));
         cone
     }
 
@@ -163,31 +202,33 @@ impl<'g> PathOracle<'g> {
         let mut best: Option<(u32, NodeId, Option<NodeId>)> = None;
 
         // Case 1: meet at a common uphill ancestor (pure up–down path).
-        // Dense ids ascend with ASN, so this scan visits candidates in the
-        // same order the map iteration did — ties resolve identically.
-        for (v, (da, db)) in ca.dist.iter().zip(cb.dist.iter()).enumerate() {
-            if *da == UNREACHED || *db == UNREACHED {
-                continue;
-            }
-            let total = da + db;
-            if best.as_ref().is_none_or(|(d, _, _)| total < *d) {
-                best = Some((total, NodeId(v as u32), None));
+        // The sorted merge visits common ids ascending — the same order
+        // the old dense 0..n scan used — so ties resolve identically.
+        let (mut i, mut j) = (0, 0);
+        while i < ca.entries.len() && j < cb.entries.len() {
+            let (ea, eb) = (ca.entries[i], cb.entries[j]);
+            match ea.node.cmp(&eb.node) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let total = ea.dist + eb.dist;
+                    if best.as_ref().is_none_or(|(d, _, _)| total < *d) {
+                        best = Some((total, NodeId(ea.node), None));
+                    }
+                    i += 1;
+                    j += 1;
+                }
             }
         }
 
         // Case 2: cross exactly one peering edge between the two cones.
-        for (v, du) in ca.dist.iter().enumerate() {
-            if *du == UNREACHED {
-                continue;
-            }
-            for &w in self.dense.peers(NodeId(v as u32)) {
-                let dw = cb.dist[w.index()];
-                if dw == UNREACHED {
-                    continue;
-                }
-                let total = du + 1 + dw;
+        // Entries ascend by node id, matching the old dense scan order.
+        for e in &ca.entries {
+            for &w in self.dense.peers(NodeId(e.node)) {
+                let Some(ew) = cb.get(w) else { continue };
+                let total = e.dist + 1 + ew.dist;
                 if best.as_ref().is_none_or(|(d, _, _)| total < *d) {
-                    best = Some((total, NodeId(v as u32), Some(w)));
+                    best = Some((total, NodeId(e.node), Some(w)));
                 }
             }
         }
@@ -195,28 +236,32 @@ impl<'g> PathOracle<'g> {
     }
 
     /// Shortest valley-free distance between two already-computed cones:
-    /// the minimum over common uphill ancestors and over single peer
-    /// crossings, without path reconstruction.
+    /// the minimum over common uphill ancestors (a sorted merge of the
+    /// two entry lists) and over single peer crossings, without path
+    /// reconstruction. O(|ca| + |cb| + peer edges of ca), independent of
+    /// graph size.
     fn cone_distance(&self, ca: &UphillCone, cb: &UphillCone) -> Option<u32> {
         let mut best: Option<u32> = None;
-        for (da, db) in ca.dist.iter().zip(cb.dist.iter()) {
-            if *da != UNREACHED && *db != UNREACHED {
-                let total = da + db;
-                if best.is_none_or(|d| total < d) {
-                    best = Some(total);
+        let (mut i, mut j) = (0, 0);
+        while i < ca.entries.len() && j < cb.entries.len() {
+            let (ea, eb) = (ca.entries[i], cb.entries[j]);
+            match ea.node.cmp(&eb.node) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let total = ea.dist + eb.dist;
+                    if best.is_none_or(|d| total < d) {
+                        best = Some(total);
+                    }
+                    i += 1;
+                    j += 1;
                 }
             }
         }
-        for (v, du) in ca.dist.iter().enumerate() {
-            if *du == UNREACHED {
-                continue;
-            }
-            for &w in self.dense.peers(NodeId(v as u32)) {
-                let dw = cb.dist[w.index()];
-                if dw == UNREACHED {
-                    continue;
-                }
-                let total = du + 1 + dw;
+        for e in &ca.entries {
+            for &w in self.dense.peers(NodeId(e.node)) {
+                let Some(ew) = cb.get(w) else { continue };
+                let total = e.dist + 1 + ew.dist;
                 if best.is_none_or(|d| total < d) {
                     best = Some(total);
                 }
@@ -268,18 +313,23 @@ impl<'g> PathOracle<'g> {
         let n = self.dense.len();
         let mut dist = vec![UNREACHED; n];
         let mut parent = vec![UNREACHED; n];
-        let mut queue = VecDeque::new();
+        let mut frontier = vec![start];
+        let mut next = Vec::new();
+        let mut depth = 0u32;
         dist[start.index()] = 0;
-        queue.push_back(start);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()];
-            for &v in self.dense.customers(u) {
-                if dist[v.index()] == UNREACHED {
-                    dist[v.index()] = du + 1;
-                    parent[v.index()] = u.0;
-                    queue.push_back(v);
+        while !frontier.is_empty() {
+            depth += 1;
+            for &u in &frontier {
+                for &v in self.dense.customers(u) {
+                    if dist[v.index()] == UNREACHED {
+                        dist[v.index()] = depth;
+                        parent[v.index()] = u.0;
+                        next.push(v);
+                    }
                 }
             }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
         }
         (dist, parent)
     }
@@ -341,20 +391,25 @@ impl<'g> PathOracle<'g> {
         }
         let n = self.dense.len();
         let mut dist = vec![UNREACHED; n];
-        let mut queue = VecDeque::new();
+        let mut frontier = vec![na];
+        let mut next = Vec::new();
+        let mut depth = 0u32;
         dist[na.index()] = 0;
-        queue.push_back(na);
-        while let Some(u) = queue.pop_front() {
-            let du = dist[u.index()];
-            for &v in self.dense.neighbors(u) {
-                if v == nb {
-                    return Some(du + 1);
-                }
-                if dist[v.index()] == UNREACHED {
-                    dist[v.index()] = du + 1;
-                    queue.push_back(v);
+        while !frontier.is_empty() {
+            depth += 1;
+            for &u in &frontier {
+                for &v in self.dense.neighbors(u) {
+                    if v == nb {
+                        return Some(depth);
+                    }
+                    if dist[v.index()] == UNREACHED {
+                        dist[v.index()] = depth;
+                        next.push(v);
+                    }
                 }
             }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
         }
         None
     }
@@ -442,7 +497,7 @@ fn join_paths(
     let mut cur = top_a;
     up.push(dense.asn(cur));
     while cur != a {
-        cur = NodeId(ca.parent[cur.index()]);
+        cur = NodeId(ca.get(cur).expect("node on reconstructed path").parent);
         up.push(dense.asn(cur));
     }
     up.reverse(); // now a → … → top_a
@@ -452,7 +507,7 @@ fn join_paths(
     let mut cur = top_b;
     down.push(dense.asn(cur));
     while cur != b {
-        cur = NodeId(cb.parent[cur.index()]);
+        cur = NodeId(cb.get(cur).expect("node on reconstructed path").parent);
         down.push(dense.asn(cur));
     }
     // down is top_b → … → b already in order.
@@ -746,6 +801,27 @@ mod tests {
                 assert_eq!(cold.path(*a, *b), warmed.path(*a, *b));
             }
         }
+    }
+
+    #[test]
+    fn caught_panic_does_not_wedge_the_oracle() {
+        let g = diamond();
+        let o = PathOracle::new(&g);
+        let before = o.hop_distance(Asn(5), Asn(6));
+        // Poison the cone cache: panic while holding the write guard, as a
+        // panicking cone computation on a worker thread would.
+        let poison = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = o.uphill.write().unwrap();
+            panic!("simulated cone-computation panic");
+        }));
+        assert!(poison.is_err());
+        assert!(o.uphill.is_poisoned());
+        // Every query class must keep working on the poisoned cache:
+        // cached reads, fresh BFS inserts, and batch kernels.
+        assert_eq!(o.hop_distance(Asn(5), Asn(6)), before);
+        assert_eq!(o.path(Asn(5), Asn(6)).unwrap().len(), 6);
+        o.warm(&[Asn(1), Asn(2)]);
+        assert!(o.mean_pairwise_distance(&[Asn(5), Asn(6)]) > 0.0);
     }
 
     #[test]

@@ -629,6 +629,48 @@ fn bench_ablation_smoothing(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 7): topology operations at internet scale. One 100 k-AS
+/// tiered topology ([`TopologyConfig::internet`]) is generated once in
+/// setup; each row then measures a paper-relevant operation on it: the
+/// full customer-cone sweep (bitset BFS per AS), Gao relationship
+/// inference over route tables from tier-1 vantages, and the Eq. 4
+/// batched valley-free distances over a 64-stub sample. Medians are
+/// recorded in `BENCH_features.json`; the `goldencheck` fingerprints
+/// prove the scale rewrites behind these rows are output-identical.
+fn bench_topo_100k(c: &mut Criterion) {
+    use ddos_astopo::gao::{self, GaoConfig};
+    use ddos_astopo::gen::{TopologyConfig, TopologyGenerator};
+    use ddos_astopo::paths::PathOracle;
+    use ddos_astopo::{cone, routing, Tier};
+    let built = std::time::Instant::now();
+    let g100k = TopologyGenerator::new(TopologyConfig::internet(), 42).generate().unwrap();
+    eprintln!("[topo_100k] generated {} ASes in {:.1?}", g100k.len(), built.elapsed());
+    let mut g = c.benchmark_group("topo_100k");
+    g.sample_size(10);
+    g.bench_function("cone_hierarchy_sweep", |b| {
+        b.iter(|| cone::hierarchy_stats(black_box(&g100k)))
+    });
+    let vantages: Vec<ddos_astopo::Asn> =
+        g100k.tier_members(Tier::Tier1).into_iter().take(4).collect();
+    let tables = routing::dump_tables(&g100k, &vantages).unwrap();
+    let paths = routing::all_paths(&tables);
+    eprintln!("[topo_100k] {} vantage paths for Gao inference", paths.len());
+    g.bench_function("gao_infer_4_vantages", |b| {
+        b.iter(|| gao::infer(black_box(&paths), GaoConfig::default()).unwrap())
+    });
+    let stubs: Vec<ddos_astopo::Asn> =
+        g100k.tier_members(Tier::Stub).into_iter().step_by(1531).take(64).collect();
+    g.bench_function("pairwise_distances_64stubs_cold", |b| {
+        b.iter(|| PathOracle::new(&g100k).pairwise_distances(black_box(&stubs)))
+    });
+    let oracle = PathOracle::new(&g100k);
+    oracle.warm(&stubs);
+    g.bench_function("mean_pairwise_distance_64stubs_warm", |b| {
+        b.iter(|| oracle.mean_pairwise_distance(black_box(&stubs)))
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1,
@@ -651,5 +693,6 @@ criterion_group!(
     bench_attribution,
     bench_entropy_detection,
     bench_ablation_smoothing,
+    bench_topo_100k,
 );
 criterion_main!(benches);

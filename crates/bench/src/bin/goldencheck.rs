@@ -34,7 +34,7 @@ use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
 use ddos_serve::{BatchPolicy, ForecastRequest, ForecastService, ServeConfig};
 use ddos_stats::arima::{Arima, ArimaOrder};
-use ddos_trace::AttackRecord;
+use ddos_trace::{AttackRecord, ColumnarWriter, CorpusStream};
 
 /// Collected `(name, hash)` lines, printed at the end (and optionally
 /// diffed against a golden file).
@@ -385,4 +385,45 @@ fn run(report: &mut Report) {
     }
     handle.shutdown().unwrap();
     h.done("serve_micro_batched");
+
+    // Streaming generation: the constant-memory iterator over the same
+    // Small-scale config and seed. Every field of every record is folded
+    // in emission order, pinning both the per-family RNG streams and the
+    // chronological merge/id-assignment logic.
+    let streamed: Vec<AttackRecord> = CorpusStream::new(Scale::Small.corpus_config(), 42)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap();
+    let mut h = Fnv::new(report);
+    for a in &streamed {
+        h.word(a.id.0);
+        h.word(a.family.0 as u64);
+        h.word(a.target.0 as u64);
+        h.word(a.target_asn.0 as u64);
+        h.word(a.start.as_secs());
+        h.word(a.duration_secs);
+        h.word(a.multistage as u64);
+        h.word(a.vector.index() as u64);
+        for &c in &a.hourly_bot_counts {
+            h.word(c as u64);
+        }
+        for bot in a.bots() {
+            h.word(bot.ip as u64);
+            h.word(bot.asn.0 as u64);
+        }
+    }
+    h.done("corpus_stream");
+
+    // Columnar trace format: the exact on-disk byte stream for the
+    // streamed records above. Any change to the container layout, the
+    // column encodings, or the checksum scheme shows up here.
+    let mut writer = ColumnarWriter::new(Vec::new()).unwrap();
+    for a in streamed {
+        writer.push(a).unwrap();
+    }
+    let bytes = writer.finish().unwrap();
+    let mut h = Fnv::new(report);
+    h.word(bytes.len() as u64);
+    h.bytes(&bytes);
+    h.done("columnar_trace");
 }

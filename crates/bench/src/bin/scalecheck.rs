@@ -1,0 +1,109 @@
+//! Flat-memory proof for the streaming corpus pipeline.
+//!
+//! Streams an internet-scale corpus through [`ddos_trace::CorpusStream`]
+//! into a [`ddos_trace::ColumnarWriter`] over `io::sink()`, sampling the
+//! process's peak resident set (`VmHWM` from `/proc/self/status`) once
+//! the stream reaches steady state and again at the end. If the pipeline
+//! buffered records (or the columnar writer accumulated groups) the peak
+//! would grow with the record count; a flat high-water mark across the
+//! remaining ~95% of the stream is the constant-memory contract.
+//!
+//! ```sh
+//! cargo run --release -p ddos-bench --bin scalecheck            # ×100 smoke
+//! cargo run --release -p ddos-bench --bin scalecheck -- internet # 100k-AS topology too
+//! ```
+//!
+//! Exits non-zero (with a diagnostic) when the final peak exceeds the
+//! steady-state peak by more than the slack, so CI can gate on it.
+
+use ddos_trace::{ColumnarWriter, CorpusConfig, CorpusStream, FamilyCatalog};
+
+/// Records to stream before the steady-state sample. Large enough that
+/// the generator substrate, the per-family pending buffers, and the
+/// writer's row-group buffer have all reached working size.
+const WARMUP_RECORDS: u64 = 200_000;
+
+/// Allowed growth of the peak RSS after warm-up: generous headroom for
+/// allocator bin growth and the final sort scratch, far below the
+/// hundreds of MiB an accumulating pipeline would add over ~5 M records.
+const SLACK_KIB: u64 = 96 * 1024;
+
+/// `VmHWM` (peak resident set, KiB) from `/proc/self/status`. Linux
+/// only, which is where CI runs; elsewhere the check degrades to a
+/// throughput smoke (peak reads as 0 and the flatness assertion is
+/// vacuous).
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// The ×100-volume smoke configuration: the full internet-scale catalog
+/// (~5 M attacks over a 22 000-day window) on the paper-scale topology,
+/// so the run exercises the streaming volume without paying the 100 k-AS
+/// substrate build on every CI run.
+fn smoke_config() -> CorpusConfig {
+    CorpusConfig { days: 22_000, catalog: FamilyCatalog::internet(), ..CorpusConfig::standard() }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (label, config) = match args.next().as_deref() {
+        None | Some("smoke") => ("smoke (x100 volume, paper topology)", smoke_config()),
+        Some("internet") => ("internet (x100 volume, 100k-AS topology)", CorpusConfig::internet()),
+        Some(other) => panic!("unknown scale {other:?}; usage: scalecheck [smoke|internet]"),
+    };
+    let started = std::time::Instant::now();
+    eprintln!("scalecheck: building substrate for {label} ...");
+    let stream = CorpusStream::new(config, 42).expect("stream construction");
+    let days = stream.days();
+    eprintln!(
+        "scalecheck: substrate ready in {:.1?} ({} ASes, {days} days)",
+        started.elapsed(),
+        stream.topology().len(),
+    );
+
+    let mut writer = ColumnarWriter::new(std::io::sink()).expect("columnar header");
+    let mut emitted: u64 = 0;
+    let mut steady_kib: u64 = 0;
+    for record in stream {
+        let record = record.expect("stream record");
+        writer.push(record).expect("columnar push");
+        emitted += 1;
+        if emitted == WARMUP_RECORDS {
+            steady_kib = peak_rss_kib();
+            eprintln!("scalecheck: steady state at {emitted} records, peak {steady_kib} KiB");
+        }
+    }
+    writer.finish().expect("columnar footer");
+    let final_kib = peak_rss_kib();
+    if steady_kib == 0 {
+        // Short config (or no /proc): nothing to compare against, but the
+        // stream itself completed.
+        steady_kib = final_kib;
+    }
+    eprintln!(
+        "scalecheck: {emitted} records in {:.1?}, peak {final_kib} KiB (steady {steady_kib} KiB)",
+        started.elapsed(),
+    );
+    assert!(
+        emitted > WARMUP_RECORDS,
+        "scale config produced only {emitted} records; not a scale test"
+    );
+    if final_kib > steady_kib + SLACK_KIB {
+        eprintln!(
+            "scalecheck: FAIL peak RSS grew {} KiB past steady state (slack {} KiB) — \
+             the streaming pipeline is accumulating",
+            final_kib - steady_kib,
+            SLACK_KIB,
+        );
+        std::process::exit(1);
+    }
+    eprintln!("scalecheck: OK memory flat within {SLACK_KIB} KiB of steady state");
+}

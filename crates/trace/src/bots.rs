@@ -110,39 +110,63 @@ impl BotPool {
         set.into_iter().collect()
     }
 
-    /// The set of bots considered *active* on `day`: a circular window over
-    /// the pool that advances by `churn_per_day · len` indices per day.
-    pub fn active_window(&self, day: u32) -> Vec<BotObservation> {
+    /// Window length and circular start index of the active window on
+    /// `day`. `None` for an empty pool.
+    fn window_bounds(&self, day: u32) -> Option<(usize, usize)> {
         let n = self.bots.len();
         if n == 0 {
-            return Vec::new();
+            return None;
         }
         let window = ((n as f64 * self.window_fraction).ceil() as usize).clamp(1, n);
         let start = ((day as f64 * self.churn_per_day * n as f64) as usize) % n;
+        Some((window, start))
+    }
+
+    /// The set of bots considered *active* on `day`: a circular window over
+    /// the pool that advances by `churn_per_day · len` indices per day.
+    pub fn active_window(&self, day: u32) -> Vec<BotObservation> {
+        let Some((window, start)) = self.window_bounds(day) else { return Vec::new() };
+        let n = self.bots.len();
         (0..window).map(|i| self.bots[(start + i) % n]).collect()
     }
 
     /// Samples `count` distinct participants for an attack launched on
     /// `day`. When `count` exceeds the day's active window, the whole
     /// window participates.
+    ///
+    /// The sample reproduces a partial Fisher–Yates shuffle of the window
+    /// draw-for-draw, but through a sparse swap overlay instead of
+    /// materializing the O(pool) window per call — the generator invokes
+    /// this once per attack, so at internet scale the dense copy dominated
+    /// the whole pipeline. Outputs are bit-identical to the dense shuffle
+    /// (pinned by `overlay_sampling_matches_dense_shuffle`).
     pub fn participants<R: Rng + ?Sized>(
         &self,
         day: u32,
         count: usize,
         rng: &mut R,
     ) -> Vec<BotObservation> {
-        let window = self.active_window(day);
-        if count >= window.len() {
-            return window;
+        let Some((window, start)) = self.window_bounds(day) else { return Vec::new() };
+        let n = self.bots.len();
+        let at = |i: usize| self.bots[(start + i) % n];
+        if count >= window {
+            return (0..window).map(at).collect();
         }
-        // Partial Fisher–Yates over the window.
-        let mut w = window;
+        // Sparse partial Fisher–Yates: overlay[k] holds the value a dense
+        // shuffle would have swapped into window slot k. Slot i is fixed
+        // after iteration i (later draws only touch j ≥ i' > i), so its
+        // final value goes straight into the output.
+        let mut overlay: std::collections::HashMap<usize, BotObservation> =
+            std::collections::HashMap::with_capacity(count.saturating_mul(2));
+        let mut out = Vec::with_capacity(count);
         for i in 0..count {
-            let j = rng.gen_range(i..w.len());
-            w.swap(i, j);
+            let j = rng.gen_range(i..window);
+            let vj = overlay.get(&j).copied().unwrap_or_else(|| at(j));
+            let vi = overlay.get(&i).copied().unwrap_or_else(|| at(i));
+            overlay.insert(j, vi);
+            out.push(vj);
         }
-        w.truncate(count);
-        w
+        out
     }
 }
 
@@ -238,6 +262,38 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let picks = p.participants(0, p.len() * 2, &mut rng);
         assert_eq!(picks.len(), p.active_window(0).len());
+    }
+
+    #[test]
+    fn overlay_sampling_matches_dense_shuffle() {
+        // The sparse-overlay sampler must reproduce the dense partial
+        // Fisher–Yates bit-for-bit: same RNG draws, same participants,
+        // same order — the generator's draw stream depends on it.
+        let p = pool(11);
+        for (day, count, seed) in
+            [(0u32, 1usize, 21u64), (3, 17, 22), (10, 200, 23), (40, 1, 24), (7, 0, 25)]
+        {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let fast = p.participants(day, count, &mut rng);
+            let after_fast: u64 = rng.gen();
+
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut w = p.active_window(day);
+            let dense = if count >= w.len() {
+                w
+            } else {
+                for i in 0..count {
+                    let j = rng.gen_range(i..w.len());
+                    w.swap(i, j);
+                }
+                w.truncate(count);
+                w
+            };
+            let after_dense: u64 = rng.gen();
+
+            assert_eq!(fast, dense, "day {day} count {count}");
+            assert_eq!(after_fast, after_dense, "RNG stream diverged");
+        }
     }
 
     #[test]

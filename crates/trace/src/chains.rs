@@ -138,7 +138,7 @@ pub fn inter_launch_cdf(corpus: &Corpus, max_points: usize) -> Result<Vec<(f64, 
     }
     let mut gaps: Vec<f64> =
         corpus.attacks().windows(2).map(|w| w[1].start.abs_diff(w[0].start) as f64).collect();
-    gaps.sort_by(|a, b| a.partial_cmp(b).expect("finite gaps"));
+    gaps.sort_by(f64::total_cmp);
     let n = gaps.len();
     let step = n.div_ceil(max_points.max(1)).max(1);
     let mut out = Vec::new();
@@ -263,5 +263,37 @@ mod tests {
     fn constants_match_paper() {
         assert_eq!(MULTISTAGE_MIN_GAP_SECS, 30);
         assert_eq!(MULTISTAGE_MAX_GAP_SECS, 86_400);
+    }
+
+    #[test]
+    fn cdf_survives_degenerate_all_simultaneous_corpus() {
+        // Degenerate corpus: every attack launches at the same instant,
+        // so every inter-launch gap is exactly 0. The old comparator
+        // (`partial_cmp(..).expect("finite gaps")`) was one NaN away from
+        // a panic on such edge-case inputs; `total_cmp` never is.
+        let c = corpus();
+        let t0 = c.attacks()[0].start;
+        let frozen: Vec<_> = c
+            .attacks()
+            .iter()
+            .take(3)
+            .cloned()
+            .map(|mut a| {
+                a.start = t0;
+                a
+            })
+            .collect();
+        let degenerate = Corpus::new(
+            frozen,
+            c.catalog().clone(),
+            c.topology().clone(),
+            c.ip_map().clone(),
+            c.targets().clone(),
+            c.days(),
+        )
+        .unwrap();
+        let cdf = inter_launch_cdf(&degenerate, 10).unwrap();
+        assert_eq!(cdf.last().unwrap().0, 0.0);
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
     }
 }

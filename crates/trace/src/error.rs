@@ -22,6 +22,26 @@ pub enum TraceError {
     Topology(ddos_astopo::TopoError),
     /// An underlying statistical operation failed.
     Stats(ddos_stats::StatsError),
+    /// A CSV field failed validation. `row` is the 0-based data-row
+    /// index (excluding the header), `column` the schema column name.
+    CsvField {
+        /// 0-based data-row index.
+        row: usize,
+        /// Schema column name.
+        column: &'static str,
+        /// What was wrong with the value.
+        detail: String,
+    },
+    /// A columnar trace file failed structural decoding.
+    Codec(ddos_stats::codec::CodecError),
+    /// A columnar trace file envelope was malformed (bad magic, version,
+    /// checksum, or section framing).
+    Format {
+        /// Description of the malformation.
+        detail: String,
+    },
+    /// An I/O failure, rendered to text so the error stays `Clone`.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -36,6 +56,12 @@ impl fmt::Display for TraceError {
             }
             TraceError::Topology(e) => write!(f, "topology error: {e}"),
             TraceError::Stats(e) => write!(f, "stats error: {e}"),
+            TraceError::CsvField { row, column, detail } => {
+                write!(f, "CSV row {row}, column {column}: {detail}")
+            }
+            TraceError::Codec(e) => write!(f, "trace decoding error: {e}"),
+            TraceError::Format { detail } => write!(f, "malformed trace file: {detail}"),
+            TraceError::Io(detail) => write!(f, "I/O error: {detail}"),
         }
     }
 }
@@ -45,8 +71,21 @@ impl Error for TraceError {
         match self {
             TraceError::Topology(e) => Some(e),
             TraceError::Stats(e) => Some(e),
+            TraceError::Codec(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<ddos_stats::codec::CodecError> for TraceError {
+    fn from(e: ddos_stats::codec::CodecError) -> Self {
+        TraceError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e.to_string())
     }
 }
 

@@ -67,11 +67,32 @@ pub struct AttackRow {
     pub vector: crate::attack::AttackVector,
 }
 
+/// Column names of the attack CSV schema, in field order.
+const ATTACKS_CSV_COLUMNS: [&str; 9] = [
+    "id",
+    "family",
+    "target",
+    "target_asn",
+    "start_secs",
+    "duration_secs",
+    "magnitude",
+    "multistage",
+    "vector",
+];
+
 /// Parses [`attacks_to_csv`] output.
+///
+/// Every numeric field is validated for range, not just syntax: a value
+/// that parses as `u64` but does not fit the destination type (`u32`
+/// target/ASN/magnitude, the 0/1 multistage flag, the vector index) is a
+/// typed [`TraceError::CsvField`] carrying the row and column — never a
+/// silent wrap-around. Fractional or negative inputs already fail the
+/// integer parse and report the same way.
 ///
 /// # Errors
 ///
-/// Returns [`TraceError::InvalidConfig`] for a malformed header or row.
+/// Returns [`TraceError::InvalidConfig`] for a malformed header or row
+/// shape, [`TraceError::CsvField`] for a field-level violation.
 pub fn parse_attacks_csv(csv: &str) -> Result<Vec<AttackRow>> {
     let mut lines = csv.lines();
     match lines.next() {
@@ -92,24 +113,58 @@ pub fn parse_attacks_csv(csv: &str) -> Result<Vec<AttackRow>> {
             });
         }
         let num = |i: usize| -> Result<u64> {
-            fields[i].parse().map_err(|_| TraceError::InvalidConfig {
-                detail: format!("row {lineno}: bad number {:?}", fields[i]),
+            fields[i].parse().map_err(|_| TraceError::CsvField {
+                row: lineno,
+                column: ATTACKS_CSV_COLUMNS[i],
+                detail: format!("{:?} is not a non-negative integer", fields[i]),
             })
         };
+        let num_u32 = |i: usize| -> Result<u32> {
+            let v = num(i)?;
+            u32::try_from(v).map_err(|_| TraceError::CsvField {
+                row: lineno,
+                column: ATTACKS_CSV_COLUMNS[i],
+                detail: format!("{v} exceeds u32::MAX"),
+            })
+        };
+        let multistage = match num(7)? {
+            0 => false,
+            1 => true,
+            v => {
+                return Err(TraceError::CsvField {
+                    row: lineno,
+                    column: ATTACKS_CSV_COLUMNS[7],
+                    detail: format!("flag must be 0 or 1, got {v}"),
+                })
+            }
+        };
+        let vector_idx = num(8)?;
+        let vector = usize::try_from(vector_idx)
+            .ok()
+            .and_then(|i| crate::attack::AttackVector::ALL.get(i))
+            .copied()
+            .ok_or_else(|| TraceError::CsvField {
+                row: lineno,
+                column: ATTACKS_CSV_COLUMNS[8],
+                detail: format!(
+                    "vector index {vector_idx} out of range 0..{}",
+                    crate::attack::AttackVector::ALL.len()
+                ),
+            })?;
         out.push(AttackRow {
             id: AttackId(num(0)?),
-            family: FamilyId(num(1)? as usize),
-            target: TargetId(num(2)? as u32),
-            target_asn: Asn(num(3)? as u32),
+            family: FamilyId(usize::try_from(num(1)?).map_err(|_| TraceError::CsvField {
+                row: lineno,
+                column: ATTACKS_CSV_COLUMNS[1],
+                detail: "family id overflows usize".to_string(),
+            })?),
+            target: TargetId(num_u32(2)?),
+            target_asn: Asn(num_u32(3)?),
             start: Timestamp(num(4)?),
             duration_secs: num(5)?,
-            magnitude: num(6)? as u32,
-            multistage: num(7)? != 0,
-            vector: *crate::attack::AttackVector::ALL.get(num(8)? as usize).ok_or_else(|| {
-                TraceError::InvalidConfig {
-                    detail: format!("row {lineno}: bad vector index {:?}", fields[8]),
-                }
-            })?,
+            magnitude: num_u32(6)?,
+            multistage,
+            vector,
         });
     }
     Ok(out)
@@ -178,6 +233,40 @@ mod tests {
         assert!(parse_attacks_csv(&bad_vector).is_err());
         // Empty body parses to zero rows.
         assert!(parse_attacks_csv(&format!("{ATTACKS_CSV_HEADER}\n")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_fields_are_typed_errors_not_wraparound() {
+        // 2^32 + 7 used to wrap to 7 through `as u32`; it must now be a
+        // CsvField error naming the row and column.
+        let overflow = 4_294_967_303u64;
+        let csv = format!("{ATTACKS_CSV_HEADER}\n0,1,{overflow},4,5,6,7,0,0\n");
+        match parse_attacks_csv(&csv) {
+            Err(TraceError::CsvField { row: 0, column: "target", .. }) => {}
+            other => panic!("expected CsvField target error, got {other:?}"),
+        }
+        let csv = format!("{ATTACKS_CSV_HEADER}\n0,1,2,{overflow},5,6,7,0,0\n");
+        match parse_attacks_csv(&csv) {
+            Err(TraceError::CsvField { row: 0, column: "target_asn", .. }) => {}
+            other => panic!("expected CsvField target_asn error, got {other:?}"),
+        }
+        let csv = format!("{ATTACKS_CSV_HEADER}\n0,1,2,3,5,6,{overflow},0,0\n");
+        match parse_attacks_csv(&csv) {
+            Err(TraceError::CsvField { row: 0, column: "magnitude", .. }) => {}
+            other => panic!("expected CsvField magnitude error, got {other:?}"),
+        }
+        // Fractional values fail integer parsing with the same context.
+        let csv = format!("{ATTACKS_CSV_HEADER}\n0,1,2,3,5,6,7.5,0,0\n");
+        match parse_attacks_csv(&csv) {
+            Err(TraceError::CsvField { row: 0, column: "magnitude", .. }) => {}
+            other => panic!("expected CsvField magnitude error, got {other:?}"),
+        }
+        // A multistage flag outside {0, 1} is rejected, not truthy-coerced.
+        let csv = format!("{ATTACKS_CSV_HEADER}\n0,1,2,3,5,6,7,2,0\n");
+        match parse_attacks_csv(&csv) {
+            Err(TraceError::CsvField { row: 0, column: "multistage", .. }) => {}
+            other => panic!("expected CsvField multistage error, got {other:?}"),
+        }
     }
 
     #[test]

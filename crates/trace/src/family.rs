@@ -250,6 +250,21 @@ impl FamilyCatalog {
         FamilyCatalog::new(families).expect("built-in catalog is valid")
     }
 
+    /// The internet-scale catalog: the ×100 stress configuration the
+    /// ROADMAP asks for. Attack *volume* scales through the active-day
+    /// counts (`expected_attacks = avg/day × active_days` is independent
+    /// of the window length), so every family keeps its Table I per-day
+    /// intensity, burstiness, pool shape and preferences — the trace is
+    /// the same process observed over a ~60× longer window, yielding
+    /// ~5 M attacks instead of ~50 k.
+    pub fn internet() -> Self {
+        let mut families = FamilyCatalog::icdcs2017().families;
+        for f in &mut families {
+            f.active_days *= 100;
+        }
+        FamilyCatalog::new(families).expect("internet catalog is valid")
+    }
+
     /// A downscaled two-family catalog for fast unit tests: keeps the
     /// DirtJumper/Pandora contrast (very active & stable vs bursty) at a
     /// fraction of the volume.
@@ -474,5 +489,21 @@ mod tests {
         // The paper's corpus holds 50,704 attacks across 23 families; the
         // 10 most active account for the bulk of it.
         assert!(total > 40_000.0 && total < 55_000.0, "total {total}");
+    }
+
+    #[test]
+    fn internet_catalog_scales_volume_100x() {
+        let base = FamilyCatalog::icdcs2017();
+        let net = FamilyCatalog::internet();
+        assert_eq!(net.len(), base.len());
+        let base_total: f64 = base.iter().map(|(_, f)| f.expected_attacks()).sum();
+        let net_total: f64 = net.iter().map(|(_, f)| f.expected_attacks()).sum();
+        assert!((net_total / base_total - 100.0).abs() < 1e-9, "scale {}", net_total / base_total);
+        // Per-day behavior is untouched — only the window grows.
+        for ((_, b), (_, n)) in base.iter().zip(net.iter()) {
+            assert_eq!(b.avg_attacks_per_day, n.avg_attacks_per_day);
+            assert_eq!(b.pool_size, n.pool_size);
+            assert_eq!(n.active_days, b.active_days * 100);
+        }
     }
 }

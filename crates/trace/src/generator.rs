@@ -64,7 +64,20 @@ impl CorpusConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    /// The Internet-scale configuration: ×100 the paper's attack volume
+    /// over a ~100 k-AS topology. At roughly five million attacks this is
+    /// far too large to materialize as an in-RAM [`Corpus`]; drive it
+    /// through [`crate::stream::CorpusStream`] instead.
+    pub fn internet() -> Self {
+        CorpusConfig {
+            days: 22_000,
+            catalog: FamilyCatalog::internet(),
+            topology: TopologyConfig::internet(),
+            n_targets: 30_000,
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.days == 0 {
             return Err(TraceError::InvalidConfig { detail: "days must be nonzero".to_string() });
         }
@@ -104,12 +117,49 @@ pub struct TraceGenerator {
 }
 
 /// Per-(family, target) duration memory: log-deviation AR(1) state.
-type DurationState = HashMap<(FamilyId, TargetId), f64>;
+pub(crate) type DurationState = HashMap<(FamilyId, TargetId), f64>;
+
+/// Derives a per-family stream seed from the corpus seed via a splitmix64
+/// finalizer, so partitioned generation gives every family its own
+/// statistically independent RNG stream. Used by the family-partitioned
+/// paths ([`TraceGenerator::generate_partitioned`] and
+/// [`crate::stream::CorpusStream`]); the legacy single-stream
+/// [`TraceGenerator::generate`] never calls this.
+pub(crate) fn family_seed(seed: u64, slot: usize) -> u64 {
+    let mut z = seed ^ (slot as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The generation substrate: synthetic Internet, address plan, targets.
+pub(crate) struct Substrate {
+    pub(crate) topology: ddos_astopo::AsGraph,
+    pub(crate) ipmap: ddos_astopo::ipmap::IpAsnMap,
+    pub(crate) allocations:
+        std::collections::BTreeMap<ddos_astopo::Asn, Vec<ddos_astopo::ipmap::Prefix>>,
+    pub(crate) targets: TargetPopulation,
+}
+
+/// Builds the substrate exactly as [`TraceGenerator::generate`] does: the
+/// topology from `seed ^ 0xA5`, the RNG-free address plan, and the target
+/// spread as the first consumer of the caller's main RNG. Both generation
+/// paths share this, which is what makes their substrates bit-identical.
+pub(crate) fn build_substrate<R: Rng + ?Sized>(
+    config: &CorpusConfig,
+    seed: u64,
+    rng: &mut R,
+) -> Result<Substrate> {
+    let topology = TopologyGenerator::new(config.topology.clone(), seed ^ 0xA5).generate()?;
+    let (ipmap, allocations) = PrefixAllocator::new().allocate_for(&topology)?;
+    let targets = TargetPopulation::spread(&topology, &allocations, config.n_targets, rng)?;
+    Ok(Substrate { topology, ipmap, allocations, targets })
+}
 
 /// Moves a launch to the target's preferred hour (a deterministic offset
 /// within ±6 h of the family's diurnal peak) plus Gaussian jitter, keeping
 /// the day.
-fn preferred_launch<R: Rng + ?Sized>(
+pub(crate) fn preferred_launch<R: Rng + ?Sized>(
     placed: Timestamp,
     target: TargetId,
     profile: &crate::family::FamilyProfile,
@@ -144,11 +194,8 @@ impl TraceGenerator {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Substrate: Internet, address plan, targets.
-        let topology =
-            TopologyGenerator::new(self.config.topology.clone(), self.seed ^ 0xA5).generate()?;
-        let (ipmap, allocations) = PrefixAllocator::new().allocate_for(&topology)?;
-        let targets =
-            TargetPopulation::spread(&topology, &allocations, self.config.n_targets, &mut rng)?;
+        let Substrate { topology, ipmap, allocations, targets } =
+            build_substrate(&self.config, self.seed, &mut rng)?;
 
         let mut attacks: Vec<AttackRecord> = Vec::new();
         let mut duration_state: DurationState = HashMap::new();
@@ -158,19 +205,7 @@ impl TraceGenerator {
             let pool = BotPool::recruit(&topology, &allocations, profile, slot, &mut rng)?;
             let schedule = ArrivalSchedule::generate(profile, self.config.days, slot, &mut rng)?;
 
-            // Family-specific Zipf preference over a rotated target order.
-            let n_targets = targets.len();
-            let target_weights: Vec<f64> = (0..n_targets)
-                .map(|i| {
-                    let rank = (i + slot * 13) % n_targets;
-                    1.0 / ((rank + 1) as f64).powf(profile.target_zipf)
-                })
-                .collect();
-            let target_picker = ddos_stats::distributions::Categorical::new(&target_weights)
-                .map_err(TraceError::Stats)?;
-            let vector_picker =
-                ddos_stats::distributions::Categorical::new(&profile.vector_weights)
-                    .map_err(TraceError::Stats)?;
+            let (target_picker, vector_picker) = family_pickers(profile, slot, targets.len())?;
 
             let mut prev: Option<(TargetId, Timestamp)> = None;
             for plan in schedule.days() {
@@ -179,7 +214,8 @@ impl TraceGenerator {
                 // rate, giving the temporal model real structure.
                 let activity = (plan.rate / profile.avg_attacks_per_day).powf(0.8);
                 for ts in launches {
-                    let (target_id, mut start, multistage) = self.pick_target(
+                    let (target_id, mut start, multistage) = pick_target(
+                        self.config.days,
                         profile.multistage_prob,
                         &prev,
                         ts,
@@ -191,7 +227,7 @@ impl TraceGenerator {
                     }
                     let target = targets.target(target_id)?;
                     let vector = crate::attack::AttackVector::ALL[vector_picker.sample(&mut rng)];
-                    let record = self.build_attack(
+                    let record = build_attack(
                         family_id,
                         profile,
                         &pool,
@@ -225,87 +261,155 @@ impl TraceGenerator {
         )
     }
 
-    /// Chooses the victim and (possibly adjusted) launch time. A multistage
-    /// follow-up re-attacks the previous target 30 s–24 h after the previous
-    /// launch (§III-A2).
-    fn pick_target<R: Rng + ?Sized>(
-        &self,
-        multistage_prob: f64,
-        prev: &Option<(TargetId, Timestamp)>,
-        placed: Timestamp,
-        picker: &ddos_stats::distributions::Categorical,
-        rng: &mut R,
-    ) -> (TargetId, Timestamp, bool) {
-        if let Some((prev_target, prev_start)) = prev {
-            if rng.gen_bool(multistage_prob) {
-                // Gap log-normal, median ~45 min, clamped to the band.
-                let gap = log_normal(rng, (45.0 * 60.0f64).ln(), 0.5)
-                    .unwrap_or(3_600.0)
-                    .clamp(30.0, (DAY - 1) as f64) as u64;
-                let start = *prev_start + gap;
-                if start.day() < self.config.days {
-                    return (*prev_target, start, true);
-                }
+    /// Generates the corpus with per-family RNG streams — the in-RAM
+    /// reference for [`crate::stream::CorpusStream`].
+    ///
+    /// Each family draws from its own [`family_seed`]-derived stream, so
+    /// families are independent and the result is invariant to execution
+    /// order; records are globally sorted and densely re-identified exactly
+    /// as [`TraceGenerator::generate`] does. The statistical model is
+    /// identical to `generate`, but the draw *sequence* differs, so the two
+    /// paths produce different (equally valid) corpora for the same seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, topology and sampling errors.
+    pub fn generate_partitioned(&self) -> Result<Corpus> {
+        self.config.validate()?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let Substrate { topology, ipmap, allocations, targets } =
+            build_substrate(&self.config, self.seed, &mut rng)?;
+        let targets = std::sync::Arc::new(targets);
+
+        let mut attacks: Vec<AttackRecord> = Vec::new();
+        for (family_id, profile) in self.config.catalog.iter() {
+            let mut fam = crate::stream::FamilyGen::new(
+                family_id,
+                profile.clone(),
+                &self.config,
+                self.seed,
+                &topology,
+                &allocations,
+                std::sync::Arc::clone(&targets),
+            )?;
+            fam.advance(self.config.days, &mut attacks)?;
+        }
+
+        attacks.sort_by_key(|a| (a.start, a.family, a.target));
+        for (i, a) in attacks.iter_mut().enumerate() {
+            a.id = AttackId(i as u64);
+        }
+        let targets = std::sync::Arc::try_unwrap(targets).unwrap_or_else(|arc| (*arc).clone());
+        Corpus::new(
+            attacks,
+            self.config.catalog.clone(),
+            topology,
+            ipmap,
+            targets,
+            self.config.days,
+        )
+    }
+}
+
+/// Builds the family's target-preference and vector pickers: a Zipf over a
+/// slot-rotated target order, and the Table I vector mix.
+pub(crate) fn family_pickers(
+    profile: &crate::family::FamilyProfile,
+    slot: usize,
+    n_targets: usize,
+) -> Result<(ddos_stats::distributions::Categorical, ddos_stats::distributions::Categorical)> {
+    let target_weights: Vec<f64> = (0..n_targets)
+        .map(|i| {
+            let rank = (i + slot * 13) % n_targets;
+            1.0 / ((rank + 1) as f64).powf(profile.target_zipf)
+        })
+        .collect();
+    let target_picker =
+        ddos_stats::distributions::Categorical::new(&target_weights).map_err(TraceError::Stats)?;
+    let vector_picker = ddos_stats::distributions::Categorical::new(&profile.vector_weights)
+        .map_err(TraceError::Stats)?;
+    Ok((target_picker, vector_picker))
+}
+
+/// Chooses the victim and (possibly adjusted) launch time. A multistage
+/// follow-up re-attacks the previous target 30 s–24 h after the previous
+/// launch (§III-A2).
+pub(crate) fn pick_target<R: Rng + ?Sized>(
+    days: u32,
+    multistage_prob: f64,
+    prev: &Option<(TargetId, Timestamp)>,
+    placed: Timestamp,
+    picker: &ddos_stats::distributions::Categorical,
+    rng: &mut R,
+) -> (TargetId, Timestamp, bool) {
+    if let Some((prev_target, prev_start)) = prev {
+        if rng.gen_bool(multistage_prob) {
+            // Gap log-normal, median ~45 min, clamped to the band.
+            let gap = log_normal(rng, (45.0 * 60.0f64).ln(), 0.5)
+                .unwrap_or(3_600.0)
+                .clamp(30.0, (DAY - 1) as f64) as u64;
+            let start = *prev_start + gap;
+            if start.day() < days {
+                return (*prev_target, start, true);
             }
         }
-        (TargetId(picker.sample(rng) as u32), placed, false)
     }
+    (TargetId(picker.sample(rng) as u32), placed, false)
+}
 
-    #[allow(clippy::too_many_arguments)]
-    fn build_attack<R: Rng + ?Sized>(
-        &self,
-        family: FamilyId,
-        profile: &crate::family::FamilyProfile,
-        pool: &BotPool,
-        target: TargetId,
-        target_asn: ddos_astopo::Asn,
-        start: Timestamp,
-        activity: f64,
-        multistage: bool,
-        vector: crate::attack::AttackVector,
-        duration_state: &mut DurationState,
-        rng: &mut R,
-    ) -> Result<AttackRecord> {
-        // Magnitude: log-normal with mean `mean_magnitude`, scaled by the
-        // day's activity level.
-        let sigma = profile.magnitude_sigma;
-        let mu = profile.mean_magnitude.ln() - sigma * sigma / 2.0;
-        let raw = log_normal(rng, mu, sigma).map_err(TraceError::Stats)? * activity;
-        let magnitude = (raw.round() as usize).clamp(3, pool.len());
-        let bots = pool.participants(start.day(), magnitude, rng);
-        let magnitude = bots.len();
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_attack<R: Rng + ?Sized>(
+    family: FamilyId,
+    profile: &crate::family::FamilyProfile,
+    pool: &BotPool,
+    target: TargetId,
+    target_asn: ddos_astopo::Asn,
+    start: Timestamp,
+    activity: f64,
+    multistage: bool,
+    vector: crate::attack::AttackVector,
+    duration_state: &mut DurationState,
+    rng: &mut R,
+) -> Result<AttackRecord> {
+    // Magnitude: log-normal with mean `mean_magnitude`, scaled by the
+    // day's activity level.
+    let sigma = profile.magnitude_sigma;
+    let mu = profile.mean_magnitude.ln() - sigma * sigma / 2.0;
+    let raw = log_normal(rng, mu, sigma).map_err(TraceError::Stats)? * activity;
+    let magnitude = (raw.round() as usize).clamp(3, pool.len());
+    let bots = pool.participants(start.day(), magnitude, rng);
+    let magnitude = bots.len();
 
-        // Duration: per-(family, target) AR(1) in log space around the
-        // family median, mildly scaled by magnitude.
-        let key = (family, target);
-        let prev_dev = duration_state.get(&key).copied().unwrap_or(0.0);
-        let rho = profile.duration_persistence;
-        let innov = profile.duration_sigma * (1.0 - rho * rho).sqrt();
-        let dev = rho * prev_dev + innov * ddos_stats::distributions::standard_normal(rng);
-        duration_state.insert(key, dev);
-        let mag_factor = (magnitude as f64 / profile.mean_magnitude).powf(0.3);
-        let duration = (profile.median_duration_secs * dev.exp() * mag_factor)
-            .clamp(30.0, (3 * DAY) as f64) as u64;
+    // Duration: per-(family, target) AR(1) in log space around the
+    // family median, mildly scaled by magnitude.
+    let key = (family, target);
+    let prev_dev = duration_state.get(&key).copied().unwrap_or(0.0);
+    let rho = profile.duration_persistence;
+    let innov = profile.duration_sigma * (1.0 - rho * rho).sqrt();
+    let dev = rho * prev_dev + innov * ddos_stats::distributions::standard_normal(rng);
+    duration_state.insert(key, dev);
+    let mag_factor = (magnitude as f64 / profile.mean_magnitude).powf(0.3);
+    let duration = (profile.median_duration_secs * dev.exp() * mag_factor)
+        .clamp(30.0, (3 * DAY) as f64) as u64;
 
-        // Hourly cumulative snapshots: linear bot ramp-up over the attack.
-        let hours = duration.div_ceil(HOUR).max(1) as usize;
-        let hourly_bot_counts: Vec<u32> =
-            (1..=hours).map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32).collect();
+    // Hourly cumulative snapshots: linear bot ramp-up over the attack.
+    let hours = duration.div_ceil(HOUR).max(1) as usize;
+    let hourly_bot_counts: Vec<u32> =
+        (1..=hours).map(|h| ((magnitude * h) as f64 / hours as f64).ceil() as u32).collect();
 
-        // id 0 here; the real id is assigned after the global sort.
-        Ok(AttackRecord::new(
-            AttackId(0),
-            family,
-            target,
-            target_asn,
-            start,
-            duration,
-            bots,
-            hourly_bot_counts,
-            multistage,
-            vector,
-        ))
-    }
+    // id 0 here; the real id is assigned after the global sort.
+    Ok(AttackRecord::new(
+        AttackId(0),
+        family,
+        target,
+        target_asn,
+        start,
+        duration,
+        bots,
+        hourly_bot_counts,
+        multistage,
+        vector,
+    ))
 }
 
 #[cfg(test)]

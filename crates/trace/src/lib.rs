@@ -44,22 +44,26 @@ pub mod arrival;
 pub mod attack;
 pub mod bots;
 pub mod chains;
+pub mod columnar;
 pub mod dataset;
 pub mod export;
 pub mod family;
 pub mod generator;
 pub mod reports;
 pub mod stats;
+pub mod stream;
 pub mod targets;
 pub mod time;
 
 mod error;
 
 pub use attack::{AttackId, AttackRecord, AttackVector, BotObservation};
+pub use columnar::{ColumnarReader, ColumnarWriter};
 pub use dataset::Corpus;
 pub use error::TraceError;
 pub use family::{FamilyCatalog, FamilyId, FamilyProfile};
 pub use generator::{CorpusConfig, TraceGenerator};
+pub use stream::{CorpusStream, StreamOptions};
 pub use targets::{TargetId, TargetPopulation};
 pub use time::Timestamp;
 

@@ -152,8 +152,13 @@ mod tests {
         let fam = c.catalog().most_active(1)[0];
         let stream = hourly_reports(&c, fam).unwrap();
         // The max 24h attack count must be ≥ the busiest calendar day's
-        // count (the sliding window dominates any aligned day).
-        let busiest_day = c.daily_counts(fam).into_iter().fold(0.0f64, f64::max) as u32;
+        // count (the sliding window dominates any aligned day). Daily
+        // counts are whole attack tallies, so the conversion is checked:
+        // an unrepresentable maximum is a test failure, not a wrap.
+        let busiest = c.daily_counts(fam).into_iter().fold(0.0f64, f64::max);
+        assert!(busiest.is_finite() && busiest >= 0.0 && busiest.fract() == 0.0, "{busiest}");
+        let busiest_day = busiest as u32;
+        assert_eq!(busiest_day as f64, busiest, "busiest-day count {busiest} exceeds u32");
         let max_24h = stream.reports.iter().map(|r| r.attacks_24h).max().unwrap();
         assert!(max_24h >= busiest_day, "{max_24h} < busiest day {busiest_day}");
     }

@@ -78,11 +78,11 @@ impl ActivityTable {
     /// Family names ordered by average attacks per day, descending.
     pub fn activity_ranking(&self) -> Vec<&str> {
         let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        // total_cmp: a NaN average (degenerate corpus) must not panic the
+        // ranking; NaN rows sort after every real one.
         idx.sort_by(|a, b| {
-            self.rows[*b]
-                .avg_per_day
-                .partial_cmp(&self.rows[*a].avg_per_day)
-                .expect("finite averages")
+            let (x, y) = (self.rows[*a].avg_per_day, self.rows[*b].avg_per_day);
+            x.is_nan().cmp(&y.is_nan()).then(y.total_cmp(&x))
         });
         idx.into_iter().map(|i| self.rows[i].family.as_str()).collect()
     }
@@ -215,5 +215,25 @@ mod tests {
         let c = corpus();
         let t = ActivityTable::compute(&c).unwrap();
         assert!(t.row("NoSuchFamily").is_none());
+    }
+
+    #[test]
+    fn ranking_survives_nan_averages() {
+        // A degenerate corpus (e.g. a family whose every attack lands on
+        // a zero-count day after filtering) can surface a NaN average;
+        // the ranking must order it last, not panic mid-sort.
+        let t = ActivityTable {
+            rows: vec![
+                ActivityRow {
+                    family: "Broken".into(),
+                    avg_per_day: f64::NAN,
+                    active_days: 0,
+                    cv: f64::NAN,
+                },
+                ActivityRow { family: "Low".into(), avg_per_day: 1.5, active_days: 3, cv: 0.2 },
+                ActivityRow { family: "High".into(), avg_per_day: 99.0, active_days: 9, cv: 0.4 },
+            ],
+        };
+        assert_eq!(t.activity_ranking(), vec!["High", "Low", "Broken"]);
     }
 }

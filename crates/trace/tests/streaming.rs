@@ -1,0 +1,93 @@
+//! Property tests for streaming generation and the columnar format.
+//!
+//! The load-bearing claims: a [`CorpusStream`] is bit-identical to the
+//! in-RAM partitioned corpus at *any* worker count, chunk size and seed;
+//! and the columnar reader turns every corruption — any truncation
+//! prefix, any flipped byte — into a typed error, never a panic or a
+//! silently different corpus.
+
+use ddos_trace::stream::{CorpusStream, StreamOptions};
+use ddos_trace::{
+    AttackRecord, ColumnarReader, ColumnarWriter, CorpusConfig, TraceError, TraceGenerator,
+};
+use proptest::prelude::*;
+
+fn streamed(seed: u64, chunk_days: u32, parallelism: Option<usize>) -> Vec<AttackRecord> {
+    let opts = StreamOptions { chunk_days, parallelism };
+    CorpusStream::with_options(CorpusConfig::small(), seed, opts)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap()
+}
+
+fn encoded(seed: u64, rows_per_group: usize) -> Vec<u8> {
+    let corpus = TraceGenerator::new(CorpusConfig::small(), seed).generate_partitioned().unwrap();
+    let mut w = ColumnarWriter::with_group_size(Vec::new(), rows_per_group).unwrap();
+    for a in corpus.attacks() {
+        w.push(a.clone()).unwrap();
+    }
+    w.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Stream ≡ in-RAM partitioned corpus, bit for bit, regardless of
+    /// worker count and chunk size.
+    #[test]
+    fn stream_equals_corpus_for_any_execution_shape(
+        seed in 0u64..10_000,
+        chunk_idx in 0usize..4,
+        par_idx in 0usize..4,
+    ) {
+        let chunk_days = [1u32, 7, 64, 200][chunk_idx];
+        let parallelism = [None, Some(1), Some(2), Some(4)][par_idx];
+        let corpus =
+            TraceGenerator::new(CorpusConfig::small(), seed).generate_partitioned().unwrap();
+        let run = streamed(seed, chunk_days, parallelism);
+        prop_assert_eq!(run.len(), corpus.len());
+        for (s, c) in run.iter().zip(corpus.attacks()) {
+            prop_assert_eq!(s, c);
+        }
+    }
+
+    /// Columnar encode → decode is the identity on the record sequence.
+    #[test]
+    fn columnar_round_trip(seed in 0u64..1_000, group in 1usize..500) {
+        let corpus =
+            TraceGenerator::new(CorpusConfig::small(), seed).generate_partitioned().unwrap();
+        let bytes = encoded(seed, group);
+        let decoded: Vec<AttackRecord> = ColumnarReader::new(&bytes[..])
+            .unwrap()
+            .into_records()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        prop_assert_eq!(decoded.as_slice(), corpus.attacks());
+    }
+
+    /// Every proper prefix of a columnar file fails to decode with a
+    /// typed error (no panic, no silent short read).
+    #[test]
+    fn every_truncation_prefix_is_rejected(cut_seed in 0u64..u64::MAX) {
+        let bytes = encoded(77, 64);
+        let cut = (cut_seed % bytes.len() as u64) as usize;
+        let outcome: Result<Vec<AttackRecord>, TraceError> = ColumnarReader::new(&bytes[..cut])
+            .and_then(|r| r.into_records().collect());
+        prop_assert!(outcome.is_err(), "prefix of {} bytes decoded", cut);
+    }
+
+    /// Any single flipped byte is detected: decoding either errors or —
+    /// never — yields the original records with a clean completion.
+    #[test]
+    fn any_byte_flip_is_detected(pos_seed in 0u64..u64::MAX, flip in 1u8..=255) {
+        let bytes = encoded(78, 64);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= flip;
+        let outcome: Result<Vec<AttackRecord>, TraceError> = ColumnarReader::new(&corrupt[..])
+            .and_then(|r| r.into_records().collect());
+        // The checksum covers every group payload and the envelope is
+        // length-checked, so a flip anywhere must surface as an error.
+        prop_assert!(outcome.is_err(), "flip {:#x} at byte {} went undetected", flip, pos);
+    }
+}
