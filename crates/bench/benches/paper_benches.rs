@@ -592,6 +592,71 @@ fn bench_serve_service(c: &mut Criterion) {
     g.finish();
 }
 
+/// Tentpole (PR 8): the batched fast-tanh kernel. Scalar-libm vs the
+/// polynomial kernel over the training loop's actual batch shapes (a
+/// hidden-layer stripe and a full-epoch pre-activation buffer). The
+/// `tanh_kernel` medians recorded in `BENCH_features.json` are the
+/// microscopic half of the story; `nar_train_120_epochs` is the
+/// end-to-end half. Accuracy is pinned by the tanh_kernel proptests
+/// (|error| ≤ 1e-12) and the `_libm` goldencheck lines.
+fn bench_tanh_kernel(c: &mut Criterion) {
+    use ddos_neural::kernel::{tanh_fast_slice, tanh_libm_slice};
+    let mut g = c.benchmark_group("tanh_kernel");
+    // Pre-activations sampled like a scaled NAR hidden layer sees them:
+    // mostly in the curved region, a tail into saturation.
+    let src: Vec<f64> = (0..4096).map(|i| ((i as f64) * 0.37).sin() * 6.0).collect();
+    let mut buf = vec![0.0f64; src.len()];
+    for (name, f) in [
+        ("libm_slice_4096", tanh_libm_slice as fn(&mut [f64])),
+        ("fast_slice_4096", tanh_fast_slice as fn(&mut [f64])),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                buf.copy_from_slice(black_box(&src));
+                f(&mut buf);
+                buf[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Tentpole (PR 8): QR factorization reuse in CART leaves. The same leaf
+/// cell solved through the per-node allocating path (`fit_indexed`:
+/// gather + finiteness rescan + fresh QR buffers) and through the
+/// prepared path the grower now uses (`fit_prepared`: contiguous design
+/// segment + reused QR scratch). Bit-identical outputs (the cart
+/// goldencheck lines and `fit_prepared_matches_fit_indexed_bitwise`
+/// tests are the oracle); `cart_fit/st_design_mlr_leaves` shows the
+/// end-to-end effect.
+fn bench_qr_reuse(c: &mut Criterion) {
+    use ddos_stats::ols::{LinearModel, OlsScratch};
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+    // A typical MLR leaf on the spatiotemporal design: 64 rows, 13
+    // features (+ intercept).
+    let rows = 64usize;
+    let p = 14usize;
+    let xs: Vec<Vec<f64>> =
+        (0..rows).map(|_| (0..p - 1).map(|_| rng.gen::<f64>() * 24.0).collect()).collect();
+    let ys: Vec<f64> = xs.iter().map(|r| r.iter().sum::<f64>() * 0.3 + rng.gen::<f64>()).collect();
+    let indices: Vec<usize> = (0..rows).collect();
+    let mut design = Vec::with_capacity(rows * p);
+    for r in &xs {
+        design.push(1.0);
+        design.extend_from_slice(r);
+    }
+    let mut g = c.benchmark_group("qr_reuse");
+    g.bench_function("fit_indexed_64x14", |b| {
+        b.iter(|| LinearModel::fit_indexed(black_box(&xs), &ys, &indices).unwrap())
+    });
+    let mut scratch = OlsScratch::default();
+    g.bench_function("fit_prepared_64x14", |b| {
+        b.iter(|| LinearModel::fit_prepared(black_box(&design), &ys, p, &mut scratch).unwrap())
+    });
+    g.finish();
+}
+
 /// Ablation: exponential smoothing as the middle comparator between the
 /// naive baselines and ARIMA on the magnitude series.
 fn bench_ablation_smoothing(c: &mut Criterion) {
@@ -688,6 +753,8 @@ criterion_group!(
     bench_ablation_source_feature,
     bench_flat_hot_paths,
     bench_cart_fit,
+    bench_tanh_kernel,
+    bench_qr_reuse,
     bench_serve_batch,
     bench_serve_service,
     bench_attribution,

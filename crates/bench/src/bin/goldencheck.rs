@@ -30,6 +30,7 @@ use ddos_core::artifact::ModelArtifact;
 use ddos_core::attribution::FamilyAttributor;
 use ddos_core::features::FeatureExtractor;
 use ddos_core::spatiotemporal::{InstanceFeatures, SpatioTemporalConfig, SpatioTemporalModel};
+use ddos_neural::kernel::{set_tanh_path, TanhPath};
 use ddos_neural::nar::{NarConfig, NarModel};
 use ddos_neural::train::TrainConfig;
 use ddos_serve::{BatchPolicy, ForecastRequest, ForecastService, ServeConfig};
@@ -68,10 +69,29 @@ impl<'a> Fnv<'a> {
         }
     }
     fn done(self, name: &str) {
-        println!("{name:<28} {:016x}", self.hash);
         self.report.lines.push((name.to_string(), self.hash));
     }
 }
+
+/// Fingerprint lines whose values moved when the batched fast-tanh kernel
+/// replaced scalar libm tanh in NAR training and rolling prediction (the
+/// recorded migration of that optimization). Each of these lines is
+/// computed twice — on the fast path under its own name, and on the
+/// retained libm path as `<name>_libm` — so the pre-kernel behavior stays
+/// pinned in the golden file forever. Lines *not* listed here must be
+/// byte-identical across both paths (tanh never reaches them), which the
+/// golden file enforces by recording a single hash.
+const MIGRATED_LINES: &[&str] = &[
+    "nar_fit_rolling_forecast",
+    "pipeline_spatial_dist",
+    "spatiotemporal_design",
+    "cart_fit_mlr_leaves",
+    "pipeline_spatiotemporal",
+    "spatiotemporal_artifact",
+    "spatiotemporal_artifact_v1",
+    "batched_tree_predictions",
+    "serve_micro_batched",
+];
 
 /// Fingerprints the full observable surface of a fitted tree: shape,
 /// root statistics, importances, and predictions over the training rows
@@ -103,8 +123,37 @@ fn main() {
         Some(other) => panic!("unknown argument {other:?}; usage: goldencheck [--check <file>]"),
         None => None,
     };
+    // The harness pins the tanh path explicitly for each pass, so the
+    // output is identical whether or not the build enabled `libm-tanh`.
     let mut report = Report { lines: Vec::new() };
+    set_tanh_path(TanhPath::Fast);
     run(&mut report);
+    let mut libm_report = Report { lines: Vec::new() };
+    set_tanh_path(TanhPath::Libm);
+    run(&mut libm_report);
+
+    // Any line that differs between the two paths must be a recorded
+    // migration; an unlisted difference means tanh leaked into a surface
+    // the migration ledger doesn't cover.
+    for ((name, fast), (libm_name, libm)) in report.lines.iter().zip(&libm_report.lines) {
+        assert_eq!(name, libm_name, "fast and libm passes computed different line sets");
+        if fast != libm && !MIGRATED_LINES.contains(&name.as_str()) {
+            eprintln!(
+                "UNRECORDED MIGRATION {name}: fast {fast:016x} != libm {libm:016x} \
+                 but the line is not in MIGRATED_LINES"
+            );
+            std::process::exit(1);
+        }
+    }
+    for (name, hash) in libm_report.lines {
+        if MIGRATED_LINES.contains(&name.as_str()) {
+            report.lines.push((format!("{name}_libm"), hash));
+        }
+    }
+    for (name, hash) in &report.lines {
+        println!("{name:<32} {hash:016x}");
+    }
+
     if let Some(path) = check_path {
         let golden = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read golden file {path}: {e}"));
@@ -114,6 +163,15 @@ fn main() {
             let mut it = line.split_whitespace();
             let (name, hash) = (it.next().unwrap(), it.next().expect("golden line: name hash"));
             expected.insert(name.to_string(), hash.to_string());
+        }
+        // Migration ledger: every migrated line must keep its pre-kernel
+        // libm hash pinned alongside the new one. A golden file that
+        // drops a `_libm` pin silently un-records the migration.
+        for name in MIGRATED_LINES {
+            if !expected.contains_key(&format!("{name}_libm")) {
+                eprintln!("LEDGER {name}: migrated line has no {name}_libm pin in {path}");
+                failures += 1;
+            }
         }
         for (name, hash) in &report.lines {
             match expected.remove(name) {

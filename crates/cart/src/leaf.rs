@@ -8,7 +8,7 @@
 
 use crate::{CartError, Result};
 use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
-use ddos_stats::ols::LinearModel;
+use ddos_stats::ols::{LinearModel, OlsScratch};
 use serde::{Deserialize, Serialize};
 
 /// Which model leaves carry.
@@ -111,6 +111,43 @@ impl LeafModel {
         match kind {
             LeafKind::Constant => Ok(LeafModel::Constant { mean }),
             LeafKind::Linear => match LinearModel::fit_indexed(xs, ys, indices) {
+                Ok(model) => Ok(LeafModel::Linear { model }),
+                Err(_) => Ok(LeafModel::Constant { mean }),
+            },
+        }
+    }
+
+    /// Fits a leaf from a pre-assembled design segment: `rows` is the
+    /// cell's row-major design with the leading `1.0` intercept column
+    /// already in place (width `p`), `ys` the cell's targets in the same
+    /// order. This is the presorted grower's hot path — the design rows of
+    /// a parent node are stable-partitioned in place, so each child fits
+    /// straight from its contiguous segment with zero gathering.
+    ///
+    /// Bit-identical to [`LeafModel::fit_indexed`] on the indices the
+    /// segment was assembled from: the mean reduction and every OLS
+    /// operation run in the same order over the same values, and the
+    /// mean fallback fires under exactly the same conditions (inputs are
+    /// pre-validated finite by tree growth, so the non-finite scan the
+    /// prepared OLS path skips could never have fired).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CartError::EmptyTrainingSet`] for an empty cell.
+    pub fn fit_prepared(
+        kind: LeafKind,
+        rows: &[f64],
+        p: usize,
+        ys: &[f64],
+        scratch: &mut OlsScratch,
+    ) -> Result<Self> {
+        if ys.is_empty() {
+            return Err(CartError::EmptyTrainingSet);
+        }
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        match kind {
+            LeafKind::Constant => Ok(LeafModel::Constant { mean }),
+            LeafKind::Linear => match LinearModel::fit_prepared(rows, ys, p, scratch) {
                 Ok(model) => Ok(LeafModel::Linear { model }),
                 Err(_) => Ok(LeafModel::Constant { mean }),
             },
@@ -228,6 +265,40 @@ mod tests {
         }
         assert!(matches!(
             LeafModel::fit_indexed(LeafKind::Linear, &xs, &ys, &[]),
+            Err(CartError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn fit_prepared_matches_fit_indexed_bitwise() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, ((i * 7) % 5) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 2.0 * r[0] - r[1] + 1.0).collect();
+        let indices = vec![2, 4, 8, 16, 3, 9, 27, 1];
+        let p = 3;
+        let mut rows = Vec::new();
+        let mut yseg = Vec::new();
+        for &i in &indices {
+            rows.push(1.0);
+            rows.extend_from_slice(&xs[i]);
+            yseg.push(ys[i]);
+        }
+        let mut scratch = OlsScratch::default();
+        for kind in [LeafKind::Constant, LeafKind::Linear] {
+            let indexed = LeafModel::fit_indexed(kind, &xs, &ys, &indices).unwrap();
+            // Twice through the same scratch: reuse must not perturb a bit.
+            for _ in 0..2 {
+                let prepared =
+                    LeafModel::fit_prepared(kind, &rows, p, &yseg, &mut scratch).unwrap();
+                assert_eq!(prepared, indexed);
+            }
+        }
+        // Fallback parity: a tiny cell collapses to the mean on both paths.
+        let tiny =
+            LeafModel::fit_prepared(LeafKind::Linear, &rows[..p], p, &yseg[..1], &mut scratch)
+                .unwrap();
+        assert!(tiny.is_constant());
+        assert!(matches!(
+            LeafModel::fit_prepared(LeafKind::Linear, &[], 3, &[], &mut scratch),
             Err(CartError::EmptyTrainingSet)
         ));
     }

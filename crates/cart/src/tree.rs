@@ -21,6 +21,7 @@ use crate::leaf::{LeafKind, LeafModel};
 use crate::{CartError, Result};
 use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use ddos_stats::forecast::{Design, FittedModel, Forecaster};
+use ddos_stats::ols::OlsScratch;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -242,7 +243,7 @@ impl RegressionTree {
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: &TreeConfig) -> Result<Self> {
         let width = validate(xs, ys, config)?;
         let ctx = GrowCtx { xs, ys, config };
-        let mut scratch = Scratch::new(xs, width);
+        let mut scratch = Scratch::new(xs, ys, width);
         let root = grow(&ctx, &mut scratch, 0, xs.len(), 0)?;
         Ok(RegressionTree { root, n_features: width, config: *config })
     }
@@ -540,10 +541,28 @@ struct Scratch {
     prefix_sum: Vec<f64>,
     /// Prefix sums of squared targets.
     prefix_sq: Vec<f64>,
+    /// OLS design width: feature width plus the intercept column.
+    p: usize,
+    /// Row-major OLS design rows in `idx` order, each row
+    /// `[1.0, xs[idx[k]]...]` of width `p`. Assembled once at the root
+    /// and stable-partitioned in lockstep with `idx`, so every node's
+    /// leaf fit reads its design from the contiguous segment
+    /// `design[lo*p..hi*p]` — the per-node gather (and the per-node
+    /// finiteness rescan inside the generic OLS entry points) disappears.
+    design: Vec<f64>,
+    /// Targets in `idx` order (`ys_ord[k] = ys[idx[k]]`), partitioned in
+    /// lockstep with `idx` for contiguous leaf-fit reductions.
+    ys_ord: Vec<f64>,
+    /// Spill buffer for partitioning `design` (capacity `n * p`).
+    spill_rows: Vec<f64>,
+    /// Spill buffer for partitioning `ys_ord`.
+    spill_ys: Vec<f64>,
+    /// Reused QR/OLS working memory for every node's leaf fit.
+    ols: OlsScratch,
 }
 
 impl Scratch {
-    fn new(xs: &[Vec<f64>], width: usize) -> Self {
+    fn new(xs: &[Vec<f64>], ys: &[f64], width: usize) -> Self {
         let n = xs.len();
         let mut cols = vec![0.0; width * n];
         for (i, row) in xs.iter().enumerate() {
@@ -564,6 +583,15 @@ impl Scratch {
             // tie, matching the reference sort order exactly.
             seg.sort_by(|&a, &b| col[a].partial_cmp(&col[b]).unwrap_or(std::cmp::Ordering::Equal));
         }
+        let p = width + 1;
+        // Root design in row order (= initial `idx` order), leading
+        // intercept column in place — exactly the rows `fit_indexed`
+        // would assemble per node.
+        let mut design = Vec::with_capacity(n * p);
+        for row in xs {
+            design.push(1.0);
+            design.extend_from_slice(row);
+        }
         Scratch {
             n,
             cols,
@@ -572,6 +600,12 @@ impl Scratch {
             spill: vec![0; n],
             prefix_sum: vec![0.0; n + 1],
             prefix_sq: vec![0.0; n + 1],
+            p,
+            design,
+            ys_ord: ys.to_vec(),
+            spill_rows: vec![0.0; n * p],
+            spill_ys: vec![0.0; n],
+            ols: OlsScratch::default(),
         }
     }
 }
@@ -621,8 +655,17 @@ fn grow(
     // model if growth stops here and the pruning fallback (`collapsed`)
     // if the node splits — the reference grower fits exactly one of the
     // two on the same cell, so the work and the result are identical.
-    let model = LeafModel::fit_indexed(config.leaf_kind, ctx.xs, ctx.ys, &scratch.idx[lo..hi])?;
-    let resid_std = residual_std_indexed(&model, ctx.xs, ctx.ys, &scratch.idx[lo..hi])?;
+    // The fit reads this node's contiguous design segment (partitioned
+    // in lockstep with `idx`), so no per-node gather or QR workspace
+    // allocation happens; see `Scratch::design`.
+    let (model, resid_std) = {
+        let Scratch { p, design, ys_ord, ols, .. } = &mut *scratch;
+        let rows = &design[lo * *p..hi * *p];
+        let yseg = &ys_ord[lo..hi];
+        let model = LeafModel::fit_prepared(config.leaf_kind, rows, *p, yseg, ols)?;
+        let resid_std = residual_std_prepared(&model, rows, *p, yseg)?;
+        (model, resid_std)
+    };
 
     let msl = config.min_samples_leaf;
     if depth >= config.max_depth
@@ -685,8 +728,35 @@ fn grow(
     // sorted segment: both sides keep their relative order, so each child
     // inherits exactly the orders a per-node stable sort would rebuild.
     let n_left = {
-        let Scratch { cols, sorted, idx, spill, .. } = &mut *scratch;
+        let Scratch { cols, sorted, idx, spill, p, design, ys_ord, spill_rows, spill_ys, .. } =
+            &mut *scratch;
         let col = &cols[feature * n..(feature + 1) * n];
+        // Stable-partition the design rows and ordered targets in lockstep
+        // with `idx`: position k of the segment belongs to row `idx[lo+k]`,
+        // so the predicate is read from the *old* `idx` order before `idx`
+        // itself is permuted below.
+        {
+            let p = *p;
+            let seg = &idx[lo..hi];
+            let rows = &mut design[lo * p..hi * p];
+            let yseg = &mut ys_ord[lo..hi];
+            let mut kept = 0;
+            let mut spilled = 0;
+            for (k, &i) in seg.iter().enumerate() {
+                if col[i] <= threshold {
+                    rows.copy_within(k * p..(k + 1) * p, kept * p);
+                    yseg[kept] = yseg[k];
+                    kept += 1;
+                } else {
+                    spill_rows[spilled * p..(spilled + 1) * p]
+                        .copy_from_slice(&rows[k * p..(k + 1) * p]);
+                    spill_ys[spilled] = yseg[k];
+                    spilled += 1;
+                }
+            }
+            rows[kept * p..].copy_from_slice(&spill_rows[..spilled * p]);
+            yseg[kept..].copy_from_slice(&spill_ys[..spilled]);
+        }
         let n_left = stable_partition(&mut idx[lo..hi], spill, |i| col[i] <= threshold);
         for f in 0..width {
             let seg = &mut sorted[f * n + lo..f * n + hi];
@@ -708,6 +778,21 @@ fn grow(
         impurity_decrease: decrease,
         collapsed: model,
     })
+}
+
+/// Residual standard deviation of a fitted leaf model over a prepared
+/// contiguous cell: `rows` is the node's design segment (leading `1.0`
+/// intercept column, width `p`), `ys` its targets in the same order.
+/// Each prediction goes through the identical [`LeafModel::predict`] on
+/// the row's feature part, so this is bit-identical to
+/// [`residual_std_indexed`] over the indices the segment was built from.
+fn residual_std_prepared(model: &LeafModel, rows: &[f64], p: usize, ys: &[f64]) -> Result<f64> {
+    let mut sse = 0.0;
+    for (row, &y) in rows.chunks_exact(p).zip(ys) {
+        let e = model.predict(&row[1..])? - y;
+        sse += e * e;
+    }
+    Ok((sse / ys.len() as f64).sqrt())
 }
 
 /// Residual standard deviation of a fitted leaf model on the cell

@@ -5,6 +5,7 @@
 //! tan-sigmoid for the hidden layer ("the transfer function has to be
 //! nonlinear … we choose the default Tan-Sigmoid Transfer Function").
 
+use crate::kernel;
 use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use serde::{Deserialize, Serialize};
 
@@ -26,12 +27,37 @@ pub enum Activation {
 
 impl Activation {
     /// Applies the function.
+    ///
+    /// `TanSig` dispatches through [`crate::kernel::tanh_one`], so scalar
+    /// and batched ([`Activation::apply_slice`]) call sites see the same
+    /// bits for the same input, on either tanh path.
     pub fn apply(self, x: f64) -> f64 {
         match self {
-            Activation::TanSig => x.tanh(),
+            Activation::TanSig => kernel::tanh_one(x),
             Activation::LogSig => 1.0 / (1.0 + (-x).exp()),
             Activation::Linear => x,
             Activation::Elliott => x / (1.0 + x.abs()),
+        }
+    }
+
+    /// Applies the function elementwise in place — the batched form hot
+    /// loops use. For `TanSig` this is the vectorized kernel
+    /// ([`crate::kernel::tanh_slice`]); for every variant the result is
+    /// bit-identical to mapping [`Activation::apply`] over the slice.
+    pub fn apply_slice(self, xs: &mut [f64]) {
+        match self {
+            Activation::TanSig => kernel::tanh_slice(xs),
+            Activation::LogSig => {
+                for x in xs {
+                    *x = 1.0 / (1.0 + (-*x).exp());
+                }
+            }
+            Activation::Linear => {}
+            Activation::Elliott => {
+                for x in xs {
+                    *x /= 1.0 + x.abs();
+                }
+            }
         }
     }
 

@@ -4,11 +4,11 @@
 //! parameters for the number of delays as well as the number of hidden
 //! nodes. A grid search technique was utilized to accomplish this." (§V-A)
 
-use crate::nar::{NarConfig, NarModel};
+use crate::nar::{FitScratch, NarConfig, NarModel};
 use crate::train::TrainConfig;
 use crate::{NeuralError, Result};
 use ddos_stats::codec::{CodecResult, Reader, Writer};
-use ddos_stats::exec::map_indexed;
+use ddos_stats::exec::map_indexed_with;
 use serde::{Deserialize, Serialize};
 
 /// The search space.
@@ -147,18 +147,24 @@ pub fn grid_search_with(
             spec.hidden.iter().enumerate().map(move |(cj, &hidden)| (ci, cj, delays, hidden))
         })
         .collect();
-    let evals = map_indexed(&cells, parallelism, |_, &(ci, cj, delays, hidden)| {
+    // One fit arena per executor shard: consecutive cells on a worker
+    // reuse every training allocation (scaled series, flat design, weight
+    // and gradient buffers). Per-cell seeds are untouched and the scratch
+    // is pure workspace, so results — and the goldencheck fingerprints
+    // downstream of them — are bit-identical to fresh-allocation fits at
+    // any worker count.
+    let evals = map_indexed_with(&cells, parallelism, FitScratch::default, |scratch, _, &cell| {
+        let (ci, cj, delays, hidden) = cell;
         let config = NarConfig { delays, hidden, train: spec.train, ..Default::default() };
         let cell_seed = seed ^ ((ci as u64) << 32) ^ (cj as u64);
-        let model = match NarModel::fit(head, config, cell_seed) {
+        let model = match NarModel::fit_with(head, config, cell_seed, scratch) {
             Ok(m) => m,
             Err(e) => return CellEval::Infeasible(e),
         };
-        let preds = match model.predict_rolling(head, tail) {
-            Ok(p) => p,
-            Err(e) => return CellEval::Infeasible(e),
-        };
-        let sse: f64 = preds.iter().zip(tail).map(|(p, t)| (p - t).powi(2)).sum();
+        if let Err(e) = model.predict_rolling_into(head, tail, &mut scratch.preds) {
+            return CellEval::Infeasible(e);
+        }
+        let sse: f64 = scratch.preds.iter().zip(tail).map(|(p, t)| (p - t).powi(2)).sum();
         let rmse = (sse / tail.len() as f64).sqrt();
         if !rmse.is_finite() {
             return CellEval::Infeasible(NeuralError::NonFiniteInput);

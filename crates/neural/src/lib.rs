@@ -34,6 +34,7 @@
 
 pub mod activation;
 pub mod grid;
+pub mod kernel;
 pub mod nar;
 pub mod network;
 pub mod scale;

@@ -14,7 +14,7 @@
 use crate::activation::Activation;
 use crate::network::Mlp;
 use crate::scale::MinMaxScaler;
-use crate::train::{train, TrainConfig, TrainReport};
+use crate::train::{train_with, TrainConfig, TrainReport, TrainScratch};
 use crate::{NeuralError, Result};
 use ddos_stats::codec::{CodecError, CodecResult, Reader, Writer};
 use ddos_stats::forecast::{FittedModel, Forecaster, Rolling};
@@ -80,6 +80,21 @@ pub struct NarModel {
     sigma: f64,
 }
 
+/// Reusable fit workspace: the scaled series, the flat lagged design and
+/// targets, the rolling-evaluation output, and the full training arena.
+/// Grid search carries one per executor shard so consecutive cells reuse
+/// every allocation; [`NarModel::fit_with`] is bit-identical whether the
+/// scratch is fresh or carried over from a fit of any other shape.
+#[derive(Debug, Default)]
+pub struct FitScratch {
+    scaled: Vec<f64>,
+    design: Vec<f64>,
+    targets: Vec<f64>,
+    /// Rolling one-step predictions (grid-cell scoring output buffer).
+    pub(crate) preds: Vec<f64>,
+    train: TrainScratch,
+}
+
 impl NarModel {
     /// Fits a NAR model to a series.
     ///
@@ -90,6 +105,24 @@ impl NarModel {
     ///   `delays + 4` points.
     /// * Propagates scaling and training errors.
     pub fn fit(series: &[f64], config: NarConfig, seed: u64) -> Result<Self> {
+        Self::fit_with(series, config, seed, &mut FitScratch::default())
+    }
+
+    /// [`NarModel::fit`] with every working buffer — scaled series, flat
+    /// lagged design, training arena — drawn from `scratch`, so repeated
+    /// fits (grid-search cells) reuse allocations. Bit-identical to
+    /// [`NarModel::fit`]: the same float ops run in the same order on the
+    /// same values regardless of what the scratch previously held.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`NarModel::fit`].
+    pub fn fit_with(
+        series: &[f64],
+        config: NarConfig,
+        seed: u64,
+        scratch: &mut FitScratch,
+    ) -> Result<Self> {
         if config.delays == 0 {
             return Err(NeuralError::InvalidParameter {
                 name: "delays",
@@ -101,20 +134,33 @@ impl NarModel {
             return Err(NeuralError::NotEnoughData { required: min_len, actual: series.len() });
         }
         let scaler = MinMaxScaler::fit(series)?;
-        let scaled = scaler.transform_all(series);
-        let (inputs, targets) = lagged_design(&scaled, config.delays);
-        let mut network = Mlp::new(config.delays, config.hidden, config.activation, seed)?;
-        let report = train(&mut network, &inputs, &targets, &config.train)?;
+        let FitScratch { scaled, design, targets, train: train_scratch, .. } = scratch;
+        scaled.clear();
+        scaled.extend(series.iter().map(|v| scaler.transform(*v)));
+        // The flat lagged design, row-major: row `t` is
+        // `[x_t, x_{t−1}, …, x_{t−q+1}]` with target `x_{t+1}` — exactly
+        // [`lagged_design`] without the per-row boxes.
+        let q = config.delays;
+        design.clear();
+        targets.clear();
+        for t in (q - 1)..(scaled.len() - 1) {
+            for j in 0..q {
+                design.push(scaled[t - j]);
+            }
+            targets.push(scaled[t + 1]);
+        }
+        let mut network = Mlp::new(q, config.hidden, config.activation, seed)?;
+        let report = train_with(&mut network, design, targets, &config.train, train_scratch)?;
 
         // Residual σ on the original scale.
         let mut sse = 0.0;
-        let mut hidden = Vec::with_capacity(network.hidden_dim());
-        for (x, y) in inputs.iter().zip(&targets) {
-            let pred = scaler.inverse(network.forward_into(x, &mut hidden)?);
+        let hidden = &mut train_scratch.hidden;
+        for (x, y) in design.chunks_exact(q).zip(targets.iter()) {
+            let pred = scaler.inverse(network.forward_into(x, hidden)?);
             let truth = scaler.inverse(*y);
             sse += (pred - truth).powi(2);
         }
-        let sigma = (sse / inputs.len() as f64).sqrt();
+        let sigma = (sse / targets.len() as f64).sqrt();
 
         Ok(NarModel { config, scaler, network, report, sigma })
     }
@@ -342,7 +388,9 @@ impl FittedModel<Rolling<'_>> for NarModel {
 }
 
 /// Builds the lagged design: row `t` is `[x_t, x_{t−1}, …, x_{t−q+1}]` with
-/// target `x_{t+1}`.
+/// target `x_{t+1}`. The fit path builds the same rows flat into
+/// [`FitScratch`]; this boxed form remains as the tests' readable oracle.
+#[cfg(test)]
 fn lagged_design(series: &[f64], delays: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let mut inputs = Vec::new();
     let mut targets = Vec::new();

@@ -116,10 +116,15 @@ impl Mlp {
             });
         }
         hidden.clear();
-        hidden.extend(self.w1.chunks_exact(self.input_dim).zip(&self.b1).map(|(row, b)| {
-            let z: f64 = row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b;
-            self.hidden_activation.apply(z)
-        }));
+        hidden.extend(
+            self.w1
+                .chunks_exact(self.input_dim)
+                .zip(&self.b1)
+                .map(|(row, b)| row.iter().zip(input).map(|(w, x)| w * x).sum::<f64>() + b),
+        );
+        // Pre-activations are accumulated in the same order as ever; only
+        // the activation itself is applied batched over the slice.
+        self.hidden_activation.apply_slice(hidden);
         Ok(self.w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2)
     }
 
@@ -142,6 +147,12 @@ impl Mlp {
     /// Bit-identical to [`Mlp::forward_into`]: per hidden unit the
     /// pre-activation is accumulated in the same input order, starting
     /// from 0.0, with the bias added last.
+    ///
+    /// Retained as the per-sample oracle that the epoch-batched forms
+    /// ([`Mlp::accumulate_gradient_epoch`], [`Mlp::forward_sse_epoch`])
+    /// are pinned against bitwise; the training loop itself now runs the
+    /// batched forms.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn forward_transposed(
         &self,
         w1t: &[f64],
@@ -156,7 +167,8 @@ impl Mlp {
             }
         }
         hidden.clear();
-        hidden.extend(z.iter().zip(&self.b1).map(|(zh, b)| self.hidden_activation.apply(zh + b)));
+        hidden.extend(z.iter().zip(&self.b1).map(|(zh, b)| zh + b));
+        self.hidden_activation.apply_slice(hidden);
         self.w2.iter().zip(hidden.iter()).map(|(w, h)| w * h).sum::<f64>() + self.b2
     }
 
@@ -175,6 +187,7 @@ impl Mlp {
     /// After the call, `z` holds the per-unit backpropagated deltas (it is
     /// reused as scratch once the pre-activations are consumed).
     #[allow(clippy::too_many_arguments)] // scratch-buffer plumbing, internal only
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn accumulate_gradient_transposed(
         &self,
         w1t: &[f64],
@@ -207,6 +220,111 @@ impl Mlp {
             }
         }
         err * err
+    }
+
+    /// One full training epoch of [`Mlp::accumulate_gradient_transposed`],
+    /// restructured so the activation runs **once over every sample's
+    /// pre-activations** instead of once per sample. With `hidden_dim`
+    /// below the kernel's chunk width, the per-sample calls never left the
+    /// scalar remainder of the batched tanh; the epoch-sized slice does.
+    ///
+    /// Bit-identical to the per-sample loop: each sample's pre-activations
+    /// are accumulated in the same column order starting from 0.0 with the
+    /// bias added last, the batched activation is elementwise-identical to
+    /// the scalar form (pinned by the kernel tests), and the backward
+    /// accumulations run per sample in the original order. `acts` is
+    /// resized to `targets.len() × hidden_dim`.
+    ///
+    /// Returns the summed squared error, accumulated sample by sample.
+    #[allow(clippy::too_many_arguments)] // scratch-buffer plumbing, internal only
+    pub(crate) fn accumulate_gradient_epoch(
+        &self,
+        w1t: &[f64],
+        flat: &[f64],
+        targets: &[f64],
+        grad: &mut [f64],
+        gw1t: &mut [f64],
+        z: &mut [f64],
+        acts: &mut Vec<f64>,
+    ) -> f64 {
+        let h = self.hidden_dim;
+        let dim = self.input_dim;
+        debug_assert_eq!(flat.len(), targets.len() * dim);
+        acts.clear();
+        acts.resize(targets.len() * h, 0.0);
+        // Forward: every sample's pre-activation, then one batched
+        // activation over the whole epoch.
+        for (seg, x) in acts.chunks_exact_mut(h).zip(flat.chunks_exact(dim)) {
+            for (col, &xi) in w1t.chunks_exact(h).zip(x) {
+                for (s, &w) in seg.iter_mut().zip(col) {
+                    *s += w * xi;
+                }
+            }
+            for (s, &b) in seg.iter_mut().zip(&self.b1) {
+                *s += b;
+            }
+        }
+        self.hidden_activation.apply_slice(acts);
+        // Backward: per sample, in the original order.
+        let mut sse = 0.0;
+        let (_, rest) = grad.split_at_mut(self.w1.len());
+        let (gb1, rest) = rest.split_at_mut(self.b1.len());
+        let (gw2, gb2) = rest.split_at_mut(self.w2.len());
+        for ((hid, x), &y) in acts.chunks_exact(h).zip(flat.chunks_exact(dim)).zip(targets) {
+            let output = self.w2.iter().zip(hid).map(|(w, hv)| w * hv).sum::<f64>() + self.b2;
+            let err = output - y;
+            for (g, &hv) in gw2.iter_mut().zip(hid) {
+                *g += err * hv;
+            }
+            gb2[0] += err;
+            for ((d, &hv), &w2) in z.iter_mut().zip(hid).zip(self.w2.iter()) {
+                *d = err * w2 * self.hidden_activation.derivative_from_output(hv);
+            }
+            for (gb, &d) in gb1.iter_mut().zip(z.iter()) {
+                *gb += d;
+            }
+            for (col, &xi) in gw1t.chunks_exact_mut(h).zip(x) {
+                for (g, &d) in col.iter_mut().zip(z.iter()) {
+                    *g += d * xi;
+                }
+            }
+            sse += err * err;
+        }
+        sse
+    }
+
+    /// Summed squared forward error over a sample block, with the same
+    /// epoch-batched activation as [`Mlp::accumulate_gradient_epoch`].
+    /// Bit-identical to summing `(forward_transposed − y)²` per sample.
+    pub(crate) fn forward_sse_epoch(
+        &self,
+        w1t: &[f64],
+        flat: &[f64],
+        targets: &[f64],
+        acts: &mut Vec<f64>,
+    ) -> f64 {
+        let h = self.hidden_dim;
+        let dim = self.input_dim;
+        debug_assert_eq!(flat.len(), targets.len() * dim);
+        acts.clear();
+        acts.resize(targets.len() * h, 0.0);
+        for (seg, x) in acts.chunks_exact_mut(h).zip(flat.chunks_exact(dim)) {
+            for (col, &xi) in w1t.chunks_exact(h).zip(x) {
+                for (s, &w) in seg.iter_mut().zip(col) {
+                    *s += w * xi;
+                }
+            }
+            for (s, &b) in seg.iter_mut().zip(&self.b1) {
+                *s += b;
+            }
+        }
+        self.hidden_activation.apply_slice(acts);
+        let mut sse = 0.0;
+        for (hid, &y) in acts.chunks_exact(h).zip(targets) {
+            let e = self.w2.iter().zip(hid).map(|(w, hv)| w * hv).sum::<f64>() + self.b2 - y;
+            sse += e * e;
+        }
+        sse
     }
 
     /// Writes the column-major `w1` gradient accumulated by
@@ -462,6 +580,63 @@ mod tests {
             m.fold_transposed_grad(&gw1t, &mut g2);
             assert_eq!(se1.to_bits(), se2.to_bits());
             for (a, b) in g1.iter().zip(&g2) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_batched_paths_match_per_sample_bitwise() {
+        // Widths straddling the tanh kernel's chunk width, so both the
+        // scalar remainder and the vectorized body of the batched
+        // activation are exercised against the per-sample oracle.
+        for (dim, hid, seed) in [(3usize, 5usize, 31u64), (4, 9, 32), (2, 8, 33)] {
+            let m = Mlp::new(dim, hid, Activation::TanSig, seed).unwrap();
+            let mut w1t = vec![0.0; dim * hid];
+            m.transpose_w1_into(&mut w1t);
+            let n = 13;
+            let mut flat = Vec::with_capacity(n * dim);
+            let mut targets = Vec::with_capacity(n);
+            for k in 0..n {
+                for j in 0..dim {
+                    flat.push(((k * dim + j) as f64 * 0.37).sin() * 2.0);
+                }
+                targets.push((k as f64 * 0.21).cos());
+            }
+            // Per-sample oracle.
+            let mut z = vec![0.0; hid];
+            let mut hidden = Vec::new();
+            let mut g_ref = vec![0.0; m.n_params()];
+            let mut gw1t_ref = vec![0.0; dim * hid];
+            let mut sse_ref = 0.0;
+            let mut val_ref = 0.0;
+            for (x, &y) in flat.chunks_exact(dim).zip(&targets) {
+                sse_ref += m.accumulate_gradient_transposed(
+                    &w1t,
+                    x,
+                    y,
+                    &mut g_ref,
+                    &mut gw1t_ref,
+                    &mut z,
+                    &mut hidden,
+                );
+                let e = m.forward_transposed(&w1t, x, &mut z, &mut hidden) - y;
+                val_ref += e * e;
+            }
+            // Epoch-batched forms, from dirty scratch.
+            let mut g = vec![0.0; m.n_params()];
+            let mut gw1t = vec![0.0; dim * hid];
+            let mut acts = vec![99.0; 7];
+            let sse = m.accumulate_gradient_epoch(
+                &w1t, &flat, &targets, &mut g, &mut gw1t, &mut z, &mut acts,
+            );
+            let val = m.forward_sse_epoch(&w1t, &flat, &targets, &mut acts);
+            assert_eq!(sse.to_bits(), sse_ref.to_bits());
+            assert_eq!(val.to_bits(), val_ref.to_bits());
+            for (a, b) in gw1t.iter().zip(&gw1t_ref) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in g.iter().zip(&g_ref) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }

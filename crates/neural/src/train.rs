@@ -123,6 +123,32 @@ impl TrainReport {
     }
 }
 
+/// Reusable training workspace: every buffer [`train_with`] needs, so one
+/// arena can be carried across many fits (grid-search cells within an
+/// executor shard) instead of reallocating per fit.
+///
+/// Contents are pure scratch: each `train_with` call (re)initializes every
+/// buffer before reading it, so reuse is bit-identical to starting from
+/// [`TrainScratch::default`] — the grid-search determinism tests sweep
+/// worker counts (which changes who shares an arena) to prove it.
+#[derive(Debug, Default)]
+pub struct TrainScratch {
+    grad: Vec<f64>,
+    prev_grad: Vec<f64>,
+    step: Vec<f64>,
+    velocity: Vec<f64>,
+    moves: Vec<f64>,
+    w1t: Vec<f64>,
+    gw1t: Vec<f64>,
+    z: Vec<f64>,
+    /// Hidden-activation buffer; also borrowed by the NAR σ pass after
+    /// training completes.
+    pub(crate) hidden: Vec<f64>,
+    /// Best-so-far network kept across calls so the early-stopping
+    /// snapshot reuses weight buffers instead of cloning a fresh `Mlp`.
+    best: Option<Mlp>,
+}
+
 /// Trains `network` in place on `(inputs, targets)`.
 ///
 /// The network with the *best validation error* is the one left in
@@ -148,6 +174,50 @@ pub fn train(
             detail: format!("{} inputs vs {} targets", inputs.len(), targets.len()),
         });
     }
+    // Flatten the design into one contiguous row-major matrix so the epoch
+    // loops stream through memory instead of chasing a pointer per row.
+    let dim = network.input_dim();
+    let mut flat = Vec::with_capacity(inputs.len() * dim);
+    for row in inputs {
+        if row.len() != dim {
+            return Err(NeuralError::InputWidthMismatch { expected: dim, actual: row.len() });
+        }
+        flat.extend_from_slice(row);
+    }
+    train_with(network, &flat, targets, config, &mut TrainScratch::default())
+}
+
+/// [`train`] over an already-flattened row-major design, with every
+/// working buffer drawn from `scratch`. Bit-identical to [`train`] on the
+/// same rows — same float ops in the same order — whether the scratch is
+/// fresh or reused from a previous fit of any shape.
+///
+/// # Errors
+///
+/// * [`NeuralError::NotEnoughData`] when there are no samples.
+/// * [`NeuralError::BadDimensions`] when `design` is not
+///   `targets.len() × input_dim`.
+/// * [`NeuralError::InvalidParameter`] for bad config values.
+pub fn train_with(
+    network: &mut Mlp,
+    design: &[f64],
+    targets: &[f64],
+    config: &TrainConfig,
+    scratch: &mut TrainScratch,
+) -> Result<TrainReport> {
+    if targets.is_empty() {
+        return Err(NeuralError::NotEnoughData { required: 1, actual: 0 });
+    }
+    let dim = network.input_dim();
+    if design.len() != targets.len() * dim {
+        return Err(NeuralError::BadDimensions {
+            detail: format!(
+                "design of {} values is not {} rows × {dim} inputs",
+                design.len(),
+                targets.len()
+            ),
+        });
+    }
     if !(0.0..1.0).contains(&config.validation_fraction) {
         return Err(NeuralError::InvalidParameter {
             name: "validation_fraction",
@@ -160,43 +230,52 @@ pub fn train(
             detail: "must be nonzero".to_string(),
         });
     }
-    if targets.iter().any(|t| !t.is_finite()) || inputs.iter().flatten().any(|v| !v.is_finite()) {
+    if targets.iter().any(|t| !t.is_finite()) || design.iter().any(|v| !v.is_finite()) {
         return Err(NeuralError::NonFiniteInput);
     }
+    let flat = design;
 
-    let n_val = ((inputs.len() as f64) * config.validation_fraction) as usize;
-    let n_train = inputs.len() - n_val;
+    let n_val = ((targets.len() as f64) * config.validation_fraction) as usize;
+    let n_train = targets.len() - n_val;
     // Never train on zero samples; fold a too-small split back in.
-    let (n_train, n_val) = if n_train == 0 { (inputs.len(), 0) } else { (n_train, n_val) };
-
-    // Flatten the design into one contiguous row-major matrix so the epoch
-    // loops stream through memory instead of chasing a pointer per row.
-    let dim = network.input_dim();
-    let mut flat = Vec::with_capacity(inputs.len() * dim);
-    for row in inputs {
-        if row.len() != dim {
-            return Err(NeuralError::InputWidthMismatch { expected: dim, actual: row.len() });
-        }
-        flat.extend_from_slice(row);
-    }
+    let (n_train, n_val) = if n_train == 0 { (targets.len(), 0) } else { (n_train, n_val) };
 
     let n_params = network.n_params();
-    // All per-epoch scratch is hoisted out of the loop: the epoch body
-    // performs no heap allocation (gradient reads are per-index, so no
-    // snapshot copies are needed either).
-    let mut grad = vec![0.0; n_params];
-    let mut prev_grad = vec![0.0; n_params];
-    let mut step = vec![0.05f64; n_params]; // RPROP initial step
-    let mut velocity = vec![0.0; n_params];
-    let mut moves = vec![0.0; n_params];
-    let mut hidden = Vec::with_capacity(network.hidden_dim());
+    // All per-epoch scratch comes from the arena, (re)initialized to
+    // exactly the state a fresh allocation would have: the epoch body
+    // performs no heap allocation and reuse cannot change a single bit.
+    let TrainScratch { grad, prev_grad, step, velocity, moves, w1t, gw1t, z, hidden, best: kept } =
+        scratch;
+    grad.clear();
+    grad.resize(n_params, 0.0);
+    prev_grad.clear();
+    prev_grad.resize(n_params, 0.0);
+    step.clear();
+    step.resize(n_params, 0.05); // RPROP initial step
+    velocity.clear();
+    velocity.resize(n_params, 0.0);
+    moves.clear();
+    moves.resize(n_params, 0.0);
+    hidden.clear();
     // Transposed hidden-weight copy: refreshed whenever the weights move,
     // so the forward recurrences vectorize across hidden units.
-    let mut w1t = vec![0.0; dim * network.hidden_dim()];
-    let mut gw1t = vec![0.0; dim * network.hidden_dim()];
-    let mut z = vec![0.0; network.hidden_dim()];
+    w1t.clear();
+    w1t.resize(dim * network.hidden_dim(), 0.0);
+    gw1t.clear();
+    gw1t.resize(dim * network.hidden_dim(), 0.0);
+    z.clear();
+    z.resize(network.hidden_dim(), 0.0);
 
-    let mut best = network.clone();
+    // The early-stopping snapshot reuses the arena's retained network
+    // when there is one (clone_from keeps its weight buffers); the copy
+    // makes its value identical to a fresh clone either way.
+    let mut best = match kept.take() {
+        Some(mut b) => {
+            b.clone_from(network);
+            b
+        }
+        None => network.clone(),
+    };
     let mut best_val = f64::INFINITY;
     let mut stall = 0usize;
     let mut epochs_run = 0usize;
@@ -206,21 +285,21 @@ pub fn train(
     for epoch in 0..config.max_epochs {
         epochs_run = epoch + 1;
         grad.iter_mut().for_each(|g| *g = 0.0);
-        let mut sse = 0.0;
-        network.transpose_w1_into(&mut w1t);
+        network.transpose_w1_into(w1t);
         gw1t.iter_mut().for_each(|g| *g = 0.0);
-        for (x, y) in flat[..n_train * dim].chunks_exact(dim).zip(&targets[..n_train]) {
-            sse += network.accumulate_gradient_transposed(
-                &w1t,
-                x,
-                *y,
-                &mut grad,
-                &mut gw1t,
-                &mut z,
-                &mut hidden,
-            );
-        }
-        network.fold_transposed_grad(&gw1t, &mut grad);
+        // Epoch-batched gradient pass: one activation call over every
+        // sample's pre-activations (bit-identical to the per-sample loop;
+        // see `accumulate_gradient_epoch`).
+        let sse = network.accumulate_gradient_epoch(
+            w1t,
+            &flat[..n_train * dim],
+            &targets[..n_train],
+            grad,
+            gw1t,
+            z,
+            hidden,
+        );
+        network.fold_transposed_grad(gw1t, grad);
         train_mse = sse / n_train as f64;
 
         match config.optimizer {
@@ -260,12 +339,9 @@ pub fn train(
 
         // Validation / early stopping.
         let val_mse = if n_val > 0 {
-            let mut sse = 0.0;
-            network.transpose_w1_into(&mut w1t);
-            for (x, y) in flat[n_train * dim..].chunks_exact(dim).zip(&targets[n_train..]) {
-                let e = network.forward_transposed(&w1t, x, &mut z, &mut hidden) - y;
-                sse += e * e;
-            }
+            network.transpose_w1_into(w1t);
+            let sse =
+                network.forward_sse_epoch(w1t, &flat[n_train * dim..], &targets[n_train..], hidden);
             sse / n_val as f64
         } else {
             train_mse
@@ -286,6 +362,9 @@ pub fn train(
     }
 
     std::mem::swap(network, &mut best);
+    // Hand the displaced network back to the arena: the next fit's
+    // snapshot clone_from reuses its weight buffers.
+    *kept = Some(best);
     Ok(TrainReport { epochs: epochs_run, train_mse, validation_mse: best_val, stopped_early })
 }
 

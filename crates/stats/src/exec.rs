@@ -57,10 +57,45 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    map_indexed_with(items, parallelism, || (), |(), i, item| f(i, item))
+}
+
+/// [`map_indexed`] with per-shard mutable state: `init` runs once on each
+/// worker thread (once total on the serial path) and the resulting state
+/// is threaded through every call that shard makes, in shard order.
+///
+/// This is the scratch-arena hook: a shard's workspace buffers (weight
+/// arenas, design matrices) are allocated once and reused across its
+/// items instead of once per item. The determinism contract of
+/// [`map_indexed`] carries over *provided* `f(state, i, item)` returns
+/// the same value regardless of the incoming state — i.e. the state is
+/// pure scratch whose contents are (re)initialized by `f` before use,
+/// never data flowing between items. All in-repo scratch types
+/// (`TrainScratch`, OLS scratch) satisfy this by construction, and the
+/// grid-search determinism tests sweep worker counts to prove it: which
+/// cells *share* an arena changes with the shard layout, so any leak
+/// would break the bit-identity oracle.
+///
+/// # Panics
+///
+/// Re-raises any panic from `init` or `f` when the thread scope joins.
+pub fn map_indexed_with<T, R, S, I, F>(
+    items: &[T],
+    parallelism: Option<usize>,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let n = items.len();
     let workers = resolve_parallelism(parallelism).min(n.max(1));
     if workers <= 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut state = init();
+        return items.iter().enumerate().map(|(i, item)| f(&mut state, i, item)).collect();
     }
 
     let shard_len = n.div_ceil(workers);
@@ -72,10 +107,12 @@ where
             items.chunks(shard_len).zip(slots.chunks_mut(shard_len)).enumerate()
         {
             let f = &f;
+            let init = &init;
             let base = shard * shard_len;
             scope.spawn(move || {
+                let mut state = init();
                 for (off, (item, slot)) in in_shard.iter().zip(out_shard.iter_mut()).enumerate() {
-                    *slot = Some(f(base + off, item));
+                    *slot = Some(f(&mut state, base + off, item));
                 }
             });
         }
@@ -136,6 +173,39 @@ mod tests {
         // First error in canonical order is item 1, independent of scheduling.
         let first_err = out.into_iter().find_map(Result::err);
         assert_eq!(first_err.as_deref(), Some("bad -2"));
+    }
+
+    #[test]
+    fn stateful_map_matches_stateless_at_any_worker_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expected = map_indexed(&items, Some(1), |i, x| x * 3 + i as u64);
+        for workers in [1, 2, 4, 9, 37] {
+            // Scratch contract: the state is reset before use, so results
+            // must not depend on which items shared a shard's state.
+            let out = map_indexed_with(&items, Some(workers), Vec::<u64>::new, |scratch, i, x| {
+                scratch.clear();
+                scratch.push(x * 3);
+                scratch[0] + i as u64
+            });
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn state_is_reused_within_a_shard() {
+        let items: Vec<u32> = (0..10).collect();
+        // Serial path: one state for all items, so the call counter keeps
+        // climbing — proving the arena is genuinely shared, not rebuilt.
+        let out = map_indexed_with(
+            &items,
+            Some(1),
+            || 0usize,
+            |calls, _, _| {
+                *calls += 1;
+                *calls
+            },
+        );
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
     }
 
     #[test]

@@ -400,65 +400,8 @@ impl Matrix {
     /// * [`StatsError::TooShort`] when `rows < cols`.
     /// * [`StatsError::SingularMatrix`] when the design is rank deficient.
     pub fn lstsq(&self, b: &[f64]) -> Result<Vec<f64>> {
-        if b.len() != self.rows {
-            return Err(StatsError::DimensionMismatch {
-                detail: format!("rhs length {} != {}", b.len(), self.rows),
-            });
-        }
-        if self.rows < self.cols {
-            return Err(StatsError::TooShort { required: self.cols, actual: self.rows });
-        }
-        let m = self.rows;
-        let n = self.cols;
-        let mut r = self.data.clone();
-        let mut rhs = b.to_vec();
-        let mut v = vec![0.0f64; m];
-
-        for k in 0..n {
-            // Householder vector for column k (rows k..m).
-            let mut norm = 0.0;
-            for (i, vi) in v.iter_mut().enumerate().take(m).skip(k) {
-                *vi = r[i * n + k];
-                norm += *vi * *vi;
-            }
-            let norm = norm.sqrt();
-            if norm < 1e-14 {
-                return Err(StatsError::SingularMatrix);
-            }
-            let alpha = if v[k] >= 0.0 { -norm } else { norm };
-            v[k] -= alpha;
-            let vtv: f64 = v[k..m].iter().map(|x| x * x).sum();
-            if vtv < 1e-28 {
-                return Err(StatsError::SingularMatrix);
-            }
-            // Apply H = I − 2 v vᵀ / (vᵀ v) to the remaining columns of R…
-            for j in k..n {
-                let dot: f64 = (k..m).map(|i| v[i] * r[i * n + j]).sum();
-                let c = 2.0 * dot / vtv;
-                for i in k..m {
-                    r[i * n + j] -= c * v[i];
-                }
-            }
-            // …and to the right-hand side.
-            let dot: f64 = (k..m).map(|i| v[i] * rhs[i]).sum();
-            let c = 2.0 * dot / vtv;
-            for i in k..m {
-                rhs[i] -= c * v[i];
-            }
-        }
-        // Back substitution on the top n×n triangle.
-        let mut x = vec![0.0; n];
-        for i in (0..n).rev() {
-            let mut s = rhs[i];
-            for j in (i + 1)..n {
-                s -= r[i * n + j] * x[j];
-            }
-            let d = r[i * n + i];
-            if d.abs() < 1e-10 {
-                return Err(StatsError::SingularMatrix);
-            }
-            x[i] = s / d;
-        }
+        let mut x = Vec::new();
+        lstsq_into(&self.data, self.rows, self.cols, b, &mut LstsqScratch::default(), &mut x)?;
         Ok(x)
     }
 
@@ -483,6 +426,109 @@ impl Matrix {
         }
         g
     }
+}
+
+/// Reusable buffers for [`lstsq_into`]: the working copy of the design
+/// (`r`), the transformed right-hand side (`rhs`), and the Householder
+/// vector (`v`). A default-constructed scratch is valid for any problem
+/// size; buffers grow on first use and are then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct LstsqScratch {
+    r: Vec<f64>,
+    rhs: Vec<f64>,
+    v: Vec<f64>,
+}
+
+/// Allocation-free [`Matrix::lstsq`] over a borrowed row-major design.
+///
+/// `design` is `rows × cols` in row-major order; the solution is written
+/// into `beta` (cleared and resized to `cols`). This is the same
+/// Householder QR as [`Matrix::lstsq`] — which delegates here — with the
+/// identical floating-point operation order, so results are bitwise equal.
+/// The split exists for hot callers (regression-tree leaves) that solve
+/// many small systems and want to amortize the three working buffers.
+///
+/// # Errors
+///
+/// Exactly those of [`Matrix::lstsq`]: [`StatsError::DimensionMismatch`]
+/// for a wrong-length `b`, [`StatsError::TooShort`] when `rows < cols`,
+/// [`StatsError::SingularMatrix`] on rank deficiency.
+pub fn lstsq_into(
+    design: &[f64],
+    rows: usize,
+    cols: usize,
+    b: &[f64],
+    scratch: &mut LstsqScratch,
+    beta: &mut Vec<f64>,
+) -> Result<()> {
+    debug_assert_eq!(design.len(), rows * cols, "design buffer must be rows*cols");
+    if b.len() != rows {
+        return Err(StatsError::DimensionMismatch {
+            detail: format!("rhs length {} != {}", b.len(), rows),
+        });
+    }
+    if rows < cols {
+        return Err(StatsError::TooShort { required: cols, actual: rows });
+    }
+    let m = rows;
+    let n = cols;
+    let r = &mut scratch.r;
+    r.clear();
+    r.extend_from_slice(design);
+    let rhs = &mut scratch.rhs;
+    rhs.clear();
+    rhs.extend_from_slice(b);
+    let v = &mut scratch.v;
+    v.clear();
+    v.resize(m, 0.0);
+
+    for k in 0..n {
+        // Householder vector for column k (rows k..m).
+        let mut norm = 0.0;
+        for (i, vi) in v.iter_mut().enumerate().take(m).skip(k) {
+            *vi = r[i * n + k];
+            norm += *vi * *vi;
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-14 {
+            return Err(StatsError::SingularMatrix);
+        }
+        let alpha = if v[k] >= 0.0 { -norm } else { norm };
+        v[k] -= alpha;
+        let vtv: f64 = v[k..m].iter().map(|x| x * x).sum();
+        if vtv < 1e-28 {
+            return Err(StatsError::SingularMatrix);
+        }
+        // Apply H = I − 2 v vᵀ / (vᵀ v) to the remaining columns of R…
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i] * r[i * n + j]).sum();
+            let c = 2.0 * dot / vtv;
+            for i in k..m {
+                r[i * n + j] -= c * v[i];
+            }
+        }
+        // …and to the right-hand side.
+        let dot: f64 = (k..m).map(|i| v[i] * rhs[i]).sum();
+        let c = 2.0 * dot / vtv;
+        for i in k..m {
+            rhs[i] -= c * v[i];
+        }
+    }
+    // Back substitution on the top n×n triangle.
+    beta.clear();
+    beta.resize(n, 0.0);
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in (i + 1)..n {
+            s -= r[i * n + j] * beta[j];
+        }
+        let d = r[i * n + i];
+        if d.abs() < 1e-10 {
+            return Err(StatsError::SingularMatrix);
+        }
+        beta[i] = s / d;
+    }
+    Ok(())
 }
 
 impl Index<(usize, usize)> for Matrix {

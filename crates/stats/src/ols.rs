@@ -6,9 +6,20 @@
 //! [`LinearModel`].
 
 use crate::codec::{CodecResult, Reader, Writer};
-use crate::matrix::Matrix;
+use crate::matrix::{lstsq_into, LstsqScratch, Matrix};
 use crate::{Result, StatsError};
 use serde::{Deserialize, Serialize};
+
+/// Reusable buffers for [`LinearModel::fit_prepared`]: the QR workspace
+/// plus the solution and fitted-value vectors. One scratch serves any
+/// sequence of fits of any size; buffers grow to the high-water mark and
+/// are reused allocation-free after that.
+#[derive(Debug, Default)]
+pub struct OlsScratch {
+    lstsq: LstsqScratch,
+    beta: Vec<f64>,
+    fitted: Vec<f64>,
+}
 
 /// A fitted linear model `y = β₀ + β₁ x₁ + … + βₖ xₖ`.
 ///
@@ -147,6 +158,77 @@ impl LinearModel {
         let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
         let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
         let ss_res: f64 = ys.iter().zip(&fitted).map(|(y, f)| (y - f).powi(2)).sum();
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let dof = (ys.len() - p).max(1);
+        let residual_std = (ss_res / dof as f64).sqrt();
+
+        Ok(LinearModel {
+            intercept: beta[0],
+            coefficients: beta[1..].to_vec(),
+            r_squared,
+            residual_std,
+            n_obs: ys.len(),
+        })
+    }
+
+    /// Fits from a pre-assembled row-major design whose rows already carry
+    /// the leading `1.0` intercept column — the allocation-free twin of
+    /// [`LinearModel::fit_indexed`] for callers (CART leaf fits) that keep
+    /// the design rows of a parent node alive across its children.
+    ///
+    /// `design` is `ys.len() × p` row-major; `p` counts the intercept
+    /// column. Bit-identical to gathering the same rows and calling
+    /// [`LinearModel::fit`]: the QR, fitted values, and every reduction run
+    /// in the same floating-point order.
+    ///
+    /// Unlike `fit`/`fit_indexed` this does **not** scan for non-finite
+    /// inputs — the caller is expected to have validated its samples once
+    /// up front (CART does, at dataset construction). Feeding NaN/∞ here
+    /// yields a garbage-coefficient model or a [`StatsError::SingularMatrix`]
+    /// instead of [`StatsError::NonFiniteInput`].
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::EmptyInput`] when `ys` is empty.
+    /// * [`StatsError::DimensionMismatch`] when `design.len() != ys.len() * p`.
+    /// * [`StatsError::TooShort`] when there are fewer rows than `p`.
+    /// * [`StatsError::SingularMatrix`] for collinear designs.
+    pub fn fit_prepared(
+        design: &[f64],
+        ys: &[f64],
+        p: usize,
+        scratch: &mut OlsScratch,
+    ) -> Result<Self> {
+        if ys.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if design.len() != ys.len() * p {
+            return Err(StatsError::DimensionMismatch {
+                detail: format!(
+                    "design has {} entries, expected {} rows × {p}",
+                    design.len(),
+                    ys.len()
+                ),
+            });
+        }
+        if ys.len() < p {
+            return Err(StatsError::TooShort { required: p, actual: ys.len() });
+        }
+
+        let beta = &mut scratch.beta;
+        lstsq_into(design, ys.len(), p, ys, &mut scratch.lstsq, beta)?;
+
+        // Same reduction order as `Matrix::mat_vec` row by row.
+        let fitted = &mut scratch.fitted;
+        fitted.clear();
+        fitted.extend(
+            design
+                .chunks_exact(p)
+                .map(|row| row.iter().zip(beta.iter()).map(|(a, b)| a * b).sum::<f64>()),
+        );
+        let mean_y = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean_y).powi(2)).sum();
+        let ss_res: f64 = ys.iter().zip(fitted.iter()).map(|(y, f)| (y - f).powi(2)).sum();
         let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
         let dof = (ys.len() - p).max(1);
         let residual_std = (ss_res / dof as f64).sqrt();
@@ -355,6 +437,52 @@ mod tests {
             direct.predict(&[9.0, 2.0]).unwrap().to_bits(),
             indexed.predict(&[9.0, 2.0]).unwrap().to_bits()
         );
+    }
+
+    #[test]
+    fn fit_prepared_matches_fit_indexed_bitwise() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, ((i * 3) % 11) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 0.7 * r[0] - 1.3 * r[1] + 4.0).collect();
+        let indices: Vec<usize> = vec![3, 5, 8, 13, 21, 34, 1, 2];
+        let p = 3;
+        let mut design = Vec::new();
+        let mut yseg = Vec::new();
+        for &i in &indices {
+            design.push(1.0);
+            design.extend_from_slice(&xs[i]);
+            yseg.push(ys[i]);
+        }
+        let indexed = LinearModel::fit_indexed(&xs, &ys, &indices).unwrap();
+        let mut scratch = OlsScratch::default();
+        // Twice through the same scratch: reuse must not perturb a bit.
+        for _ in 0..2 {
+            let prepared = LinearModel::fit_prepared(&design, &yseg, p, &mut scratch).unwrap();
+            assert_eq!(prepared.intercept.to_bits(), indexed.intercept.to_bits());
+            assert_eq!(prepared.coefficients.len(), indexed.coefficients.len());
+            for (a, b) in prepared.coefficients.iter().zip(&indexed.coefficients) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(prepared.r_squared.to_bits(), indexed.r_squared.to_bits());
+            assert_eq!(prepared.residual_std.to_bits(), indexed.residual_std.to_bits());
+            assert_eq!(prepared.n_obs, indexed.n_obs);
+        }
+    }
+
+    #[test]
+    fn fit_prepared_validates() {
+        let mut scratch = OlsScratch::default();
+        assert!(matches!(
+            LinearModel::fit_prepared(&[], &[], 2, &mut scratch),
+            Err(StatsError::EmptyInput)
+        ));
+        assert!(matches!(
+            LinearModel::fit_prepared(&[1.0, 2.0, 3.0], &[1.0], 2, &mut scratch),
+            Err(StatsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearModel::fit_prepared(&[1.0, 2.0], &[1.0], 2, &mut scratch),
+            Err(StatsError::TooShort { .. })
+        ));
     }
 
     #[test]
