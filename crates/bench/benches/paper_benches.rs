@@ -247,7 +247,7 @@ fn bench_ablation_pruning(c: &mut Criterion) {
         let rmse = ddos_stats::metrics::rmse(&st, &truth).unwrap();
         eprintln!(
             "[ablation pruning] {name}: hour tree {} leaves, hour RMSE {rmse:.2}",
-            model.hour_tree().n_leaves()
+            model.hour_tree().unwrap().n_leaves()
         );
     }
     let mut g = c.benchmark_group("ablation_pruning");
@@ -477,6 +477,97 @@ fn bench_serve_batch(c: &mut Criterion) {
     });
     g.bench_function("artifact_decode_spatiotemporal", |b| {
         b.iter(|| SpatioTemporalModel::from_artifact_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+/// Forecaster zoo: ensemble fit cost on the real spatiotemporal design —
+/// a bagged forest at 1 worker vs all cores (the determinism proptests
+/// pin that the outputs are bit-identical, so the speedup is free) and a
+/// boosted fit with early stopping. Single-core rows are the honest
+/// comparison against `cart_fit`; the parallel row shows the executor
+/// headroom on this machine only.
+fn bench_ensemble_fit(c: &mut Criterion) {
+    use ddos_cart::ensemble::{BaggedForest, BoostConfig, BoostedTrees, ForestConfig};
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let st_cfg = SpatioTemporalConfig::fast();
+    let (xs, labels) = SpatioTemporalModel::training_design(train, &st_cfg, 5).unwrap();
+    let hours: Vec<f64> = labels.iter().map(|l| l[0]).collect();
+    let mut g = c.benchmark_group("ensemble_fit");
+    g.sample_size(10);
+    for (name, parallelism) in
+        [("forest16_481x13_1worker", Some(1)), ("forest16_481x13_allcores", None)]
+    {
+        let cfg = ForestConfig { n_trees: 16, tree: st_cfg.tree, seed: 7, parallelism };
+        g.bench_function(name, |b| {
+            b.iter(|| BaggedForest::fit(black_box(&xs), &hours, &cfg).unwrap())
+        });
+    }
+    let boost = BoostConfig::default();
+    g.bench_function("boosted_481x13_earlystop", |b| {
+        b.iter(|| BoostedTrees::fit(black_box(&xs), &hours, &boost).unwrap())
+    });
+    g.finish();
+}
+
+/// Forecaster zoo serving: batched ensemble prediction through the
+/// shared `EnsembleScratch` (one level-order frontier pass per tree)
+/// vs the scalar per-row walk, plus the versioned-artifact round trip
+/// for both new kinds. The `ensemble_forest_fit` / `ensemble_boosted_fit`
+/// goldencheck lines pin bit-identity of everything timed here.
+fn bench_ensemble_serve(c: &mut Criterion) {
+    use ddos_cart::ensemble::{BaggedForest, BoostConfig, BoostedTrees, ForestConfig};
+    use ddos_core::artifact::ModelArtifact;
+    let corpus = small_corpus();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let st_cfg = SpatioTemporalConfig::fast();
+    let (xs, labels) = SpatioTemporalModel::training_design(train, &st_cfg, 5).unwrap();
+    let hours: Vec<f64> = labels.iter().map(|l| l[0]).collect();
+    let forest = BaggedForest::fit(
+        &xs,
+        &hours,
+        &ForestConfig { n_trees: 16, tree: st_cfg.tree, seed: 7, parallelism: None },
+    )
+    .unwrap();
+    let boosted = BoostedTrees::fit(&xs, &hours, &BoostConfig::default()).unwrap();
+    eprintln!(
+        "[ensemble_serve] forest {} trees, boosted {} stages on {} rows",
+        forest.n_trees(),
+        boosted.n_stages(),
+        xs.len()
+    );
+    let mut g = c.benchmark_group("ensemble_serve");
+    g.sample_size(20);
+    g.bench_function("forest_per_row_481x13", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(xs.len());
+            for row in &xs {
+                out.push(forest.predict(black_box(row)).unwrap());
+            }
+            out
+        })
+    });
+    g.bench_function("forest_predict_many_481x13", |b| {
+        b.iter(|| forest.predict_many(black_box(&xs)).unwrap())
+    });
+    g.bench_function("boosted_predict_many_481x13", |b| {
+        b.iter(|| boosted.predict_many(black_box(&xs)).unwrap())
+    });
+    let forest_bytes = forest.to_artifact_bytes();
+    let boosted_bytes = boosted.to_artifact_bytes();
+    eprintln!(
+        "[ensemble_serve] artifacts: forest {} bytes, boosted {} bytes",
+        forest_bytes.len(),
+        boosted_bytes.len()
+    );
+    g.bench_function("artifact_encode_forest", |b| b.iter(|| forest.to_artifact_bytes().len()));
+    g.bench_function("artifact_decode_forest", |b| {
+        b.iter(|| BaggedForest::from_artifact_bytes(black_box(&forest_bytes)).unwrap())
+    });
+    g.bench_function("artifact_encode_boosted", |b| b.iter(|| boosted.to_artifact_bytes().len()));
+    g.bench_function("artifact_decode_boosted", |b| {
+        b.iter(|| BoostedTrees::from_artifact_bytes(black_box(&boosted_bytes)).unwrap())
     });
     g.finish();
 }
@@ -756,6 +847,8 @@ criterion_group!(
     bench_tanh_kernel,
     bench_qr_reuse,
     bench_serve_batch,
+    bench_ensemble_fit,
+    bench_ensemble_serve,
     bench_serve_service,
     bench_attribution,
     bench_entropy_detection,

@@ -9,11 +9,13 @@
 //! ```
 //!
 //! Artifacts: `table1`, `cdf` (the §III-A2 inter-launch CDF), `fig1`,
-//! `fig2`, `fig3` (includes Fig. 4), `comparison`, `usecases`, `all`.
+//! `fig2`, `fig3` (includes Fig. 4), `comparison`, `zoo` (the extended
+//! §VII-A forecaster ladder), `usecases`, `all`.
 //! Pass `--csv DIR` to also dump the figure data as flat CSV files.
 
 use ddos_bench::{
-    comparison, corpus, dump_csv, fig1, fig2, fig3_fig4, multistage_cdf, table1, usecases, Scale,
+    comparison, corpus, dump_csv, fig1, fig2, fig3_fig4, multistage_cdf, table1, usecases, zoo,
+    Scale,
 };
 
 fn main() {
@@ -84,6 +86,7 @@ fn main() {
         "fig3" | "fig4" => run("fig3", fig3_fig4(&c, seed).0),
         "cdf" => run("cdf", multistage_cdf(&c)),
         "comparison" => run("comparison", comparison(&c, seed).0),
+        "zoo" => run("zoo", zoo(&c, seed)),
         "usecases" => run("usecases", usecases(&c, seed)),
         "all" => {
             run("table1", table1(&c));
@@ -92,11 +95,12 @@ fn main() {
             run("fig2", fig2(&c, seed));
             run("fig3+fig4", fig3_fig4(&c, seed).0);
             run("comparison", comparison(&c, seed).0);
+            run("zoo", zoo(&c, seed));
             run("usecases", usecases(&c, seed));
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use table1|cdf|fig1|fig2|fig3|comparison|usecases|all"
+                "unknown experiment {other:?}; use table1|cdf|fig1|fig2|fig3|comparison|zoo|usecases|all"
             );
             std::process::exit(2);
         }

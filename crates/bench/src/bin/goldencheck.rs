@@ -22,6 +22,9 @@
 //! ```
 
 use ddos_bench::{corpus, pipeline, Scale};
+use ddos_cart::ensemble::{
+    bootstrap_indices, derive_seed, BaggedForest, BoostConfig, BoostedTrees, ForestConfig,
+};
 use ddos_cart::importance::feature_importances;
 use ddos_cart::leaf::LeafKind;
 use ddos_cart::prune::{prune, prune_holdout};
@@ -88,6 +91,7 @@ const MIGRATED_LINES: &[&str] = &[
     "cart_fit_mlr_leaves",
     "pipeline_spatiotemporal",
     "spatiotemporal_artifact",
+    "spatiotemporal_artifact_v2",
     "spatiotemporal_artifact_v1",
     "batched_tree_predictions",
     "serve_micro_batched",
@@ -375,15 +379,22 @@ fn run(report: &mut Report) {
     // every byte of the envelope + payload. Artifacts are deterministic,
     // so a stable line proves serialization didn't drift (a reloaded
     // model serving different bits would trip the lines above instead).
-    // Two lines: the current (v2, checksummed) envelope, and the legacy
-    // v1 envelope — the latter must keep the hash the pre-v2 golden file
-    // recorded for `spatiotemporal_artifact`, pinning that v2 changed
-    // only the envelope, never the payload bytes.
+    // Three lines: the current (v3, lane-hash guard) envelope, the v2 (FNV-1a)
+    // envelope — which must keep the hash the pre-v3 golden file
+    // recorded for `spatiotemporal_artifact`, pinning that v3 changed
+    // only the checksum, never the payload bytes — and the legacy v1
+    // envelope, which pins the same for the v1→v2 swap before it.
     let artifact = st_model.to_artifact_bytes();
     let mut h = Fnv::new(report);
     h.word(artifact.len() as u64);
     h.bytes(&artifact);
     h.done("spatiotemporal_artifact");
+
+    let artifact_v2 = st_model.to_artifact_bytes_v2();
+    let mut h = Fnv::new(report);
+    h.word(artifact_v2.len() as u64);
+    h.bytes(&artifact_v2);
+    h.done("spatiotemporal_artifact_v2");
 
     let artifact_v1 = st_model.to_artifact_bytes_v1();
     let mut h = Fnv::new(report);
@@ -396,7 +407,7 @@ fn run(report: &mut Report) {
     // Must stay bit-identical to the scalar `predict` walks hashed by
     // the cart_fit_* lines.
     let mut h = Fnv::new(report);
-    for tree in [st_model.hour_tree(), st_model.day_tree()] {
+    for tree in [st_model.hour_tree().unwrap(), st_model.day_tree().unwrap()] {
         for v in tree.predict_many(&st_xs).unwrap() {
             h.f64(v);
         }
@@ -484,4 +495,59 @@ fn run(report: &mut Report) {
     h.word(bytes.len() as u64);
     h.bytes(&bytes);
     h.done("columnar_trace");
+
+    // Forecaster zoo: bagged-forest and boosted-model-tree fits on a
+    // synthetic integer-derived design. The ensembles never touch the
+    // neural kernel, so these lines must be identical across both tanh
+    // passes (the harness enforces it by recording a single hash). Folds
+    // the bootstrap stream of the first tree, per-tree shape, batched
+    // predictions, and the full v3 artifact byte stream of each kind.
+    let zoo_xs: Vec<Vec<f64>> = (0..160)
+        .map(|i| (0..5).map(|f| ((i * 37 + f * 11) % 97) as f64 / 9.7 - 5.0).collect())
+        .collect();
+    let zoo_ys: Vec<f64> = zoo_xs
+        .iter()
+        .enumerate()
+        .map(|(i, r)| r[0] * 1.5 - r[1].abs() + r[2] * 0.7 + (i % 13) as f64 * 0.05)
+        .collect();
+
+    let forest = BaggedForest::fit(
+        &zoo_xs,
+        &zoo_ys,
+        &ForestConfig { n_trees: 9, seed: 11, parallelism: Some(3), ..Default::default() },
+    )
+    .unwrap();
+    let mut h = Fnv::new(report);
+    h.word(forest.n_trees() as u64);
+    for idx in bootstrap_indices(derive_seed(11, 0), zoo_xs.len()) {
+        h.word(idx as u64);
+    }
+    for tree in forest.trees() {
+        h.word(tree.n_leaves() as u64);
+        h.word(tree.depth() as u64);
+    }
+    for v in forest.predict_many(&zoo_xs).unwrap() {
+        h.f64(v);
+    }
+    let forest_bytes = forest.to_artifact_bytes();
+    h.word(forest_bytes.len() as u64);
+    h.bytes(&forest_bytes);
+    h.done("ensemble_forest_fit");
+
+    let boosted = BoostedTrees::fit(&zoo_xs, &zoo_ys, &BoostConfig::default()).unwrap();
+    let mut h = Fnv::new(report);
+    h.word(boosted.n_stages() as u64);
+    h.f64(boosted.f0());
+    h.f64(boosted.shrinkage());
+    for tree in boosted.trees() {
+        h.word(tree.n_leaves() as u64);
+        h.word(tree.depth() as u64);
+    }
+    for v in boosted.predict_many(&zoo_xs).unwrap() {
+        h.f64(v);
+    }
+    let boosted_bytes = boosted.to_artifact_bytes();
+    h.word(boosted_bytes.len() as u64);
+    h.bytes(&boosted_bytes);
+    h.done("ensemble_boosted_fit");
 }

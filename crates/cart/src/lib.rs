@@ -11,6 +11,8 @@
 //! * [`tree`] — presorted, allocation-free tree growth and prediction;
 //! * [`prune`] — bottom-up standard-deviation-retention pruning;
 //! * [`importance`] — per-feature variance-reduction importances;
+//! * [`ensemble`] — deterministic bagged forests and gradient-boosted
+//!   model trees over the same grower (the forecaster zoo);
 //! * [`reference`] — the original per-node-sort grower, retained as the
 //!   bit-identity oracle for the property-based suite.
 //!
@@ -33,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ensemble;
 pub mod importance;
 pub mod leaf;
 pub mod prune;

@@ -1,5 +1,8 @@
 //! Property-based tests for the regression-tree substrate.
 
+use ddos_cart::ensemble::{
+    bootstrap_indices, BaggedForest, BoostConfig, BoostedTrees, ForestConfig,
+};
 use ddos_cart::leaf::LeafKind;
 use ddos_cart::prune::{prune, prune_holdout};
 use ddos_cart::reference::fit_reference;
@@ -99,6 +102,88 @@ proptest! {
         prop_assert_eq!(batch.len(), queries.len());
         for (q, b) in queries.iter().zip(&batch) {
             prop_assert_eq!(t.predict(q).unwrap().to_bits(), b.to_bits());
+        }
+    }
+}
+
+// Ensemble determinism: the contract the forecaster zoo is built on.
+// Case counts are capped separately — every case fits the same forest
+// four times (once per worker count).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// A bagged forest is bit-identical at every worker count: the
+    /// per-tree bootstrap seeds depend only on (cell seed, tree slot) and
+    /// the sharded executor reduces in index order, so `parallelism` can
+    /// never leak into the fitted model or its predictions.
+    #[test]
+    fn forest_is_bit_identical_across_worker_counts(
+        xs in proptest::collection::vec(-30.0f64..30.0, 24..72),
+        seed in 0u64..1_000_000,
+        n_trees in 1usize..8,
+    ) {
+        let (rows, ys) = dataset(&xs);
+        let tree = TreeConfig { max_depth: 4, ..Default::default() };
+        let fits: Vec<BaggedForest> = [Some(1), None, Some(2), Some(4)]
+            .into_iter()
+            .map(|parallelism| {
+                BaggedForest::fit(&rows, &ys, &ForestConfig {
+                    n_trees, tree, seed, parallelism,
+                }).unwrap()
+            })
+            .collect();
+        let baseline = &fits[0];
+        let base_preds = baseline.predict_many(&rows).unwrap();
+        for other in &fits[1..] {
+            prop_assert_eq!(other, baseline);
+            let preds = other.predict_many(&rows).unwrap();
+            for (a, b) in base_preds.iter().zip(&preds) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Scalar and batched prediction agree bitwise as well.
+        for (row, b) in rows.iter().zip(&base_preds) {
+            prop_assert_eq!(baseline.predict(row).unwrap().to_bits(), b.to_bits());
+        }
+    }
+
+    /// The bootstrap index stream is a pure function of (seed, n): same
+    /// inputs reproduce the same resample; different seeds are free to
+    /// (and in practice do) differ. Every index is in range.
+    #[test]
+    fn bootstrap_indices_are_reproducible_and_in_range(
+        seed in 0u64..u64::MAX,
+        n in 1usize..500,
+    ) {
+        let a = bootstrap_indices(seed, n);
+        let b = bootstrap_indices(seed, n);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|&i| i < n));
+        let other = bootstrap_indices(seed ^ 0x9E37_79B9_7F4A_7C15, n);
+        if n > 8 {
+            // With ≥9 draws over ≥9 values, two independent streams
+            // colliding entirely is astronomically unlikely.
+            prop_assert_ne!(&a, &other);
+        }
+    }
+
+    /// Boosted fits are deterministic (same inputs → same model, bitwise)
+    /// and the staged batched prediction matches the scalar walk.
+    #[test]
+    fn boosted_fit_is_deterministic_and_batch_matches_scalar(
+        xs in proptest::collection::vec(-25.0f64..25.0, 24..64),
+        rounds in 1usize..12,
+        shrinkage in 0.05f64..1.0,
+    ) {
+        let (rows, ys) = dataset(&xs);
+        let cfg = BoostConfig { rounds, shrinkage, ..Default::default() };
+        let a = BoostedTrees::fit(&rows, &ys, &cfg).unwrap();
+        let b = BoostedTrees::fit(&rows, &ys, &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        let batch = a.predict_many(&rows).unwrap();
+        for (row, p) in rows.iter().zip(&batch) {
+            prop_assert_eq!(a.predict(row).unwrap().to_bits(), p.to_bits());
         }
     }
 }

@@ -55,6 +55,7 @@ pub mod spatiotemporal;
 pub mod temporal;
 pub mod usecases;
 pub mod variables;
+pub mod zoo;
 
 mod error;
 

@@ -870,7 +870,9 @@ impl Pipeline {
         eat(self.seed);
         eat(self.config.split.to_bits());
         let mut cfg = ddos_stats::codec::Writer::new();
-        self.config.spatiotemporal.encode(&mut cfg);
+        // Extended encoding: the learner choice changes what a fit would
+        // produce, so it must change the key too.
+        self.config.spatiotemporal.encode_extended(&mut cfg);
         let cfg_bytes = cfg.into_bytes();
         for chunk in cfg_bytes.chunks(8) {
             let mut word = [0u8; 8];

@@ -15,13 +15,77 @@ use crate::spatial::{SpatialConfig, SpatialModel};
 use crate::variables::{PredictedAttack, TimestampParts};
 use crate::{ModelError, Result};
 use ddos_astopo::Asn;
+use ddos_cart::ensemble::{
+    derive_seed, BaggedForest, BoostConfig, BoostedTrees, EnsembleScratch, ForestConfig, Regressor,
+};
 use ddos_cart::prune::prune_holdout;
-use ddos_cart::tree::{PredictScratch, RegressionTree, TreeConfig};
+use ddos_cart::tree::{RegressionTree, TreeConfig};
 use ddos_stats::arima::{Arima, ArimaOrder};
 use ddos_stats::codec::{CodecResult, Reader, Writer};
 use ddos_trace::{AttackRecord, Corpus};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
+
+/// Which learner backs each of the four per-target regressors (the
+/// "forecaster zoo" knob). The default single CART model tree is the
+/// paper's §VI learner; the ensemble variants trade fit time for
+/// accuracy over the identical feature design.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum LearnerKind {
+    /// One CART model tree per target, grown and pruned per the paper.
+    #[default]
+    Tree,
+    /// A deterministic bagged forest per target (no pruning; averaging
+    /// does the variance reduction).
+    Forest {
+        /// Member trees per forest.
+        n_trees: usize,
+    },
+    /// Gradient-boosted shallow model trees per target, with early
+    /// stopping on a chronological holdout tail.
+    Boosted {
+        /// Maximum boosting rounds.
+        rounds: usize,
+        /// Learning rate in `(0, 1]`.
+        shrinkage: f64,
+    },
+}
+
+impl LearnerKind {
+    /// Encodes the learner choice with a leading variant tag.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            LearnerKind::Tree => w.u8(0),
+            LearnerKind::Forest { n_trees } => {
+                w.u8(1);
+                w.usize(*n_trees);
+            }
+            LearnerKind::Boosted { rounds, shrinkage } => {
+                w.u8(2);
+                w.usize(*rounds);
+                w.f64(*shrinkage);
+            }
+        }
+    }
+
+    /// Decodes a learner choice written by [`LearnerKind::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`ddos_stats::codec::CodecError`] on truncated input or an
+    /// unknown variant tag.
+    pub fn decode(r: &mut Reader<'_>) -> CodecResult<Self> {
+        match r.u8()? {
+            0 => Ok(LearnerKind::Tree),
+            1 => Ok(LearnerKind::Forest { n_trees: r.usize()? }),
+            2 => Ok(LearnerKind::Boosted { rounds: r.usize()?, shrinkage: r.f64()? }),
+            tag => Err(ddos_stats::codec::CodecError::BadTag {
+                context: "learner kind",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
 
 /// Spatiotemporal-model configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,13 +96,19 @@ pub struct SpatioTemporalConfig {
     /// Tree growth parameters.
     pub tree: TreeConfig,
     /// Std-dev retention for pruning (the paper's 0.88). `None` disables
-    /// pruning (ablation knob).
+    /// pruning (ablation knob). Applies to the [`LearnerKind::Tree`]
+    /// learner only; the ensemble learners control capacity their own way
+    /// (averaging / early stopping).
     pub prune_retention: Option<f64>,
     /// Spatial sub-model configuration (per-AS NAR nets).
     pub spatial: SpatialConfig,
     /// Fit per-AS NAR models only for this many hottest victim ASes; the
     /// rest fall back to window statistics (keeps training tractable).
     pub max_spatial_models: usize,
+    /// Which learner backs the four per-target regressors. Defaults to
+    /// the paper's single pruned model tree.
+    #[serde(default)]
+    pub learner: LearnerKind,
 }
 
 impl Default for SpatioTemporalConfig {
@@ -49,6 +119,7 @@ impl Default for SpatioTemporalConfig {
             prune_retention: Some(0.88),
             spatial: SpatialConfig::fast(),
             max_spatial_models: 24,
+            learner: LearnerKind::Tree,
         }
     }
 }
@@ -59,7 +130,11 @@ impl SpatioTemporalConfig {
         SpatioTemporalConfig { history_per_group: 8, max_spatial_models: 4, ..Default::default() }
     }
 
-    /// Encodes the configuration verbatim.
+    /// Encodes the configuration's **legacy** fields — everything except
+    /// [`learner`](SpatioTemporalConfig::learner). This is the layout
+    /// every [`ArtifactKind::SpatioTemporal`] payload ever written uses,
+    /// so it must stay byte-stable; tree-learner artifacts keep encoding
+    /// through it (goldencheck pins the bytes).
     pub fn encode(&self, w: &mut Writer) {
         w.usize(self.history_per_group);
         self.tree.encode(w);
@@ -71,7 +146,15 @@ impl SpatioTemporalConfig {
         w.usize(self.max_spatial_models);
     }
 
-    /// Decodes a configuration written by [`SpatioTemporalConfig::encode`].
+    /// Encodes the full configuration: the legacy fields plus the learner
+    /// choice. The [`ArtifactKind::SpatioTemporalZoo`] payload layout.
+    pub fn encode_extended(&self, w: &mut Writer) {
+        self.encode(w);
+        self.learner.encode(w);
+    }
+
+    /// Decodes a configuration written by [`SpatioTemporalConfig::encode`]
+    /// (the learner defaults to [`LearnerKind::Tree`]).
     ///
     /// # Errors
     ///
@@ -88,7 +171,20 @@ impl SpatioTemporalConfig {
             prune_retention,
             spatial,
             max_spatial_models,
+            learner: LearnerKind::Tree,
         })
+    }
+
+    /// Decodes a configuration written by
+    /// [`SpatioTemporalConfig::encode_extended`].
+    ///
+    /// # Errors
+    ///
+    /// [`ddos_stats::codec::CodecError`] on truncated or malformed input.
+    pub fn decode_extended(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let mut config = Self::decode(r)?;
+        config.learner = LearnerKind::decode(r)?;
+        Ok(config)
     }
 }
 
@@ -273,12 +369,13 @@ impl AttackForecast {
 }
 
 /// Reusable working memory for [`SpatioTemporalModel::forecast_rows_into`]:
-/// the shared tree-traversal scratch plus the four per-tree output
-/// buffers. One scratch per serving worker amortizes every per-batch
-/// allocation away.
+/// the shared ensemble-traversal scratch (tree arena + per-member buffer,
+/// serving single trees and ensembles alike) plus the four per-target
+/// output buffers. One scratch per serving worker amortizes every
+/// per-batch allocation away.
 #[derive(Debug, Default, Clone)]
 pub struct ForecastScratch {
-    tree: PredictScratch,
+    ensemble: EnsembleScratch,
     hours: Vec<f64>,
     days: Vec<f64>,
     magnitudes: Vec<f64>,
@@ -302,11 +399,12 @@ pub struct SpatioTemporalModel {
     gap_arima: Arima,
     /// Per-AS spatial components for the hottest victim networks.
     spatial: BTreeMap<Asn, SpatialModel>,
-    /// The four trees.
-    hour_tree: RegressionTree,
-    day_tree: RegressionTree,
-    magnitude_tree: RegressionTree,
-    duration_tree: RegressionTree,
+    /// The four per-target regressors (single trees or ensembles,
+    /// per `config.learner`).
+    hour_model: Regressor,
+    day_model: Regressor,
+    magnitude_model: Regressor,
+    duration_model: Regressor,
 }
 
 impl SpatioTemporalModel {
@@ -370,10 +468,42 @@ impl SpatioTemporalModel {
                 None => Ok(RegressionTree::fit(&xs, labels, &config.tree)?),
             }
         };
-        shell.hour_tree = fit_tree(&label(0))?;
-        shell.day_tree = fit_tree(&label(1))?;
-        shell.magnitude_tree = fit_tree(&label(2))?;
-        shell.duration_tree = fit_tree(&label(3))?;
+        // Dispatch per learner. The tree path above is untouched (its
+        // float-op order is pinned by golden fingerprints); the ensemble
+        // learners train on the full design and control capacity their
+        // own way — forests by averaging, boosting by early stopping on
+        // its own chronological holdout tail.
+        let fit_target = |idx: u64, labels: &[f64]| -> Result<Regressor> {
+            match config.learner {
+                LearnerKind::Tree => Ok(Regressor::Tree(fit_tree(labels)?)),
+                LearnerKind::Forest { n_trees } => {
+                    let forest_config = ForestConfig {
+                        n_trees,
+                        tree: config.tree,
+                        // One decorrelated cell seed per target keeps the
+                        // four forests' bootstrap streams independent.
+                        seed: derive_seed(seed, idx),
+                        parallelism: None,
+                    };
+                    Ok(Regressor::Forest(BaggedForest::fit(&xs, labels, &forest_config)?))
+                }
+                LearnerKind::Boosted { rounds, shrinkage } => {
+                    let boost_config = BoostConfig {
+                        // Boosting wants weak stage learners: cap depth
+                        // well below the single-tree default.
+                        tree: TreeConfig { max_depth: 4, ..config.tree },
+                        rounds,
+                        shrinkage,
+                        ..BoostConfig::default()
+                    };
+                    Ok(Regressor::Boosted(BoostedTrees::fit(&xs, labels, &boost_config)?))
+                }
+            }
+        };
+        shell.hour_model = fit_target(0, &label(0))?;
+        shell.day_model = fit_target(1, &label(1))?;
+        shell.magnitude_model = fit_target(2, &label(2))?;
+        shell.duration_model = fit_target(3, &label(3))?;
         let _ = corpus; // corpus-level context reserved for future features
         Ok(shell)
     }
@@ -451,11 +581,11 @@ impl SpatioTemporalModel {
             day_arima,
             gap_arima,
             spatial,
-            // Placeholder trees, replaced by the caller.
-            hour_tree: trivial_tree()?,
-            day_tree: trivial_tree()?,
-            magnitude_tree: trivial_tree()?,
-            duration_tree: trivial_tree()?,
+            // Placeholder regressors, replaced by the caller.
+            hour_model: Regressor::Tree(trivial_tree()?),
+            day_model: Regressor::Tree(trivial_tree()?),
+            magnitude_model: Regressor::Tree(trivial_tree()?),
+            duration_model: Regressor::Tree(trivial_tree()?),
         };
         let instances = shell.build_instances(&train_refs, h);
         Ok((shell, instances))
@@ -466,14 +596,35 @@ impl SpatioTemporalModel {
         &self.config
     }
 
-    /// The fitted hour tree (for importance inspection).
-    pub fn hour_tree(&self) -> &RegressionTree {
-        &self.hour_tree
+    /// The fitted hour regressor (single tree or ensemble).
+    pub fn hour_model(&self) -> &Regressor {
+        &self.hour_model
     }
 
-    /// The fitted day tree.
-    pub fn day_tree(&self) -> &RegressionTree {
-        &self.day_tree
+    /// The fitted day regressor.
+    pub fn day_model(&self) -> &Regressor {
+        &self.day_model
+    }
+
+    /// The fitted magnitude regressor.
+    pub fn magnitude_model(&self) -> &Regressor {
+        &self.magnitude_model
+    }
+
+    /// The fitted duration regressor.
+    pub fn duration_model(&self) -> &Regressor {
+        &self.duration_model
+    }
+
+    /// The fitted hour tree, when the learner is a single tree (for
+    /// importance inspection).
+    pub fn hour_tree(&self) -> Option<&RegressionTree> {
+        self.hour_model.as_tree()
+    }
+
+    /// The fitted day tree, when the learner is a single tree.
+    pub fn day_tree(&self) -> Option<&RegressionTree> {
+        self.day_model.as_tree()
     }
 
     /// Builds `(features, labels)` instances over a chronological attack
@@ -719,10 +870,18 @@ impl SpatioTemporalModel {
         scratch: &mut ForecastScratch,
         out: &mut Vec<AttackForecast>,
     ) -> Result<()> {
-        self.hour_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.hours)?;
-        self.day_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.days)?;
-        self.magnitude_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.magnitudes)?;
-        self.duration_tree.predict_many_with(rows, &mut scratch.tree, &mut scratch.durations)?;
+        self.hour_model.predict_many_with(rows, &mut scratch.ensemble, &mut scratch.hours)?;
+        self.day_model.predict_many_with(rows, &mut scratch.ensemble, &mut scratch.days)?;
+        self.magnitude_model.predict_many_with(
+            rows,
+            &mut scratch.ensemble,
+            &mut scratch.magnitudes,
+        )?;
+        self.duration_model.predict_many_with(
+            rows,
+            &mut scratch.ensemble,
+            &mut scratch.durations,
+        )?;
         out.clear();
         out.reserve(rows.len());
         for j in 0..rows.len() {
@@ -763,8 +922,27 @@ struct ServeQuery {
 impl ModelArtifact for SpatioTemporalModel {
     const KIND: ArtifactKind = ArtifactKind::SpatioTemporal;
 
+    /// Tree-learner models keep the historical
+    /// [`ArtifactKind::SpatioTemporal`] tag (and payload, byte-for-byte);
+    /// ensemble-backed models stamp [`ArtifactKind::SpatioTemporalZoo`].
+    fn artifact_kind(&self) -> ArtifactKind {
+        match self.config.learner {
+            LearnerKind::Tree => ArtifactKind::SpatioTemporal,
+            _ => ArtifactKind::SpatioTemporalZoo,
+        }
+    }
+
+    fn accepts(kind: ArtifactKind) -> bool {
+        matches!(kind, ArtifactKind::SpatioTemporal | ArtifactKind::SpatioTemporalZoo)
+    }
+
     fn encode_payload(&self, w: &mut Writer) {
-        self.config.encode(w);
+        let legacy = self.config.learner == LearnerKind::Tree;
+        if legacy {
+            self.config.encode(w);
+        } else {
+            self.config.encode_extended(w);
+        }
         self.hour_arima.encode(w);
         self.day_arima.encode(w);
         self.gap_arima.encode(w);
@@ -774,14 +952,40 @@ impl ModelArtifact for SpatioTemporalModel {
         for model in self.spatial.values() {
             model.encode_payload(w);
         }
-        self.hour_tree.encode(w);
-        self.day_tree.encode(w);
-        self.magnitude_tree.encode(w);
-        self.duration_tree.encode(w);
+        for model in
+            [&self.hour_model, &self.day_model, &self.magnitude_model, &self.duration_model]
+        {
+            if legacy {
+                // A tree-learner model holds tree regressors by
+                // construction (fit and decode both enforce it), and the
+                // legacy payload stores the bare tree — the exact bytes
+                // every pre-zoo artifact has.
+                model.as_tree().expect("tree learner holds tree regressors").encode(w);
+            } else {
+                model.encode(w);
+            }
+        }
     }
 
     fn decode_payload(r: &mut Reader<'_>) -> CodecResult<Self> {
-        let config = SpatioTemporalConfig::decode(r)?;
+        Self::decode_payload_as(ArtifactKind::SpatioTemporal, r)
+    }
+
+    fn decode_payload_as(kind: ArtifactKind, r: &mut Reader<'_>) -> CodecResult<Self> {
+        let legacy = kind != ArtifactKind::SpatioTemporalZoo;
+        let config = if legacy {
+            SpatioTemporalConfig::decode(r)?
+        } else {
+            SpatioTemporalConfig::decode_extended(r)?
+        };
+        // Keep the kind⇄learner mapping canonical so decode→encode is the
+        // byte identity: a zoo envelope must not carry a tree learner
+        // (that model would re-encode under the legacy kind).
+        if !legacy && config.learner == LearnerKind::Tree {
+            return Err(ddos_stats::codec::CodecError::Invalid {
+                detail: "spatiotemporal-zoo artifact declares a tree learner".to_string(),
+            });
+        }
         let hour_arima = Arima::decode(r)?;
         let day_arima = Arima::decode(r)?;
         let gap_arima = Arima::decode(r)?;
@@ -791,20 +995,26 @@ impl ModelArtifact for SpatioTemporalModel {
             let model = SpatialModel::decode_payload(r)?;
             spatial.insert(model.asn(), model);
         }
-        let hour_tree = RegressionTree::decode(r)?;
-        let day_tree = RegressionTree::decode(r)?;
-        let magnitude_tree = RegressionTree::decode(r)?;
-        let duration_tree = RegressionTree::decode(r)?;
+        let mut models = [None, None, None, None];
+        for slot in models.iter_mut() {
+            *slot = Some(if legacy {
+                Regressor::Tree(RegressionTree::decode(r)?)
+            } else {
+                Regressor::decode(r)?
+            });
+        }
+        let [hour_model, day_model, magnitude_model, duration_model] =
+            models.map(|m| m.expect("all four slots filled"));
         Ok(SpatioTemporalModel {
             config,
             hour_arima,
             day_arima,
             gap_arima,
             spatial,
-            hour_tree,
-            day_tree,
-            magnitude_tree,
-            duration_tree,
+            hour_model,
+            day_model,
+            magnitude_model,
+            duration_model,
         })
     }
 }
@@ -881,7 +1091,7 @@ mod tests {
             }
         }
         for (row, fc) in rows.iter().zip(&via_features) {
-            let hour = model.hour_tree().predict(row).unwrap().clamp(0.0, 23.999);
+            let hour = model.hour_tree().unwrap().predict(row).unwrap().clamp(0.0, 23.999);
             assert_eq!(fc.hour.to_bits(), hour.to_bits());
             assert!((0.0..24.0).contains(&fc.hour));
             assert!((1.0..=31.0).contains(&fc.day));
@@ -892,8 +1102,8 @@ mod tests {
     #[test]
     fn fit_produces_trees_with_leaves() {
         let (_, model) = fitted();
-        assert!(model.hour_tree().n_leaves() >= 1);
-        assert!(model.day_tree().n_leaves() >= 1);
+        assert!(model.hour_tree().unwrap().n_leaves() >= 1);
+        assert!(model.day_tree().unwrap().n_leaves() >= 1);
     }
 
     #[test]
@@ -1012,6 +1222,99 @@ mod tests {
             9,
         )
         .unwrap();
-        assert!(unpruned.hour_tree().n_leaves() >= pruned.hour_tree().n_leaves());
+        assert!(unpruned.hour_tree().unwrap().n_leaves() >= pruned.hour_tree().unwrap().n_leaves());
+    }
+
+    #[test]
+    fn learner_kind_codec_round_trips_and_rejects_bad_tags() {
+        for learner in [
+            LearnerKind::Tree,
+            LearnerKind::Forest { n_trees: 12 },
+            LearnerKind::Boosted { rounds: 40, shrinkage: 0.15 },
+        ] {
+            let mut w = Writer::new();
+            learner.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(LearnerKind::decode(&mut r).unwrap(), learner);
+            r.finish().unwrap();
+        }
+        let mut r = Reader::new(&[7u8]);
+        assert!(LearnerKind::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn extended_config_encoding_is_legacy_plus_learner() {
+        let config = SpatioTemporalConfig {
+            learner: LearnerKind::Forest { n_trees: 8 },
+            ..SpatioTemporalConfig::fast()
+        };
+        let mut legacy = Writer::new();
+        config.encode(&mut legacy);
+        let legacy = legacy.into_bytes();
+        let mut extended = Writer::new();
+        config.encode_extended(&mut extended);
+        let extended = extended.into_bytes();
+        assert_eq!(&extended[..legacy.len()], &legacy[..]);
+        let mut r = Reader::new(&extended);
+        let back = SpatioTemporalConfig::decode_extended(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, config);
+        // The legacy decoder sees a tree learner (historic payloads never
+        // recorded one).
+        let mut r = Reader::new(&legacy);
+        assert_eq!(SpatioTemporalConfig::decode(&mut r).unwrap().learner, LearnerKind::Tree);
+    }
+
+    fn fitted_with(learner: LearnerKind) -> (ddos_trace::Corpus, SpatioTemporalModel) {
+        let corpus = TraceGenerator::new(CorpusConfig::small(), 121).generate().unwrap();
+        let (train, _) = corpus.split(0.8).unwrap();
+        let config = SpatioTemporalConfig { learner, ..SpatioTemporalConfig::fast() };
+        let model = SpatioTemporalModel::fit(&corpus, train, &config, 5).unwrap();
+        (corpus, model)
+    }
+
+    #[test]
+    fn ensemble_learners_fit_serve_and_round_trip_as_zoo_artifacts() {
+        for learner in [
+            LearnerKind::Forest { n_trees: 5 },
+            LearnerKind::Boosted { rounds: 12, shrinkage: 0.2 },
+        ] {
+            let (corpus, model) = fitted_with(learner);
+            let (train, test) = corpus.split(0.8).unwrap();
+            assert!(model.hour_tree().is_none(), "{learner:?} is not a single tree");
+            assert_ne!(model.hour_model().kind_name(), "tree");
+
+            // Predictions stay in domain through the shared serving path.
+            let preds = model.predict(train, test).unwrap();
+            assert!(!preds.is_empty());
+            for p in &preds {
+                assert!((0.0..24.0).contains(&p.st_hour));
+                assert!((1.0..=31.0).contains(&p.st_day));
+                assert!(p.st_magnitude >= 0.0 && p.st_duration >= 0.0);
+            }
+
+            // The artifact carries the zoo kind and round-trips to
+            // bit-identical predictions and bytes.
+            let bytes = model.to_artifact_bytes();
+            let back = SpatioTemporalModel::from_artifact_bytes(&bytes).unwrap();
+            assert_eq!(back.config(), model.config());
+            assert_eq!(back.config().learner, learner);
+            let a = model.predict(train, test).unwrap();
+            let b = back.predict(train, test).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.st_hour.to_bits(), y.st_hour.to_bits());
+                assert_eq!(x.st_duration.to_bits(), y.st_duration.to_bits());
+            }
+            assert_eq!(bytes, back.to_artifact_bytes());
+        }
+    }
+
+    #[test]
+    fn forest_learner_is_deterministic_across_fits() {
+        let (_, a) = fitted_with(LearnerKind::Forest { n_trees: 4 });
+        let (_, b) = fitted_with(LearnerKind::Forest { n_trees: 4 });
+        assert_eq!(a.to_artifact_bytes(), b.to_artifact_bytes());
     }
 }

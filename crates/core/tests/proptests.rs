@@ -2,6 +2,7 @@
 //! invariants that must hold over randomized corpora and inputs, plus the
 //! artifact-codec robustness properties (no input may panic the decoder).
 
+use ddos_cart::ensemble::{BaggedForest, BoostConfig, BoostedTrees, ForestConfig};
 use ddos_core::artifact::{ArtifactError, ModelArtifact, MAGIC, SCHEMA_V1, SCHEMA_VERSION};
 use ddos_core::detection::{DetectorConfig, EntropyDetector};
 use ddos_core::features::FeatureExtractor;
@@ -273,6 +274,71 @@ proptest! {
             _ => SpatioTemporalModel::from_artifact_bytes(&bytes).map(|_| ()).unwrap_err(),
         };
         prop_assert_eq!(err, ArtifactError::UnsupportedVersion { found: version });
+    }
+}
+
+/// One artifact per forecaster-zoo kind (Forest, Boosted, and a
+/// spatiotemporal-zoo model), fitted once on a deterministic synthetic
+/// design and shared across the exhaustive corruption tests below.
+fn zoo_artifacts() -> &'static [Vec<u8>; 3] {
+    static CELL: OnceLock<[Vec<u8>; 3]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let xs: Vec<Vec<f64>> = (0..90)
+            .map(|i| (0..4).map(|f| ((i * 29 + f * 13) % 71) as f64 / 7.1).collect())
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|r| r[0] * 2.0 - r[2] + 0.3 * r[3]).collect();
+        let forest =
+            BaggedForest::fit(&xs, &ys, &ForestConfig { n_trees: 3, ..Default::default() })
+                .unwrap();
+        let boosted =
+            BoostedTrees::fit(&xs, &ys, &BoostConfig { rounds: 6, ..Default::default() }).unwrap();
+        let corpus = corpus_for(977);
+        let (st_train, _) = corpus.split(0.8).unwrap();
+        let zoo_cfg = SpatioTemporalConfig {
+            learner: ddos_core::spatiotemporal::LearnerKind::Forest { n_trees: 3 },
+            ..SpatioTemporalConfig::fast()
+        };
+        let st_zoo = SpatioTemporalModel::fit(&corpus, st_train, &zoo_cfg, 11).unwrap();
+        [forest.to_artifact_bytes(), boosted.to_artifact_bytes(), st_zoo.to_artifact_bytes()]
+    })
+}
+
+/// Round-trip bit-identity for every new ensemble artifact kind, plus an
+/// exhaustive every-byte-flip sweep: flipping any single byte of any zoo
+/// artifact must never panic the decoder, and any flip inside the payload
+/// region must be caught by the envelope's CRC guard (the header region
+/// fails with its own typed errors or — for the unguarded length/checksum
+/// fields themselves — still a typed error, never a crash).
+#[test]
+fn zoo_artifacts_round_trip_and_survive_every_byte_flip() {
+    const HEADER: usize = 29;
+    let arts = zoo_artifacts();
+
+    // Round-trips are byte-exact: decode → re-encode is the identity.
+    let forest = BaggedForest::from_artifact_bytes(&arts[0]).unwrap();
+    assert_eq!(forest.to_artifact_bytes(), arts[0]);
+    let boosted = BoostedTrees::from_artifact_bytes(&arts[1]).unwrap();
+    assert_eq!(boosted.to_artifact_bytes(), arts[1]);
+    let st_zoo = SpatioTemporalModel::from_artifact_bytes(&arts[2]).unwrap();
+    assert_eq!(st_zoo.to_artifact_bytes(), arts[2]);
+
+    for (kind, original) in arts.iter().enumerate() {
+        for pos in 0..original.len() {
+            let mut bytes = original.clone();
+            bytes[pos] ^= 0xFF;
+            let outcome = match kind {
+                0 => BaggedForest::from_artifact_bytes(&bytes).map(|_| ()),
+                1 => BoostedTrees::from_artifact_bytes(&bytes).map(|_| ()),
+                _ => SpatioTemporalModel::from_artifact_bytes(&bytes).map(|_| ()),
+            };
+            let err = outcome.expect_err("a flipped byte can never decode cleanly");
+            if pos >= HEADER {
+                assert!(
+                    matches!(err, ArtifactError::ChecksumMismatch { .. }),
+                    "payload flip at {pos} in kind {kind} escaped the checksum: {err:?}"
+                );
+            }
+        }
     }
 }
 

@@ -73,6 +73,65 @@ fn dir_store_serves_v1_artifacts_and_migrates_in_place() {
 }
 
 #[test]
+fn dir_store_serves_ensemble_backed_models_end_to_end() {
+    use ddos_astopo::Asn;
+    use ddos_core::spatiotemporal::{InstanceFeatures, LearnerKind};
+    use ddos_serve::{BatchPolicy, ForecastRequest, ForecastService, ServeConfig};
+    use std::time::Duration;
+
+    let corpus = TraceGenerator::new(CorpusConfig::small(), 300).generate().unwrap();
+    let (train, _) = corpus.split(0.8).unwrap();
+    let config = SpatioTemporalConfig {
+        learner: LearnerKind::Forest { n_trees: 3 },
+        ..SpatioTemporalConfig::fast()
+    };
+    let model = SpatioTemporalModel::fit(&corpus, train, &config, 5).unwrap();
+
+    // The forest-backed model persists under the zoo kind and reloads
+    // byte-identically through the directory store.
+    let dir = scratch_dir("zoo");
+    model.save_artifact(&dir.join("zoo.mdl")).unwrap();
+    let store = DirModelStore::open(&dir);
+    let served = store.load("zoo").unwrap();
+    assert_eq!(served.to_artifact_bytes(), model.to_artifact_bytes());
+
+    // And it serves through the micro-batched service exactly like the
+    // in-memory fit does: bit-identical forecasts for every request.
+    let (xs, _) = SpatioTemporalModel::training_design(train, &config, 5).unwrap();
+    let features: Vec<InstanceFeatures> =
+        xs.iter().take(24).map(|row| InstanceFeatures::from_row(row).unwrap()).collect();
+    let serial = model.forecast_features(&features).unwrap();
+    let handle = ForecastService::start_with_model(
+        served,
+        ServeConfig {
+            batch: BatchPolicy { max_batch: 7, max_delay: Duration::from_micros(200) },
+            queue_capacity: 10_000,
+            workers: Some(2),
+            rate_windows: Vec::new(),
+        },
+    );
+    let client = handle.client();
+    let tickets: Vec<_> = features
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            client
+                .submit(ForecastRequest { source: i as u64, target: Asn(i as u32), features: *f })
+                .unwrap()
+        })
+        .collect();
+    for (ticket, expect) in tickets.into_iter().zip(&serial) {
+        let got = ticket.wait().unwrap().forecast;
+        assert_eq!(got.hour.to_bits(), expect.hour.to_bits());
+        assert_eq!(got.day.to_bits(), expect.day.to_bits());
+        assert_eq!(got.magnitude.to_bits(), expect.magnitude.to_bits());
+        assert_eq!(got.duration_secs.to_bits(), expect.duration_secs.to_bits());
+    }
+    handle.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn memory_store_registers_and_serves() {
     let store = MemoryModelStore::new();
     assert!(store.keys().is_empty());

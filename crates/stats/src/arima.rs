@@ -94,7 +94,15 @@ pub fn integrate(history: &[f64], diffed_future: &[f64], d: usize) -> Result<Vec
         let next = difference(&levels[k], 1)?;
         levels.push(next);
     }
-    let mut tails: Vec<f64> = levels.iter().take(d).map(|l| *l.last().expect("nonempty")).collect();
+    // Level `k` holds `history.len() - k >= d + 1 - k >= 1` points for
+    // every retained `k < d` (the length guard above), so the tails
+    // always exist; the typed error keeps this a `Result` path anyway.
+    let mut tails: Vec<f64> = Vec::with_capacity(d);
+    for level in levels.iter().take(d) {
+        let &tail =
+            level.last().ok_or(StatsError::TooShort { required: d + 1, actual: history.len() })?;
+        tails.push(tail);
+    }
     let mut out = Vec::with_capacity(diffed_future.len());
     for &df in diffed_future {
         // Walk up the ladder: add the deepest-tail first.
@@ -442,7 +450,12 @@ impl Arima {
             preds.push(pred);
             // Absorb the true observation.
             full.push(obs);
-            let new_w = *difference(&full, d)?.last().expect("nonempty");
+            // `difference` either errors (`full.len() <= d`) or returns
+            // `full.len() - d >= 1` values, so the tail always exists;
+            // surface the impossible case as a typed error, not a panic.
+            let new_w = *difference(&full, d)?
+                .last()
+                .ok_or(StatsError::TooShort { required: d + 1, actual: full.len() })?;
             w.push(new_w);
             e.push(new_w - v);
         }
@@ -493,7 +506,14 @@ impl Arima {
         diffed.extend_from_slice(history);
         let mut tails: Vec<f64> = Vec::with_capacity(d);
         for _ in 0..d {
-            tails.push(*diffed.last().expect("length checked above"));
+            // Before round `k < d` the buffer holds
+            // `history.len() - k >= d + p.max(1) - k >= 1` values (the
+            // length guard above), so the tail always exists; keep the
+            // impossible case on the typed error path.
+            let &tail = diffed
+                .last()
+                .ok_or(StatsError::TooShort { required: d + p.max(1), actual: history.len() })?;
+            tails.push(tail);
             for i in 0..diffed.len() - 1 {
                 diffed[i] = diffed[i + 1] - diffed[i];
             }
@@ -1140,5 +1160,49 @@ mod tests {
         let o = ArimaOrder::new(2, 1, 1);
         assert_eq!(o.to_string(), "ARIMA(2,1,1)");
         assert_eq!(o.n_params(), 4);
+    }
+
+    /// Regression tests for the former `expect("nonempty")` panic sites:
+    /// every helper must stay on the typed-error path (or succeed) at the
+    /// minimal legal input lengths, never unwind.
+    #[test]
+    fn minimal_length_inputs_never_panic() {
+        // `integrate` at exactly `history.len() == d + 1` — the shortest
+        // history its guard admits, where the deepest level holds one
+        // value. Re-integrating a zero difference carries the last raw
+        // value forward, so with history [1, 3] (d = 1) the forecast is 3.
+        let out = integrate(&[1.0, 3.0], &[0.0], 1).unwrap();
+        assert_eq!(out, vec![3.0]);
+        let out = integrate(&[2.0, 3.0, 5.0], &[0.0, 0.0], 2).unwrap();
+        assert_eq!(out.len(), 2);
+        // One shorter is a typed error, not a panic.
+        assert_eq!(
+            integrate(&[3.0], &[0.0], 1),
+            Err(StatsError::TooShort { required: 2, actual: 1 })
+        );
+
+        // `predict_one_from` at `history.len() == d + max(p, 1)` for a
+        // differencing model, including the degenerate d = p = 0 order
+        // (pure MA/constant: one observation is the minimum window).
+        let series: Vec<f64> = (0..60).map(|i| 5.0 + 0.3 * i as f64).collect();
+        let diff_model = Arima::fit(&series, ArimaOrder::new(1, 1, 0)).unwrap();
+        assert!(diff_model.predict_one_from(&[4.0, 7.0]).unwrap().is_finite());
+        assert_eq!(
+            diff_model.predict_one_from(&[4.0]),
+            Err(StatsError::TooShort { required: 2, actual: 1 })
+        );
+        let flat = Arima::fit(&series, ArimaOrder::new(0, 0, 0)).unwrap();
+        assert!(flat.predict_one_from(&[4.0]).unwrap().is_finite());
+        assert_eq!(
+            flat.predict_one_from(&[]),
+            Err(StatsError::TooShort { required: 1, actual: 0 })
+        );
+
+        // `predict_rolling` with d > 0 exercises the absorbed-observation
+        // re-differencing tail on every step.
+        let mut preds = Vec::new();
+        diff_model.predict_rolling_into(&[23.0, 23.3], &mut preds).unwrap();
+        assert_eq!(preds.len(), 2);
+        assert!(preds.iter().all(|p| p.is_finite()));
     }
 }

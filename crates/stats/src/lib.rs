@@ -54,6 +54,7 @@ pub mod forecast;
 pub mod matrix;
 pub mod metrics;
 pub mod ols;
+pub mod regress;
 pub mod select;
 pub mod smoothing;
 
