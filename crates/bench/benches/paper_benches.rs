@@ -827,6 +827,38 @@ fn bench_topo_100k(c: &mut Criterion) {
     g.finish();
 }
 
+/// Scenario layer cost: streaming the small corpus under each policy
+/// (stationary is the "layer off" reference — the regime lookup and
+/// picker-rebuild machinery must stay in the noise against it), plus
+/// one end-to-end drift report.
+fn bench_scenario(c: &mut Criterion) {
+    use ddos_core::drift::DriftConfig;
+    use ddos_trace::{CorpusConfig, CorpusStream, ScenarioPolicy};
+    let mut g = c.benchmark_group("scenario");
+    g.sample_size(10);
+    for policy in
+        [ScenarioPolicy::Stationary, ScenarioPolicy::RotationBurst, ScenarioPolicy::TargetMigration]
+    {
+        g.bench_function(format!("stream_small_{}", policy.name()).as_str(), |b| {
+            b.iter(|| {
+                let config = CorpusConfig { scenario: policy, ..CorpusConfig::small() };
+                CorpusStream::new(black_box(config), 42)
+                    .unwrap()
+                    .map(|r| r.map(|_| 1u64))
+                    .sum::<Result<u64, _>>()
+                    .unwrap()
+            })
+        });
+    }
+    g.bench_function("drift_report_rotation_burst", |b| {
+        b.iter(|| {
+            ddos_core::drift::run(black_box(&DriftConfig::small(ScenarioPolicy::RotationBurst, 42)))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_table1,
@@ -854,5 +886,6 @@ criterion_group!(
     bench_entropy_detection,
     bench_ablation_smoothing,
     bench_topo_100k,
+    bench_scenario,
 );
 criterion_main!(benches);

@@ -10,12 +10,13 @@
 //!
 //! Artifacts: `table1`, `cdf` (the §III-A2 inter-launch CDF), `fig1`,
 //! `fig2`, `fig3` (includes Fig. 4), `comparison`, `zoo` (the extended
-//! §VII-A forecaster ladder), `usecases`, `all`.
+//! §VII-A forecaster ladder), `drift` (E9: regime-switching scenario
+//! degradation and refit recovery), `usecases`, `all`.
 //! Pass `--csv DIR` to also dump the figure data as flat CSV files.
 
 use ddos_bench::{
-    comparison, corpus, dump_csv, fig1, fig2, fig3_fig4, multistage_cdf, table1, usecases, zoo,
-    Scale,
+    comparison, corpus, drift, dump_csv, fig1, fig2, fig3_fig4, multistage_cdf, table1, usecases,
+    zoo, Scale,
 };
 
 fn main() {
@@ -87,6 +88,7 @@ fn main() {
         "cdf" => run("cdf", multistage_cdf(&c)),
         "comparison" => run("comparison", comparison(&c, seed).0),
         "zoo" => run("zoo", zoo(&c, seed)),
+        "drift" => run("drift", drift(seed)),
         "usecases" => run("usecases", usecases(&c, seed)),
         "all" => {
             run("table1", table1(&c));
@@ -96,11 +98,12 @@ fn main() {
             run("fig3+fig4", fig3_fig4(&c, seed).0);
             run("comparison", comparison(&c, seed).0);
             run("zoo", zoo(&c, seed));
+            run("drift", drift(seed));
             run("usecases", usecases(&c, seed));
         }
         other => {
             eprintln!(
-                "unknown experiment {other:?}; use table1|cdf|fig1|fig2|fig3|comparison|zoo|usecases|all"
+                "unknown experiment {other:?}; use table1|cdf|fig1|fig2|fig3|comparison|zoo|drift|usecases|all"
             );
             std::process::exit(2);
         }

@@ -95,6 +95,7 @@ const MIGRATED_LINES: &[&str] = &[
     "spatiotemporal_artifact_v1",
     "batched_tree_predictions",
     "serve_micro_batched",
+    "drift_report",
 ];
 
 /// Fingerprints the full observable surface of a fitted tree: shape,
@@ -550,4 +551,48 @@ fn run(report: &mut Report) {
     h.word(boosted_bytes.len() as u64);
     h.bytes(&boosted_bytes);
     h.done("ensemble_boosted_fit");
+
+    // Regime-switching scenario corpus: the same streaming surface as
+    // `corpus_stream`, under a non-stationary policy. Pins the scenario
+    // layer end to end — schedule generation, per-regime pickers, regime-
+    // local placement/duration/participant draws — while `corpus_stream`
+    // above pins that the Stationary default left the base corpus
+    // untouched.
+    let scenario_cfg = ddos_trace::CorpusConfig {
+        scenario: ddos_trace::ScenarioPolicy::RotationBurst,
+        ..Scale::Small.corpus_config()
+    };
+    let mut h = Fnv::new(report);
+    for a in CorpusStream::new(scenario_cfg, 42).unwrap() {
+        let a = a.unwrap();
+        h.word(a.id.0);
+        h.word(a.family.0 as u64);
+        h.word(a.target.0 as u64);
+        h.word(a.target_asn.0 as u64);
+        h.word(a.start.as_secs());
+        h.word(a.duration_secs);
+        h.word(a.multistage as u64);
+        h.word(a.vector.index() as u64);
+        for &c in &a.hourly_bot_counts {
+            h.word(c as u64);
+        }
+        for bot in a.bots() {
+            h.word(bot.ip as u64);
+            h.word(bot.asn.0 as u64);
+        }
+    }
+    h.done("scenario_corpus");
+
+    // Drift evaluation report bytes: the full three-point protocol (corpus
+    // generation, signal extraction, boundary choice, five forecaster
+    // fits) folded through the versioned codec. NAR sits on the ladder,
+    // so this line is tanh-path dependent and carries a `_libm` twin.
+    let drift_report = ddos_core::drift::run(&ddos_core::drift::DriftConfig::small(
+        ddos_trace::ScenarioPolicy::RotationBurst,
+        42,
+    ))
+    .unwrap();
+    let mut h = Fnv::new(report);
+    h.bytes(&drift_report.to_bytes());
+    h.done("drift_report");
 }

@@ -22,7 +22,10 @@
 //!
 //! [`pipeline`] wires the whole thing together (80/20 chronological split,
 //! per-model training, rolling prediction) and [`evaluate`] computes the
-//! RMSE tables and error distributions behind Figures 1–4.
+//! RMSE tables and error distributions behind Figures 1–4. [`drift`]
+//! stresses the stationarity assumption those splits bake in: it measures
+//! every forecaster's RMSE before, across, and after the regime
+//! boundaries of a [`ddos_trace::scenario`] policy.
 //!
 //! # Quickstart
 //!
@@ -46,6 +49,7 @@ pub mod artifact;
 pub mod attribution;
 pub mod baseline;
 pub mod detection;
+pub mod drift;
 pub mod evaluate;
 pub mod features;
 pub mod pipeline;

@@ -25,7 +25,9 @@ use ddos_stats::exec::map_indexed;
 use ddos_stats::metrics::rmse;
 use ddos_trace::{AttackRecord, Corpus, FamilyId};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,6 +55,14 @@ pub struct PipelineConfig {
     /// refitting; artifact round-trips are bit-exact, so cached runs
     /// produce byte-identical reports.
     pub artifact_dir: Option<PathBuf>,
+    /// Where recoverable conditions ([`Warning`]) are reported. The
+    /// default sink writes to stderr; embedders install a callback via
+    /// [`PipelineConfigBuilder::on_warning`] to collect warnings as typed
+    /// values instead of scraping log text. Not part of the serialized
+    /// configuration (a callback has no byte representation) and ignored
+    /// by equality.
+    #[serde(skip)]
+    pub warning_sink: WarningSink,
 }
 
 impl Default for PipelineConfig {
@@ -65,7 +75,83 @@ impl Default for PipelineConfig {
             families: None,
             parallelism: None,
             artifact_dir: None,
+            warning_sink: WarningSink::default(),
         }
+    }
+}
+
+/// A recoverable condition a pipeline run reports without failing.
+///
+/// Warnings are typed so embedders can react programmatically (count
+/// them, fail CI on them, attach them to a run report) instead of
+/// scraping stderr text.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Warning {
+    /// An artifact cache file existed but could not be decoded
+    /// (corruption, truncation, checksum mismatch, version skew); the
+    /// model was refit and the file overwritten.
+    UnreadableCache {
+        /// Cache path that failed to decode.
+        path: PathBuf,
+        /// Why the decode failed.
+        error: ArtifactError,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::UnreadableCache { path, error } => write!(
+                f,
+                "ignoring unreadable artifact cache {} ({error}); refitting",
+                path.display()
+            ),
+        }
+    }
+}
+
+/// Destination for [`Warning`]s raised during a pipeline run.
+///
+/// The default sink prints `warning: <message>` to stderr — the behavior
+/// callers relied on before warnings were typed. Installing a callback
+/// ([`WarningSink::new`], or [`PipelineConfigBuilder::on_warning`])
+/// routes every warning to it instead; nothing reaches stderr.
+#[derive(Clone, Default)]
+pub struct WarningSink(Option<WarningCallback>);
+
+/// The callback type a [`WarningSink`] wraps.
+type WarningCallback = Arc<dyn Fn(&Warning) + Send + Sync>;
+
+impl WarningSink {
+    /// A sink that forwards every warning to `callback`.
+    pub fn new(callback: impl Fn(&Warning) + Send + Sync + 'static) -> Self {
+        WarningSink(Some(Arc::new(callback)))
+    }
+
+    /// Reports a warning: to the installed callback, or to stderr when
+    /// none is installed.
+    pub fn emit(&self, warning: &Warning) {
+        match &self.0 {
+            Some(callback) => callback(warning),
+            None => eprintln!("warning: {warning}"),
+        }
+    }
+}
+
+impl fmt::Debug for WarningSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.is_some() { "WarningSink(callback)" } else { "WarningSink(stderr)" })
+    }
+}
+
+/// Sinks are an observation channel, not part of the configuration
+/// value: two configs that differ only in where warnings go configure
+/// the same experiment (and serialization skips the sink for the same
+/// reason), so every sink compares equal.
+impl PartialEq for WarningSink {
+    fn eq(&self, _other: &Self) -> bool {
+        true
     }
 }
 
@@ -80,6 +166,7 @@ impl PipelineConfig {
             families: None,
             parallelism: None,
             artifact_dir: None,
+            warning_sink: WarningSink::default(),
         }
     }
 
@@ -149,6 +236,13 @@ impl PipelineConfigBuilder {
     /// Enables fitted-model artifact caching under `dir`.
     pub fn artifact_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.config.artifact_dir = Some(dir.into());
+        self
+    }
+
+    /// Routes every [`Warning`] the pipeline raises to `callback`
+    /// instead of stderr.
+    pub fn on_warning(mut self, callback: impl Fn(&Warning) + Send + Sync + 'static) -> Self {
+        self.config.warning_sink = WarningSink::new(callback);
         self
     }
 
@@ -668,9 +762,11 @@ impl Pipeline {
     /// training stream; a matching artifact is reloaded instead of
     /// refitting (artifact round-trips are bit-exact, so the reloaded
     /// model serves identical predictions). A present-but-unreadable
-    /// cache file is refit and overwritten like a miss, but no longer
-    /// silently: the typed reason is logged to stderr here and surfaced
-    /// by [`Pipeline::fit_spatiotemporal_with_cache`].
+    /// cache file is refit and overwritten like a miss, but not
+    /// silently: a [`Warning::UnreadableCache`] goes to the configured
+    /// [`WarningSink`] (stderr by default), and
+    /// [`Pipeline::fit_spatiotemporal_with_cache`] surfaces the same
+    /// condition as a typed [`CacheStatus`].
     ///
     /// # Errors
     ///
@@ -678,11 +774,8 @@ impl Pipeline {
     /// artifact cannot be written to the cache directory.
     pub fn fit_spatiotemporal(&self, corpus: &Corpus) -> Result<SpatioTemporalModel> {
         let (model, status) = self.fit_spatiotemporal_with_cache(corpus)?;
-        if let CacheStatus::Invalid { path, error } = &status {
-            eprintln!(
-                "warning: ignoring unreadable artifact cache {} ({error}); refitting",
-                path.display()
-            );
+        if let CacheStatus::Invalid { path, error } = status {
+            self.config.warning_sink.emit(&Warning::UnreadableCache { path, error });
         }
         Ok(model)
     }
@@ -852,6 +945,22 @@ impl Pipeline {
             });
         }
         Ok(table)
+    }
+
+    /// Runs the drift experiment (E9): generates a scenario corpus under
+    /// `policy` with the pipeline's seed, locates the modeled family's
+    /// first usable regime boundary, and measures every forecaster's
+    /// RMSE before the shift, across it with a frozen model, and after a
+    /// trailing-window refit. See [`crate::drift`] for the protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::drift::run`] errors.
+    pub fn run_drift(
+        &self,
+        policy: ddos_trace::ScenarioPolicy,
+    ) -> Result<crate::drift::DriftReport> {
+        crate::drift::run(&crate::drift::DriftConfig::small(policy, self.seed))
     }
 
     /// Cache key for a spatiotemporal fit: FNV-1a over the seed, split,
@@ -1124,5 +1233,51 @@ mod tests {
         let (_, status) = p.fit_spatiotemporal_with_cache(&c).unwrap();
         assert_eq!(status, CacheStatus::Hit { path });
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warning_sink_receives_typed_unreadable_cache_warning() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join("ddos-core-pipeline-warning-sink-test");
+        std::fs::remove_dir_all(&dir).ok();
+        let captured = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let sink_copy = Arc::clone(&captured);
+        let p = Pipeline::new(
+            PipelineConfig::fast_builder()
+                .artifact_dir(dir.clone())
+                .on_warning(move |w| sink_copy.lock().unwrap().push(w.clone()))
+                .build()
+                .unwrap(),
+            7,
+        );
+        // Miss then hit: clean cache traffic raises no warnings.
+        p.fit_spatiotemporal(&c).unwrap();
+        p.fit_spatiotemporal(&c).unwrap();
+        assert!(captured.lock().unwrap().is_empty());
+        // Corrupt the artifact: the refit reports exactly one typed
+        // warning through the callback, naming the bad file.
+        let path = std::fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path();
+        std::fs::write(&path, b"DDOSMDL\0garbage").unwrap();
+        p.fit_spatiotemporal(&c).unwrap();
+        let warnings = captured.lock().unwrap();
+        let [Warning::UnreadableCache { path: warned, error }] = warnings.as_slice() else {
+            panic!("expected exactly one UnreadableCache warning, got {warnings:?}");
+        };
+        assert_eq!(warned, &path);
+        assert!(!error.to_string().is_empty());
+        assert!(warnings[0].to_string().contains("unreadable artifact cache"));
+        drop(warnings);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warning_sink_is_config_metadata_not_config_value() {
+        // Equality ignores the sink: a config with a callback still
+        // compares equal to the default (stderr-sink) config, so sinks
+        // never invalidate cached artifacts keyed on the config value.
+        let cfg = PipelineConfig::builder().on_warning(|_| {}).build().unwrap();
+        assert_eq!(cfg, PipelineConfig::default());
+        assert_eq!(format!("{:?}", cfg.warning_sink), "WarningSink(callback)");
+        assert_eq!(format!("{:?}", PipelineConfig::default().warning_sink), "WarningSink(stderr)");
     }
 }

@@ -15,6 +15,7 @@
 //! Hours within a day follow the family's diurnal launch profile.
 
 use crate::family::FamilyProfile;
+use crate::scenario::{RegimeParams, RegimeSchedule};
 use crate::time::Timestamp;
 use crate::Result;
 use ddos_stats::distributions::{poisson, standard_normal, DiurnalProfile};
@@ -54,6 +55,35 @@ impl ArrivalSchedule {
         slot: usize,
         rng: &mut R,
     ) -> Result<Self> {
+        Self::generate_in_scenario(
+            profile,
+            total_days,
+            slot,
+            &RegimeSchedule::stationary(profile),
+            rng,
+        )
+    }
+
+    /// Generates the schedule under a regime timeline: each day's latent
+    /// rate is scaled by the regime's intensity before the Poisson draw,
+    /// so bursts and lulls shift both the counts and (through the
+    /// activity multiplier downstream) the magnitude distribution.
+    ///
+    /// With a stationary schedule this is draw-for-draw identical to
+    /// [`ArrivalSchedule::generate`]: the intensity multiplier is exactly
+    /// 1.0 and regime lookups consume no randomness.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampler parameter errors (none occur for validated
+    /// profiles).
+    pub fn generate_in_scenario<R: Rng + ?Sized>(
+        profile: &FamilyProfile,
+        total_days: u32,
+        slot: usize,
+        regimes: &RegimeSchedule,
+        rng: &mut R,
+    ) -> Result<Self> {
         let (first_day, window_len, p_active) = profile.activity_window(total_days, slot);
         let sigma = profile.rate_sigma();
         let phi = profile.rate_phi;
@@ -73,7 +103,10 @@ impl ArrivalSchedule {
             if !rng.gen_bool(p_active) {
                 continue;
             }
-            let rate = base * (z - sigma * sigma / 2.0).exp();
+            // `x * 1.0` is bit-exact, so the stationary single-regime
+            // schedule reproduces the unscaled rate to the last bit.
+            let rate =
+                base * regimes.params_at(first_day + d).intensity * (z - sigma * sigma / 2.0).exp();
             let count = poisson(rng, rate)? as u32;
             if count == 0 {
                 // An "active day" with zero attacks would not appear as an
@@ -129,7 +162,21 @@ pub fn place_within_day<R: Rng + ?Sized>(
     profile: &FamilyProfile,
     rng: &mut R,
 ) -> Result<Vec<Timestamp>> {
-    let diurnal = DiurnalProfile::sinusoidal(profile.diurnal_peak, profile.diurnal_amplitude)?;
+    place_within_day_in_regime(day, count, profile, &profile.stationary_regime(), rng)
+}
+
+/// [`place_within_day`] under a regime view: the diurnal peak is phase-
+/// shifted by the regime before sampling hours. A zero shift reproduces
+/// the static placement draw-for-draw.
+pub fn place_within_day_in_regime<R: Rng + ?Sized>(
+    day: u32,
+    count: u32,
+    profile: &FamilyProfile,
+    params: &RegimeParams,
+    rng: &mut R,
+) -> Result<Vec<Timestamp>> {
+    let diurnal =
+        DiurnalProfile::sinusoidal(profile.shifted_peak(params), profile.diurnal_amplitude)?;
     let mut out: Vec<Timestamp> = (0..count)
         .map(|_| {
             let hour = diurnal.sample_hour(rng);

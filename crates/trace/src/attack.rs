@@ -42,7 +42,12 @@ impl AttackVector {
 
     /// Stable index into [`AttackVector::ALL`].
     pub fn index(self) -> usize {
-        AttackVector::ALL.iter().position(|v| *v == self).expect("member of ALL")
+        match self {
+            AttackVector::SynFlood => 0,
+            AttackVector::UdpFlood => 1,
+            AttackVector::HttpFlood => 2,
+            AttackVector::Amplification => 3,
+        }
     }
 }
 

@@ -54,13 +54,14 @@ impl BotPool {
             });
         }
         // Regional weight per stub.
-        let weights: Vec<f64> = stubs
-            .iter()
-            .map(|s| {
-                let region = graph.info(*s).expect("stub exists").region as usize;
-                profile.region_weights[region % profile.region_weights.len()].max(1e-6)
-            })
-            .collect();
+        let mut weights = Vec::with_capacity(stubs.len());
+        for s in &stubs {
+            let info = graph.info(*s).ok_or_else(|| TraceError::InvalidConfig {
+                detail: format!("{s} listed as a stub but missing from the topology"),
+            })?;
+            let region = info.region as usize;
+            weights.push(profile.region_weights[region % profile.region_weights.len()].max(1e-6));
+        }
 
         // Zipf rank over a rotated stub order: family_slot shifts which
         // ASes take the head ranks.
@@ -111,13 +112,16 @@ impl BotPool {
     }
 
     /// Window length and circular start index of the active window on
-    /// `day`. `None` for an empty pool.
-    fn window_bounds(&self, day: u32) -> Option<(usize, usize)> {
+    /// `day`, with the window fraction scaled by the governing regime's
+    /// pool engagement. `None` for an empty pool. An engagement of 1.0
+    /// reproduces the calibrated window bit-exactly (`x * 1.0` is exact).
+    fn window_bounds(&self, day: u32, engagement: f64) -> Option<(usize, usize)> {
         let n = self.bots.len();
         if n == 0 {
             return None;
         }
-        let window = ((n as f64 * self.window_fraction).ceil() as usize).clamp(1, n);
+        let fraction = self.window_fraction * engagement;
+        let window = ((n as f64 * fraction).ceil() as usize).clamp(1, n);
         let start = ((day as f64 * self.churn_per_day * n as f64) as usize) % n;
         Some((window, start))
     }
@@ -125,7 +129,7 @@ impl BotPool {
     /// The set of bots considered *active* on `day`: a circular window over
     /// the pool that advances by `churn_per_day · len` indices per day.
     pub fn active_window(&self, day: u32) -> Vec<BotObservation> {
-        let Some((window, start)) = self.window_bounds(day) else { return Vec::new() };
+        let Some((window, start)) = self.window_bounds(day, 1.0) else { return Vec::new() };
         let n = self.bots.len();
         (0..window).map(|i| self.bots[(start + i) % n]).collect()
     }
@@ -146,7 +150,32 @@ impl BotPool {
         count: usize,
         rng: &mut R,
     ) -> Vec<BotObservation> {
-        let Some((window, start)) = self.window_bounds(day) else { return Vec::new() };
+        self.participants_engaged(1.0, day, count, rng)
+    }
+
+    /// [`BotPool::participants`] under a regime view: the active window is
+    /// widened (or narrowed) by the regime's
+    /// [`crate::scenario::RegimeParams::pool_engagement`] before sampling —
+    /// bursts mobilize more of the pool, lulls less. Engagement 1.0 is
+    /// draw-for-draw identical to the calibrated sampler.
+    pub fn participants_in_regime<R: Rng + ?Sized>(
+        &self,
+        params: &crate::scenario::RegimeParams,
+        day: u32,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<BotObservation> {
+        self.participants_engaged(params.pool_engagement, day, count, rng)
+    }
+
+    fn participants_engaged<R: Rng + ?Sized>(
+        &self,
+        engagement: f64,
+        day: u32,
+        count: usize,
+        rng: &mut R,
+    ) -> Vec<BotObservation> {
+        let Some((window, start)) = self.window_bounds(day, engagement) else { return Vec::new() };
         let n = self.bots.len();
         let at = |i: usize| self.bots[(start + i) % n];
         if count >= window {
@@ -214,6 +243,18 @@ mod tests {
             assert_eq!(g.info(b.asn).unwrap().tier, Tier::Stub);
             assert!(allocs[&b.asn].iter().any(|pf| pf.contains(b.ip)));
         }
+    }
+
+    #[test]
+    fn recruiting_over_a_stubless_topology_is_a_typed_error() {
+        let cat = FamilyCatalog::small();
+        let profile = cat.profile(crate::family::FamilyId(0)).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let err =
+            BotPool::recruit(&AsGraph::new(), &BTreeMap::new(), profile, 0, &mut rng).unwrap_err();
+        assert!(
+            matches!(err, crate::TraceError::InvalidConfig { ref detail } if detail.contains("stub"))
+        );
     }
 
     #[test]

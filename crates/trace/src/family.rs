@@ -125,6 +125,26 @@ impl FamilyProfile {
         self.avg_attacks_per_day * self.active_days as f64
     }
 
+    /// The regime-local parameter view equal to this profile's calibrated
+    /// marginals — what every generation path consumes under
+    /// [`crate::scenario::ScenarioPolicy::Stationary`].
+    pub fn stationary_regime(&self) -> crate::scenario::RegimeParams {
+        crate::scenario::RegimeParams {
+            intensity: 1.0,
+            diurnal_shift: 0,
+            target_rotation: 0,
+            duration_persistence: self.duration_persistence,
+            duration_sigma: self.duration_sigma,
+            pool_engagement: 1.0,
+            vector_weights: self.vector_weights,
+        }
+    }
+
+    /// The diurnal peak hour under a regime's phase shift.
+    pub fn shifted_peak(&self, params: &crate::scenario::RegimeParams) -> u8 {
+        ((self.diurnal_peak as u16 + params.diurnal_shift as u16) % 24) as u8
+    }
+
     fn validate(&self) -> Result<()> {
         let bad = |detail: String| Err(TraceError::InvalidConfig { detail });
         if self.avg_attacks_per_day <= 0.0 {
@@ -310,7 +330,7 @@ impl FamilyCatalog {
     pub fn most_active(&self, n: usize) -> Vec<FamilyId> {
         let mut ids: Vec<(FamilyId, f64)> =
             self.iter().map(|(id, f)| (id, f.expected_attacks())).collect();
-        ids.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite activity"));
+        ids.sort_by(|a, b| b.1.total_cmp(&a.1));
         ids.into_iter().take(n).map(|(id, _)| id).collect()
     }
 

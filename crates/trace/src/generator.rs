@@ -1,10 +1,11 @@
 //! The end-to-end trace engine: topology → pools → schedules → attacks.
 
-use crate::arrival::{place_within_day, ArrivalSchedule};
+use crate::arrival::{place_within_day_in_regime, ArrivalSchedule};
 use crate::attack::{AttackId, AttackRecord};
 use crate::bots::BotPool;
 use crate::dataset::Corpus;
 use crate::family::{FamilyCatalog, FamilyId};
+use crate::scenario::{RegimeParams, RegimeSchedule, ScenarioPolicy};
 use crate::targets::{TargetId, TargetPopulation};
 use crate::time::{Timestamp, DAY, HOUR};
 use crate::{Result, TraceError};
@@ -28,6 +29,12 @@ pub struct CorpusConfig {
     pub topology: TopologyConfig,
     /// Number of target services.
     pub n_targets: u32,
+    /// The adversary scenario policy governing how family behavior evolves
+    /// over the window. Defaults to [`ScenarioPolicy::Stationary`] (the
+    /// paper's static marginals, bit-identical to the pre-scenario
+    /// generator).
+    #[serde(default)]
+    pub scenario: ScenarioPolicy,
 }
 
 impl CorpusConfig {
@@ -38,7 +45,15 @@ impl CorpusConfig {
             catalog: FamilyCatalog::small(),
             topology: TopologyConfig::small(),
             n_targets: 40,
+            scenario: ScenarioPolicy::Stationary,
         }
+    }
+
+    /// The same configuration under a different adversary policy.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: ScenarioPolicy) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// The paper-scale configuration: 220 days, the 10 Table I families,
@@ -49,6 +64,7 @@ impl CorpusConfig {
             catalog: FamilyCatalog::icdcs2017(),
             topology: TopologyConfig::standard(),
             n_targets: 300,
+            scenario: ScenarioPolicy::Stationary,
         }
     }
 
@@ -61,6 +77,7 @@ impl CorpusConfig {
             catalog: FamilyCatalog::icdcs2017(),
             topology: TopologyConfig::standard(),
             n_targets: 150,
+            scenario: ScenarioPolicy::Stationary,
         }
     }
 
@@ -74,6 +91,7 @@ impl CorpusConfig {
             catalog: FamilyCatalog::internet(),
             topology: TopologyConfig::internet(),
             n_targets: 30_000,
+            scenario: ScenarioPolicy::Stationary,
         }
     }
 
@@ -157,16 +175,17 @@ pub(crate) fn build_substrate<R: Rng + ?Sized>(
 }
 
 /// Moves a launch to the target's preferred hour (a deterministic offset
-/// within ±6 h of the family's diurnal peak) plus Gaussian jitter, keeping
-/// the day.
+/// within ±6 h of the family's regime-shifted diurnal peak) plus Gaussian
+/// jitter, keeping the day.
 pub(crate) fn preferred_launch<R: Rng + ?Sized>(
     placed: Timestamp,
     target: TargetId,
     profile: &crate::family::FamilyProfile,
+    params: &RegimeParams,
     rng: &mut R,
 ) -> Timestamp {
     let offset = (target.0 as i64 * 7) % 13 - 6; // -6..=6
-    let pref = (profile.diurnal_peak as i64 + offset).rem_euclid(24) as f64;
+    let pref = (profile.shifted_peak(params) as i64 + offset).rem_euclid(24) as f64;
     let jitter = profile.hour_jitter * ddos_stats::distributions::standard_normal(rng);
     let hour = (pref + jitter).rem_euclid(24.0);
     let secs = (hour * crate::time::HOUR as f64) as u64 % DAY;
@@ -202,14 +221,40 @@ impl TraceGenerator {
 
         for (family_id, profile) in self.config.catalog.iter() {
             let slot = family_id.0;
+            let regimes = RegimeSchedule::generate(
+                self.config.scenario,
+                profile,
+                self.config.days,
+                self.seed,
+                slot,
+            );
             let pool = BotPool::recruit(&topology, &allocations, profile, slot, &mut rng)?;
-            let schedule = ArrivalSchedule::generate(profile, self.config.days, slot, &mut rng)?;
+            let schedule = ArrivalSchedule::generate_in_scenario(
+                profile,
+                self.config.days,
+                slot,
+                &regimes,
+                &mut rng,
+            )?;
 
-            let (target_picker, vector_picker) = family_pickers(profile, slot, targets.len())?;
+            let mut regime_idx = 0usize;
+            let (mut target_picker, mut vector_picker) =
+                family_pickers(profile, slot, &targets, &regimes.regimes()[0].params)?;
 
             let mut prev: Option<(TargetId, Timestamp)> = None;
             for plan in schedule.days() {
-                let launches = place_within_day(plan.day, plan.count, profile, &mut rng)?;
+                // Plans are chronological, so the regime cursor only moves
+                // forward; pickers rebuild exactly once per boundary.
+                let idx = regimes.index_at(plan.day);
+                if idx != regime_idx {
+                    regime_idx = idx;
+                    let params = &regimes.regimes()[idx].params;
+                    (target_picker, vector_picker) =
+                        family_pickers(profile, slot, &targets, params)?;
+                }
+                let params = regimes.regimes()[regime_idx].params;
+                let launches =
+                    place_within_day_in_regime(plan.day, plan.count, profile, &params, &mut rng)?;
                 // Activity multiplier couples magnitudes to the day's latent
                 // rate, giving the temporal model real structure.
                 let activity = (plan.rate / profile.avg_attacks_per_day).powf(0.8);
@@ -221,15 +266,16 @@ impl TraceGenerator {
                         ts,
                         &target_picker,
                         &mut rng,
-                    );
+                    )?;
                     if !multistage && rng.gen_bool(profile.hour_affinity) {
-                        start = preferred_launch(start, target_id, profile, &mut rng);
+                        start = preferred_launch(start, target_id, profile, &params, &mut rng);
                     }
                     let target = targets.target(target_id)?;
                     let vector = crate::attack::AttackVector::ALL[vector_picker.sample(&mut rng)];
                     let record = build_attack(
                         family_id,
                         profile,
+                        &params,
                         &pool,
                         target_id,
                         target.asn,
@@ -311,22 +357,26 @@ impl TraceGenerator {
     }
 }
 
-/// Builds the family's target-preference and vector pickers: a Zipf over a
-/// slot-rotated target order, and the Table I vector mix.
+/// Builds the family's target-preference and vector pickers for one
+/// regime: a Zipf over the slot- and regime-rotated target order, and the
+/// regime's vector blend. Rebuilt lazily at regime boundaries; under a
+/// stationary regime (zero rotation, profile vector weights) the pickers
+/// are identical to the pre-scenario static ones. Consumes no randomness.
 pub(crate) fn family_pickers(
     profile: &crate::family::FamilyProfile,
     slot: usize,
-    n_targets: usize,
+    targets: &TargetPopulation,
+    params: &RegimeParams,
 ) -> Result<(ddos_stats::distributions::Categorical, ddos_stats::distributions::Categorical)> {
-    let target_weights: Vec<f64> = (0..n_targets)
+    let target_weights: Vec<f64> = (0..targets.len())
         .map(|i| {
-            let rank = (i + slot * 13) % n_targets;
+            let rank = targets.preference_rank(i, slot, params);
             1.0 / ((rank + 1) as f64).powf(profile.target_zipf)
         })
         .collect();
     let target_picker =
         ddos_stats::distributions::Categorical::new(&target_weights).map_err(TraceError::Stats)?;
-    let vector_picker = ddos_stats::distributions::Categorical::new(&profile.vector_weights)
+    let vector_picker = ddos_stats::distributions::Categorical::new(&params.vector_weights)
         .map_err(TraceError::Stats)?;
     Ok((target_picker, vector_picker))
 }
@@ -334,6 +384,12 @@ pub(crate) fn family_pickers(
 /// Chooses the victim and (possibly adjusted) launch time. A multistage
 /// follow-up re-attacks the previous target 30 s–24 h after the previous
 /// launch (§III-A2).
+///
+/// # Errors
+///
+/// Propagates sampler parameter errors (none occur for the constant
+/// log-normal gap parameters, so the draw stream is unchanged from the
+/// previous infallible fallback).
 pub(crate) fn pick_target<R: Rng + ?Sized>(
     days: u32,
     multistage_prob: f64,
@@ -341,26 +397,27 @@ pub(crate) fn pick_target<R: Rng + ?Sized>(
     placed: Timestamp,
     picker: &ddos_stats::distributions::Categorical,
     rng: &mut R,
-) -> (TargetId, Timestamp, bool) {
+) -> Result<(TargetId, Timestamp, bool)> {
     if let Some((prev_target, prev_start)) = prev {
         if rng.gen_bool(multistage_prob) {
             // Gap log-normal, median ~45 min, clamped to the band.
             let gap = log_normal(rng, (45.0 * 60.0f64).ln(), 0.5)
-                .unwrap_or(3_600.0)
+                .map_err(TraceError::Stats)?
                 .clamp(30.0, (DAY - 1) as f64) as u64;
             let start = *prev_start + gap;
             if start.day() < days {
-                return (*prev_target, start, true);
+                return Ok((*prev_target, start, true));
             }
         }
     }
-    (TargetId(picker.sample(rng) as u32), placed, false)
+    Ok((TargetId(picker.sample(rng) as u32), placed, false))
 }
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn build_attack<R: Rng + ?Sized>(
     family: FamilyId,
     profile: &crate::family::FamilyProfile,
+    params: &RegimeParams,
     pool: &BotPool,
     target: TargetId,
     target_asn: ddos_astopo::Asn,
@@ -372,20 +429,22 @@ pub(crate) fn build_attack<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<AttackRecord> {
     // Magnitude: log-normal with mean `mean_magnitude`, scaled by the
-    // day's activity level.
+    // day's activity level (which already folds in regime intensity
+    // through the latent rate).
     let sigma = profile.magnitude_sigma;
     let mu = profile.mean_magnitude.ln() - sigma * sigma / 2.0;
     let raw = log_normal(rng, mu, sigma).map_err(TraceError::Stats)? * activity;
     let magnitude = (raw.round() as usize).clamp(3, pool.len());
-    let bots = pool.participants(start.day(), magnitude, rng);
+    let bots = pool.participants_in_regime(params, start.day(), magnitude, rng);
     let magnitude = bots.len();
 
     // Duration: per-(family, target) AR(1) in log space around the
-    // family median, mildly scaled by magnitude.
+    // family median, mildly scaled by magnitude. The AR(1) shape comes
+    // from the governing regime, not the static profile.
     let key = (family, target);
     let prev_dev = duration_state.get(&key).copied().unwrap_or(0.0);
-    let rho = profile.duration_persistence;
-    let innov = profile.duration_sigma * (1.0 - rho * rho).sqrt();
+    let rho = params.duration_persistence;
+    let innov = params.duration_sigma * (1.0 - rho * rho).sqrt();
     let dev = rho * prev_dev + innov * ddos_stats::distributions::standard_normal(rng);
     duration_state.insert(key, dev);
     let mag_factor = (magnitude as f64 / profile.mean_magnitude).powf(0.3);
@@ -418,6 +477,19 @@ mod tests {
 
     fn small_corpus(seed: u64) -> Corpus {
         TraceGenerator::new(CorpusConfig::small(), seed).generate().unwrap()
+    }
+
+    #[test]
+    fn degenerate_configs_fail_with_typed_errors_not_panics() {
+        let zero_days = CorpusConfig { days: 0, ..CorpusConfig::small() };
+        let err = TraceGenerator::new(zero_days, 1).generate().unwrap_err();
+        assert!(matches!(err, TraceError::InvalidConfig { ref detail } if detail.contains("days")));
+
+        let no_targets = CorpusConfig { n_targets: 0, ..CorpusConfig::small() };
+        let err = TraceGenerator::new(no_targets, 1).generate().unwrap_err();
+        assert!(
+            matches!(err, TraceError::InvalidConfig { ref detail } if detail.contains("target"))
+        );
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub mod export;
 pub mod family;
 pub mod generator;
 pub mod reports;
+pub mod scenario;
 pub mod stats;
 pub mod stream;
 pub mod targets;
@@ -63,6 +64,7 @@ pub use dataset::Corpus;
 pub use error::TraceError;
 pub use family::{FamilyCatalog, FamilyId, FamilyProfile};
 pub use generator::{CorpusConfig, TraceGenerator};
+pub use scenario::{RegimeParams, RegimeSchedule, ScenarioPolicy};
 pub use stream::{CorpusStream, StreamOptions};
 pub use targets::{TargetId, TargetPopulation};
 pub use time::Timestamp;

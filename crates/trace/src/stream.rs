@@ -17,7 +17,7 @@
 //! the 24-hour multistage band — not by the corpus length. That is what
 //! makes [`crate::CorpusConfig::internet`] (≈5 M attacks) tractable.
 
-use crate::arrival::{place_within_day, ArrivalSchedule, DayPlan};
+use crate::arrival::{place_within_day_in_regime, ArrivalSchedule, DayPlan};
 use crate::attack::{AttackId, AttackRecord};
 use crate::bots::BotPool;
 use crate::family::{FamilyCatalog, FamilyId, FamilyProfile};
@@ -25,6 +25,7 @@ use crate::generator::{
     build_attack, build_substrate, family_pickers, family_seed, pick_target, preferred_launch,
     CorpusConfig, DurationState, Substrate,
 };
+use crate::scenario::RegimeSchedule;
 use crate::targets::{TargetId, TargetPopulation};
 use crate::time::{Timestamp, DAY};
 use crate::{Result, TraceError};
@@ -50,6 +51,11 @@ pub(crate) struct FamilyGen {
     pool: BotPool,
     schedule: ArrivalSchedule,
     next_plan: usize,
+    /// Precomputed regime timeline: a pure function of `(policy, profile,
+    /// seed, slot)`, looked up by plan day, so regime state advances
+    /// identically no matter how `advance` calls chunk the window.
+    regimes: RegimeSchedule,
+    regime_idx: usize,
     target_picker: Categorical,
     vector_picker: Categorical,
     targets: Arc<TargetPopulation>,
@@ -72,10 +78,16 @@ impl FamilyGen {
         targets: Arc<TargetPopulation>,
     ) -> Result<Self> {
         let slot = family.0;
+        // The regime timeline draws from its own splitmix64 stream, never
+        // from the family RNG, so the policy cannot shift generation draws
+        // it does not parameterize.
+        let regimes = RegimeSchedule::generate(config.scenario, &profile, config.days, seed, slot);
         let mut rng = StdRng::seed_from_u64(family_seed(seed, slot));
         let pool = BotPool::recruit(topology, allocations, &profile, slot, &mut rng)?;
-        let schedule = ArrivalSchedule::generate(&profile, config.days, slot, &mut rng)?;
-        let (target_picker, vector_picker) = family_pickers(&profile, slot, targets.len())?;
+        let schedule =
+            ArrivalSchedule::generate_in_scenario(&profile, config.days, slot, &regimes, &mut rng)?;
+        let (target_picker, vector_picker) =
+            family_pickers(&profile, slot, &targets, &regimes.regimes()[0].params)?;
         Ok(FamilyGen {
             family,
             profile,
@@ -83,6 +95,8 @@ impl FamilyGen {
             pool,
             schedule,
             next_plan: 0,
+            regimes,
+            regime_idx: 0,
             target_picker,
             vector_picker,
             targets,
@@ -103,7 +117,30 @@ impl FamilyGen {
                 break;
             }
             self.next_plan += 1;
-            let launches = place_within_day(plan.day, plan.count, &self.profile, &mut self.rng)?;
+            // Advance the regime cursor to the plan's day. Plans are
+            // chronological and the timeline is precomputed, so this is
+            // invariant to how callers chunk `until_day` — the safe-
+            // emission bound never interacts with regime state.
+            let idx = self.regimes.index_at(plan.day);
+            if idx != self.regime_idx {
+                self.regime_idx = idx;
+                let (t, v) = family_pickers(
+                    &self.profile,
+                    self.family.0,
+                    &self.targets,
+                    &self.regimes.regimes()[idx].params,
+                )?;
+                self.target_picker = t;
+                self.vector_picker = v;
+            }
+            let params = self.regimes.regimes()[self.regime_idx].params;
+            let launches = place_within_day_in_regime(
+                plan.day,
+                plan.count,
+                &self.profile,
+                &params,
+                &mut self.rng,
+            )?;
             let activity = (plan.rate / self.profile.avg_attacks_per_day).powf(0.8);
             for ts in launches {
                 let (target_id, mut start, multistage) = pick_target(
@@ -113,9 +150,10 @@ impl FamilyGen {
                     ts,
                     &self.target_picker,
                     &mut self.rng,
-                );
+                )?;
                 if !multistage && self.rng.gen_bool(self.profile.hour_affinity) {
-                    start = preferred_launch(start, target_id, &self.profile, &mut self.rng);
+                    start =
+                        preferred_launch(start, target_id, &self.profile, &params, &mut self.rng);
                 }
                 let target = self.targets.target(target_id)?;
                 let vector =
@@ -123,6 +161,7 @@ impl FamilyGen {
                 let mut record = build_attack(
                     self.family,
                     &self.profile,
+                    &params,
                     &self.pool,
                     target_id,
                     target.asn,
@@ -384,6 +423,18 @@ mod tests {
 
     fn reference(seed: u64) -> crate::Corpus {
         TraceGenerator::new(CorpusConfig::small(), seed).generate_partitioned().unwrap()
+    }
+
+    #[test]
+    fn zero_chunk_days_is_a_typed_error() {
+        let opts = StreamOptions { chunk_days: 0, parallelism: None };
+        let Err(err) = CorpusStream::with_options(CorpusConfig::small(), 1, opts) else {
+            panic!("zero chunk_days accepted");
+        };
+        assert!(matches!(
+            err,
+            crate::TraceError::InvalidConfig { ref detail } if detail.contains("chunk_days")
+        ));
     }
 
     #[test]

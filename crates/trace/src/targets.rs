@@ -110,6 +110,20 @@ impl TargetPopulation {
         self.targets.iter()
     }
 
+    /// Zipf rank of target index `i` under a family's slot-rotated
+    /// preference order, further rotated by the governing regime's
+    /// [`crate::scenario::RegimeParams::target_rotation`] — how target
+    /// migration walks a family's preference head across the population.
+    /// A zero rotation reproduces the static slot-only order exactly.
+    pub fn preference_rank(
+        &self,
+        i: usize,
+        slot: usize,
+        params: &crate::scenario::RegimeParams,
+    ) -> usize {
+        (i + slot * 13 + params.target_rotation) % self.targets.len()
+    }
+
     /// The targets hosted in a given AS (empty for unknown ASes).
     pub fn in_asn(&self, asn: Asn) -> &[TargetId] {
         self.by_asn.get(&asn).map_or(&[], |v| v.as_slice())

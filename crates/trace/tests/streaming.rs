@@ -8,7 +8,8 @@
 
 use ddos_trace::stream::{CorpusStream, StreamOptions};
 use ddos_trace::{
-    AttackRecord, ColumnarReader, ColumnarWriter, CorpusConfig, TraceError, TraceGenerator,
+    AttackRecord, ColumnarReader, ColumnarWriter, CorpusConfig, ScenarioPolicy, TraceError,
+    TraceGenerator,
 };
 use proptest::prelude::*;
 
@@ -45,6 +46,34 @@ proptest! {
         let corpus =
             TraceGenerator::new(CorpusConfig::small(), seed).generate_partitioned().unwrap();
         let run = streamed(seed, chunk_days, parallelism);
+        prop_assert_eq!(run.len(), corpus.len());
+        for (s, c) in run.iter().zip(corpus.attacks()) {
+            prop_assert_eq!(s, c);
+        }
+    }
+
+    /// The invariant above survives the adversary layer: under *every*
+    /// scenario policy the regime-switching stream is still bit-identical
+    /// to the in-RAM partitioned corpus at any worker count and chunk
+    /// size, because regime schedules are precomputed and looked up by
+    /// plan day rather than threaded through the chunking loop.
+    #[test]
+    fn scenario_stream_equals_corpus_for_any_execution_shape(
+        seed in 0u64..10_000,
+        chunk_idx in 0usize..3,
+        par_idx in 0usize..4,
+        policy_idx in 0usize..ScenarioPolicy::ALL.len(),
+    ) {
+        let chunk_days = [1u32, 7, 64][chunk_idx];
+        let parallelism = [None, Some(1), Some(2), Some(4)][par_idx];
+        let config = CorpusConfig::small().with_scenario(ScenarioPolicy::ALL[policy_idx]);
+        let corpus =
+            TraceGenerator::new(config.clone(), seed).generate_partitioned().unwrap();
+        let opts = StreamOptions { chunk_days, parallelism };
+        let run: Vec<AttackRecord> = CorpusStream::with_options(config, seed, opts)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
         prop_assert_eq!(run.len(), corpus.len());
         for (s, c) in run.iter().zip(corpus.attacks()) {
             prop_assert_eq!(s, c);
@@ -89,5 +118,24 @@ proptest! {
         // The checksum covers every group payload and the envelope is
         // length-checked, so a flip anywhere must surface as an error.
         prop_assert!(outcome.is_err(), "flip {:#x} at byte {} went undetected", flip, pos);
+    }
+}
+
+/// Every non-stationary policy must actually perturb the corpus: if a
+/// regime switch produced bytes identical to the stationary run, the
+/// drift harness would be measuring nothing.
+#[test]
+fn non_stationary_policies_diverge_from_stationary() {
+    let base = TraceGenerator::new(CorpusConfig::small(), 42).generate_partitioned().unwrap();
+    for policy in ScenarioPolicy::ALL {
+        let config = CorpusConfig::small().with_scenario(policy);
+        let run = TraceGenerator::new(config, 42).generate_partitioned().unwrap();
+        let same = run.len() == base.len()
+            && run.attacks().iter().zip(base.attacks()).all(|(a, b)| a == b);
+        if policy.is_stationary() {
+            assert!(same, "stationary policy must be a byte-identical no-op");
+        } else {
+            assert!(!same, "{policy} left the corpus unchanged");
+        }
     }
 }
